@@ -1,0 +1,219 @@
+package netsession
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"netsession/internal/accounting"
+	"netsession/internal/controlplane"
+	"netsession/internal/edge"
+	"netsession/internal/geo"
+	"netsession/internal/nat"
+)
+
+// ClusterConfig configures an in-process NetSession deployment: the edge
+// tier, the control plane, and a synthetic world atlas that gives peers
+// geographic identities.
+type ClusterConfig struct {
+	// Key is the HMAC key shared between the edge tier and the control
+	// plane for authorization tokens; empty selects a fixed demo key.
+	Key []byte
+	// NumCNs is how many connection nodes to start (default 1).
+	NumCNs int
+	// Atlas controls synthetic world generation.
+	Atlas geo.AtlasConfig
+	// ClientConfig is pushed to peers on login.
+	ClientConfig edge.ClientConfig
+	// Policy is the peer-selection policy (default: locality-aware).
+	Policy SelectionPolicy
+	// VerifyAccounting enables edge-ledger verification of client usage
+	// reports (on by default via DefaultClusterConfig).
+	VerifyAccounting bool
+	// MaxSessionsPerCN sheds logins beyond this; zero means unlimited.
+	MaxSessionsPerCN int
+}
+
+// DefaultClusterConfig returns a single-CN deployment with accounting
+// verification enabled.
+func DefaultClusterConfig() ClusterConfig {
+	atlas := geo.DefaultAtlasConfig()
+	atlas.TailCountries = 10
+	return ClusterConfig{
+		NumCNs:           1,
+		Atlas:            atlas,
+		ClientConfig:     edge.DefaultClientConfig(),
+		Policy:           DefaultSelectionPolicy(),
+		VerifyAccounting: true,
+	}
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	atlas *geo.Atlas
+	scape *geo.EdgeScape
+
+	edgeSrv *edge.Server
+	monitor *controlplane.Monitor
+	stun    *nat.Server
+	cp      *controlplane.ControlPlane
+	cns     []*controlplane.CN
+	stopJan func()
+	rng     *rand.Rand
+}
+
+// StartCluster launches the edge server, the monitoring node and the
+// control plane on loopback addresses.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Key) == 0 {
+		cfg.Key = []byte("netsession-demo-key")
+	}
+	if cfg.NumCNs <= 0 {
+		cfg.NumCNs = 1
+	}
+	if cfg.Policy.MaxPeers == 0 {
+		cfg.Policy = DefaultSelectionPolicy()
+	}
+	if cfg.ClientConfig.MaxUploadConns == 0 {
+		cfg.ClientConfig = edge.DefaultClientConfig()
+	}
+	atlas := geo.GenerateAtlas(cfg.Atlas)
+	scape := geo.NewEdgeScape(atlas)
+	minter := edge.NewTokenMinter(cfg.Key)
+	ledger := edge.NewLedger()
+
+	es := edge.NewServer(edge.NewCatalog(), minter, ledger, cfg.ClientConfig)
+	if err := es.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	mon := controlplane.NewMonitor(0)
+	if err := mon.Start("127.0.0.1:0"); err != nil {
+		es.Close()
+		return nil, err
+	}
+	stun, err := nat.NewServer("127.0.0.1:0")
+	if err != nil {
+		es.Close()
+		mon.Close()
+		return nil, err
+	}
+	var verifier accounting.Verifier
+	if cfg.VerifyAccounting {
+		verifier = &accounting.LedgerVerifier{Edge: ledger}
+	}
+	cp, err := controlplane.New(controlplane.Config{
+		Scape:            scape,
+		Minter:           minter,
+		Collector:        accounting.NewCollector(verifier),
+		Policy:           cfg.Policy,
+		ClientConfig:     cfg.ClientConfig,
+		MaxSessionsPerCN: cfg.MaxSessionsPerCN,
+	})
+	if err != nil {
+		es.Close()
+		mon.Close()
+		stun.Close()
+		return nil, err
+	}
+	c := &Cluster{
+		atlas: atlas, scape: scape, edgeSrv: es, monitor: mon, stun: stun, cp: cp,
+		rng: rand.New(rand.NewSource(99)),
+	}
+	for i := 0; i < cfg.NumCNs; i++ {
+		cn, err := cp.StartCN("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.cns = append(c.cns, cn)
+	}
+	c.stopJan = cp.StartJanitor(time.Minute, int64(cfg.Policy.SoftStateTTLMs))
+	return c, nil
+}
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	if c.stopJan != nil {
+		c.stopJan()
+	}
+	if c.cp != nil {
+		c.cp.Close()
+	}
+	if c.edgeSrv != nil {
+		c.edgeSrv.Close()
+	}
+	if c.monitor != nil {
+		c.monitor.Close()
+	}
+	if c.stun != nil {
+		c.stun.Close()
+	}
+}
+
+// EdgeURL returns the edge tier's base URL for PeerConfig.EdgeURL.
+func (c *Cluster) EdgeURL() string { return "http://" + c.edgeSrv.Addr() }
+
+// ControlAddrs returns the CN addresses for PeerConfig.ControlAddrs.
+func (c *Cluster) ControlAddrs() []string {
+	out := make([]string, len(c.cns))
+	for i, cn := range c.cns {
+		out[i] = cn.Addr()
+	}
+	return out
+}
+
+// MonitorAddr returns the monitoring node's HTTP address.
+func (c *Cluster) MonitorAddr() string { return c.monitor.Addr() }
+
+// MonitorURL returns the base URL for PeerConfig.MonitorURL.
+func (c *Cluster) MonitorURL() string { return "http://" + c.monitor.Addr() }
+
+// STUNAddr returns the STUN server address for PeerConfig.STUNAddr.
+func (c *Cluster) STUNAddr() string { return c.stun.Addr() }
+
+// Monitor exposes the monitoring node (report counters, recent ring).
+func (c *Cluster) Monitor() *controlplane.Monitor { return c.monitor }
+
+// Publish makes an object available from the edge tier; its body is the
+// deterministic synthetic stream for its content ID.
+func (c *Cluster) Publish(obj *Object) error {
+	return c.edgeSrv.Catalog().PublishSynthetic(obj)
+}
+
+// AllocateIdentity assigns a synthetic public IP in the given country (ISO
+// code such as "US" or "DE"), giving a live peer a geographic identity the
+// control plane can use for locality-aware selection.
+func (c *Cluster) AllocateIdentity(country string) (string, error) {
+	cc, ok := c.atlas.Country(geo.CountryCode(country))
+	if !ok {
+		return "", fmt.Errorf("netsession: unknown country %q", country)
+	}
+	as := c.atlas.SampleAS(c.rng, cc.Code)
+	loc := cc.Locations[c.rng.Intn(len(cc.Locations))]
+	ip, err := c.scape.AllocateIP(as.Number, loc)
+	if err != nil {
+		return "", err
+	}
+	return ip.String(), nil
+}
+
+// AccountingLog returns a snapshot of the collected usage records.
+func (c *Cluster) AccountingLog() *Log { return c.cp.Collector().Snapshot() }
+
+// RejectedReports returns how many client usage reports failed edge
+// verification (suspected accounting attacks).
+func (c *Cluster) RejectedReports() int { return c.cp.Collector().Rejected() }
+
+// Lookup resolves a synthetic identity IP (from AllocateIdentity).
+func (c *Cluster) Lookup(ipStr string) (country string, asn uint32, ok bool) {
+	ip, err := netip.ParseAddr(ipStr)
+	if err != nil {
+		return "", 0, false
+	}
+	rec, ok := c.scape.Lookup(ip)
+	if !ok {
+		return "", 0, false
+	}
+	return string(rec.Country), uint32(rec.ASN), true
+}

@@ -1,0 +1,42 @@
+// Command netsession-analyze computes the trace analyses from an exported
+// log directory (the output of netsession-sim -out). The logs are
+// self-contained — every record carries its own geolocation — so this works
+// on any machine without the generating atlas, the way the paper's offline
+// analyses worked on the anonymized, EdgeScape-annotated data set (§4.1).
+//
+// Usage:
+//
+//	netsession-analyze -logs DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"netsession/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netsession-analyze: ")
+
+	dir := flag.String("logs", "netsession-logs", "log directory written by netsession-sim")
+	flag.Parse()
+
+	f, err := os.Open(filepath.Join(*dir, "downloads.jsonl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	dls, err := analysis.ReadDownloadsJSONL(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(dls) == 0 {
+		log.Fatal("no download records in the log directory")
+	}
+	fmt.Print(analysis.SummarizeOffline(dls).Render())
+}

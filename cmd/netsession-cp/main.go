@@ -1,0 +1,81 @@
+// Command netsession-cp runs the NetSession control plane: one database
+// node per network region, the requested number of connection nodes, and a
+// monitoring node. Peers connect to any CN address; the edge tier must be
+// started with the same -key so authorization tokens verify.
+//
+// The synthetic identity plan is deterministic: this process and every peer
+// process generate the same atlas and allocate the same -population
+// identities from the same -identity-seed, so a peer started with
+// `netsession-peer -identity K` resolves to a (location, AS) this control
+// plane knows.
+//
+// Usage:
+//
+//	netsession-cp [-cns N] [-key STRING] [-population N] [-identity-seed N]
+//	              [-max-sessions N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"netsession/internal/accounting"
+	"netsession/internal/controlplane"
+	"netsession/internal/edge"
+	"netsession/internal/geo"
+	"netsession/internal/selection"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netsession-cp: ")
+
+	numCNs := flag.Int("cns", 2, "number of connection nodes to start")
+	key := flag.String("key", "netsession-demo-key", "token HMAC key shared with the edge tier")
+	population := flag.Int("population", 1000, "size of the deterministic identity plan")
+	identitySeed := flag.Int64("identity-seed", 7, "seed of the identity plan")
+	maxSessions := flag.Int("max-sessions", 0, "shed logins beyond this per CN (0 = unlimited)")
+	flag.Parse()
+
+	atlas := geo.GenerateAtlas(geo.DefaultAtlasConfig())
+	scape := geo.NewEdgeScape(atlas)
+	if _, err := geo.Identities(scape, *population, *identitySeed); err != nil {
+		log.Fatalf("identity plan: %v", err)
+	}
+
+	cp, err := controlplane.New(controlplane.Config{
+		Scape:            scape,
+		Minter:           edge.NewTokenMinter([]byte(*key)),
+		Collector:        accounting.NewCollector(nil),
+		Policy:           selection.DefaultPolicy(),
+		ClientConfig:     edge.DefaultClientConfig(),
+		MaxSessionsPerCN: *maxSessions,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cp.Close()
+
+	for i := 0; i < *numCNs; i++ {
+		cn, err := cp.StartCN("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("CN %d listening on %s", i, cn.Addr())
+	}
+	mon := controlplane.NewMonitor(0)
+	if err := mon.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+	log.Printf("monitor listening on http://%s (GET /v1/health)", mon.Addr())
+	log.Printf("identity plan: %d identities, seed %d", *population, *identitySeed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down; %d sessions were connected", cp.SessionCount())
+}

@@ -1,0 +1,126 @@
+// Command netsession-peer runs one NetSession Interface client against a
+// running control plane and edge tier: it logs in, optionally downloads an
+// object (printing progress and the final infrastructure/peer byte split),
+// and can stay resident serving uploads, as the background application
+// described in §3.4 of the paper would.
+//
+// Usage:
+//
+//	netsession-peer -control ADDR[,ADDR...] -edge URL
+//	                [-object HEXID] [-uploads] [-serve]
+//	                [-identity K] [-identity-seed N] [-population N]
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"netsession/internal/content"
+	"netsession/internal/geo"
+	"netsession/internal/peer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netsession-peer: ")
+
+	control := flag.String("control", "", "comma-separated CN addresses (required)")
+	edgeURL := flag.String("edge", "", "edge base URL, e.g. http://127.0.0.1:8443 (required)")
+	objectHex := flag.String("object", "", "hex object ID to download")
+	uploads := flag.Bool("uploads", true, "enable content uploads to peers")
+	stateDir := flag.String("state", "", "directory persisting the installation state (GUID, prefs, secondary GUIDs)")
+	serve := flag.Bool("serve", false, "stay resident after the download, serving uploads")
+	identity := flag.Int("identity", 0, "index into the deterministic identity plan")
+	identitySeed := flag.Int64("identity-seed", 7, "seed of the identity plan (must match netsession-cp)")
+	population := flag.Int("population", 1000, "size of the identity plan (must match netsession-cp)")
+	flag.Parse()
+
+	if *control == "" || *edgeURL == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Recreate the control plane's identity plan and take our slot.
+	atlas := geo.GenerateAtlas(geo.DefaultAtlasConfig())
+	scape := geo.NewEdgeScape(atlas)
+	ids, err := geo.Identities(scape, *population, *identitySeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *identity < 0 || *identity >= len(ids) {
+		log.Fatalf("-identity %d outside plan of %d", *identity, len(ids))
+	}
+	me := ids[*identity]
+	log.Printf("identity %d: %s in %s (AS%d)", *identity, me.IP, me.Country, me.ASN)
+
+	cl, err := peer.New(peer.Config{
+		DeclaredIP:     me.IP.String(),
+		ControlAddrs:   strings.Split(*control, ","),
+		EdgeURL:        *edgeURL,
+		UploadsEnabled: *uploads,
+		StateDir:       *stateDir,
+		Logf:           func(format string, args ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	log.Printf("GUID %s, swarm listener %s", cl.GUID(), cl.SwarmAddr())
+
+	if *objectHex != "" {
+		oid, err := parseOID(*objectHex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dl, err := cl.Download(oid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			for {
+				have, total := dl.Progress()
+				log.Printf("progress: %d/%d pieces", have, total)
+				if total > 0 && have == total {
+					return
+				}
+				time.Sleep(2 * time.Second)
+			}
+		}()
+		res, err := dl.Wait(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("outcome: %v", res.Outcome)
+		log.Printf("bytes: %d from infrastructure, %d from %d peers (peer efficiency %.1f%%)",
+			res.BytesInfra, res.BytesPeers, len(res.FromPeers), 100*res.PeerEfficiency())
+		log.Printf("duration: %s", res.Duration.Round(time.Millisecond))
+	}
+
+	if *serve {
+		log.Print("serving uploads; Ctrl-C to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
+}
+
+func parseOID(s string) (content.ObjectID, error) {
+	var oid content.ObjectID
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return oid, fmt.Errorf("invalid object id %q: %w", s, err)
+	}
+	if len(raw) != len(oid) {
+		return oid, fmt.Errorf("object id %q has %d bytes, want %d", s, len(raw), len(oid))
+	}
+	copy(oid[:], raw)
+	return oid, nil
+}

@@ -1,0 +1,75 @@
+// Command netsession-report runs the full experiment suite — a simulated
+// month of NetSession operation — and emits every table and figure of the
+// IMC'13 paper's evaluation as text. EXPERIMENTS.md is generated from this
+// command's output.
+//
+// Usage:
+//
+//	netsession-report [-scale small|default] [-peers N] [-downloads N]
+//	                  [-days N] [-seed N] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"netsession"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netsession-report: ")
+
+	scale := flag.String("scale", "default", "scenario scale: small or default")
+	peers := flag.Int("peers", 0, "override peer population size")
+	downloads := flag.Int("downloads", 0, "override total downloads")
+	days := flag.Int("days", 0, "override trace length in days")
+	seed := flag.Int64("seed", 0, "override random seed")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	flag.Parse()
+
+	var cfg netsession.Scenario
+	switch *scale {
+	case "small":
+		cfg = netsession.SmallScenario()
+	case "default":
+		cfg = netsession.DefaultScenario()
+	default:
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	if *peers > 0 {
+		cfg.NumPeers = *peers
+	}
+	if *downloads > 0 {
+		cfg.TotalDownloads = *downloads
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	start := time.Now()
+	exp, err := netsession.RunExperiment(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	header := fmt.Sprintf(
+		"NetSession experiment report\nscale=%s peers=%d downloads=%d days=%d seed=%d\nsimulated in %s (%d events)\n\n",
+		*scale, cfg.NumPeers, cfg.TotalDownloads, cfg.Days, cfg.Seed,
+		time.Since(start).Round(time.Millisecond), exp.Result().Events)
+	report := header + exp.Report()
+
+	if *out == "" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d bytes)", *out, len(report))
+}

@@ -1,0 +1,166 @@
+// Command netsession-sim runs one simulation scenario and writes the raw
+// log set (download, login and registration records) as JSON-lines files —
+// the synthetic equivalent of the month of production logs the paper
+// analyses. Use netsession-report for the analyses themselves.
+//
+// Usage:
+//
+//	netsession-sim [-peers N] [-downloads N] [-days N] [-seed N] -out DIR
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"netsession"
+	"netsession/internal/accounting"
+	"netsession/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netsession-sim: ")
+
+	peers := flag.Int("peers", 0, "peer population size")
+	downloads := flag.Int("downloads", 0, "total downloads")
+	days := flag.Int("days", 0, "trace length in days")
+	seed := flag.Int64("seed", 0, "random seed")
+	outDir := flag.String("out", "netsession-logs", "output directory")
+	flag.Parse()
+
+	cfg := netsession.DefaultScenario()
+	if *peers > 0 {
+		cfg.NumPeers = *peers
+	}
+	if *downloads > 0 {
+		cfg.TotalDownloads = *downloads
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	start := time.Now()
+	res, err := netsession.RunScenario(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("simulated %d downloads / %d logins / %d registrations in %s",
+		len(res.Log.Downloads), len(res.Log.Logins), len(res.Log.Registrations),
+		time.Since(start).Round(time.Millisecond))
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeDownloads(filepath.Join(*outDir, "downloads.jsonl"), res); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeLogins(filepath.Join(*outDir, "logins.jsonl"), res.Log); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeRegistrations(filepath.Join(*outDir, "registrations.jsonl"), res.Log); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeBilling(filepath.Join(*outDir, "billing.csv"), res.Log); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote logs to %s", *outDir)
+}
+
+// writeDownloads exports analysis.OfflineDownload records: each carries its
+// own geolocation so the log set is self-contained (netsession-analyze
+// reads it without the generating atlas).
+func writeDownloads(path string, res *netsession.ScenarioResult) error {
+	l := res.Log
+	lookup := func(ip netip.Addr) (string, uint32) {
+		if rec, ok := res.Scape.Lookup(ip); ok {
+			return string(rec.Country), uint32(rec.ASN)
+		}
+		return "", 0
+	}
+	return writeJSONL(path, len(l.Downloads), func(enc *json.Encoder, i int) error {
+		d := &l.Downloads[i]
+		country, asn := lookup(d.IP)
+		out := analysis.OfflineDownload{
+			GUID: d.GUID.String(), IP: d.IP.String(),
+			Country: country, ASN: asn,
+			Object:  d.Object.String(),
+			URLHash: d.URLHash, CP: uint32(d.CP), Size: d.Size,
+			P2PEnabled: d.P2PEnabled, StartMs: d.StartMs, EndMs: d.EndMs,
+			BytesInfra: d.BytesInfra, BytesPeers: d.BytesPeers,
+			Outcome: d.Outcome.String(), Peers: d.PeersReturned,
+		}
+		for _, pc := range d.FromPeers {
+			c, a := lookup(pc.IP)
+			out.FromPeers = append(out.FromPeers, analysis.OfflineContribution{
+				GUID: pc.GUID.String(), Country: c, ASN: a, Bytes: pc.Bytes,
+			})
+		}
+		return enc.Encode(out)
+	})
+}
+
+type jsonLogin struct {
+	TimeMs         int64  `json:"timeMs"`
+	GUID           string `json:"guid"`
+	IP             string `json:"ip"`
+	UploadsEnabled bool   `json:"uploadsEnabled"`
+}
+
+func writeLogins(path string, l *netsession.Log) error {
+	return writeJSONL(path, len(l.Logins), func(enc *json.Encoder, i int) error {
+		r := &l.Logins[i]
+		return enc.Encode(jsonLogin{
+			TimeMs: r.TimeMs, GUID: r.GUID.String(), IP: r.IP.String(),
+			UploadsEnabled: r.UploadsEnabled,
+		})
+	})
+}
+
+type jsonReg struct {
+	TimeMs int64  `json:"timeMs"`
+	GUID   string `json:"guid"`
+	Object string `json:"object"`
+}
+
+func writeRegistrations(path string, l *netsession.Log) error {
+	return writeJSONL(path, len(l.Registrations), func(enc *json.Encoder, i int) error {
+		r := &l.Registrations[i]
+		return enc.Encode(jsonReg{TimeMs: r.TimeMs, GUID: r.GUID.String(), Object: r.Object.String()})
+	})
+}
+
+// writeBilling renders the per-provider billing summary.
+func writeBilling(path string, l *netsession.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return accounting.WriteCSV(f, accounting.Bill(l))
+}
+
+func writeJSONL(path string, n int, encode func(*json.Encoder, int) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	enc := json.NewEncoder(bw)
+	for i := 0; i < n; i++ {
+		if err := encode(enc, i); err != nil {
+			return fmt.Errorf("encode %s record %d: %w", path, i, err)
+		}
+	}
+	return bw.Flush()
+}

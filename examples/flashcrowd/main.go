@@ -1,0 +1,120 @@
+// Flash crowd: many peers request the same object at once. The hybrid
+// design shines here — early arrivals are served by the edge, and every
+// completed download immediately becomes upload capacity for the rest,
+// while the per-download edge connection guarantees nobody stalls even if
+// they pick slow or unreliable peers (§3.3).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"netsession"
+)
+
+const (
+	crowdSize = 12
+	objSize   = 2_000_000
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cluster, err := netsession.StartCluster(netsession.DefaultClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	obj, err := netsession.NewObject(1002, "studio/episode-01.bin", 1, objSize, 64<<10, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Publish(obj); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	spawn := func() *netsession.Peer {
+		ip, err := cluster.AllocateIdentity("JP")
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := netsession.NewPeer(netsession.PeerConfig{
+			DeclaredIP:     ip,
+			ControlAddrs:   cluster.ControlAddrs(),
+			EdgeURL:        cluster.EdgeURL(),
+			UploadsEnabled: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+
+	// One early adopter seeds the swarm.
+	seed := spawn()
+	defer seed.Close()
+	if dl, err := seed.Download(obj.ID); err != nil {
+		log.Fatal(err)
+	} else if res, _ := dl.Wait(ctx); res.BytesInfra == 0 {
+		log.Fatal("seed download served no infrastructure bytes?")
+	}
+	time.Sleep(300 * time.Millisecond)
+	fmt.Printf("seeded %s; releasing a crowd of %d...\n\n", obj.URL, crowdSize)
+
+	type outcome struct {
+		ix  int
+		res *netsession.DownloadResult
+	}
+	var wg sync.WaitGroup
+	outcomes := make([]outcome, crowdSize)
+	for i := 0; i < crowdSize; i++ {
+		p := spawn()
+		defer p.Close()
+		wg.Add(1)
+		go func(ix int, p *netsession.Peer) {
+			defer wg.Done()
+			dl, err := p.Download(obj.ID)
+			if err != nil {
+				log.Printf("crowd %d: %v", ix, err)
+				return
+			}
+			res, _ := dl.Wait(ctx)
+			outcomes[ix] = outcome{ix, res}
+		}(i, p)
+	}
+	wg.Wait()
+
+	var infra, peers int64
+	completed := 0
+	var durations []time.Duration
+	for _, o := range outcomes {
+		if o.res == nil {
+			continue
+		}
+		completed++
+		infra += o.res.BytesInfra
+		peers += o.res.BytesPeers
+		durations = append(durations, o.res.Duration)
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+
+	fmt.Printf("crowd results: %d/%d completed\n", completed, crowdSize)
+	fmt.Printf("bytes: %.1f MB from the edge, %.1f MB peer-to-peer (%.0f%% offloaded)\n",
+		float64(infra)/1e6, float64(peers)/1e6, 100*float64(peers)/float64(infra+peers))
+	if len(durations) > 0 {
+		fmt.Printf("download times: fastest %v, median %v, slowest %v\n",
+			durations[0].Round(time.Millisecond),
+			durations[len(durations)/2].Round(time.Millisecond),
+			durations[len(durations)-1].Round(time.Millisecond))
+	}
+	fmt.Printf("\nwithout the swarm, the edge would have carried %.1f MB for this crowd.\n",
+		float64(int64(crowdSize)*objSize)/1e6)
+}

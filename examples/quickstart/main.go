@@ -1,0 +1,94 @@
+// Quickstart: start an in-process NetSession deployment (edge + control
+// plane), publish an object, seed it on one peer, and watch a second peer
+// download it with peer assistance — the edge covering whatever the peer
+// does not deliver, exactly as the Download Manager of §3.3 works.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"netsession"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cluster, err := netsession.StartCluster(netsession.DefaultClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Printf("edge tier:     %s\n", cluster.EdgeURL())
+	fmt.Printf("control plane: %v\n", cluster.ControlAddrs())
+
+	// A content provider (CP code 1001) publishes a 4 MB installer with
+	// peer-assisted delivery enabled.
+	obj, err := netsession.NewObject(1001, "acme/installer-2.0.bin", 1, 4_000_000, 64<<10, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Publish(obj); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published:     %s (%s)\n", obj.ID, obj.URL)
+
+	newPeer := func(name string) *netsession.Peer {
+		ip, err := cluster.AllocateIdentity("JP")
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := netsession.NewPeer(netsession.PeerConfig{
+			DeclaredIP:     ip,
+			ControlAddrs:   cluster.ControlAddrs(),
+			EdgeURL:        cluster.EdgeURL(),
+			UploadsEnabled: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:          GUID %s at %s\n", name, p.GUID().Short(), ip)
+		return p
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The first peer has no peers to draw from: the edge serves everything.
+	alice := newPeer("alice")
+	defer alice.Close()
+	dl, err := alice.Download(obj.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dl.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nalice: %v in %v — %d bytes from edge, %d from peers\n",
+		res.Outcome, res.Duration.Round(time.Millisecond), res.BytesInfra, res.BytesPeers)
+
+	// Alice's completed copy registers with the control plane; Bob's
+	// download swarms with her while the edge backstops.
+	time.Sleep(300 * time.Millisecond)
+	bob := newPeer("bob")
+	defer bob.Close()
+	dl2, err := bob.Download(obj.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := dl2.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob:   %v in %v — %d bytes from edge, %d from peers (peer efficiency %.0f%%)\n",
+		res2.Outcome, res2.Duration.Round(time.Millisecond),
+		res2.BytesInfra, res2.BytesPeers, 100*res2.PeerEfficiency())
+
+	time.Sleep(300 * time.Millisecond) // let the final usage report land
+	acct := cluster.AccountingLog()
+	fmt.Printf("\naccounting: %d verified download records, %d rejected\n",
+		len(acct.Downloads), cluster.RejectedReports())
+}

@@ -1,0 +1,101 @@
+// Streaming delivery: NetSession "also supports video streaming" (§3.4).
+// A sequential download keeps the verified prefix contiguous, so playback
+// can begin while the tail is still arriving; this example plays a video
+// object as it downloads and reports startup delay and rebuffering.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"netsession"
+	"netsession/internal/peer"
+)
+
+const (
+	videoSize   = 6_000_000 // 6 MB "episode"
+	pieceSize   = 64 << 10
+	playbackBps = 4_000_000 // 4 Mbps playback rate
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cluster, err := netsession.StartCluster(netsession.DefaultClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	obj, err := netsession.NewObject(1002, "studio/episode-07.vid", 1, videoSize, pieceSize, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Publish(obj); err != nil {
+		log.Fatal(err)
+	}
+
+	ip, err := cluster.AllocateIdentity("JP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	viewer, err := netsession.NewPeer(netsession.PeerConfig{
+		DeclaredIP:   ip,
+		ControlAddrs: cluster.ControlAddrs(),
+		EdgeURL:      cluster.EdgeURL(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer viewer.Close()
+
+	start := time.Now()
+	dl, err := viewer.DownloadWith(obj.ID, peer.DownloadOpts{Sequential: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated player: consumes pieces in order at the playback rate,
+	// waiting (rebuffering) whenever the next piece has not arrived.
+	piecesTotal := obj.NumPieces()
+	pieceDur := time.Duration(float64(pieceSize*8) / playbackBps * float64(time.Second))
+	var startupDelay, rebuffer time.Duration
+	played := 0
+	for played < piecesTotal {
+		waitStart := time.Now()
+		for {
+			bf := viewer.Store().Have(obj.ID)
+			if bf != nil && bf.Has(played) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		waited := time.Since(waitStart)
+		if played == 0 {
+			startupDelay = time.Since(start)
+		} else if waited > 3*time.Millisecond {
+			rebuffer += waited
+		}
+		time.Sleep(pieceDur / 50) // compress playback 50x for the demo
+		played++
+		if played%20 == 0 || played == piecesTotal {
+			have, total := dl.Progress()
+			fmt.Printf("played %3d/%d pieces | downloaded %3d/%d\n", played, piecesTotal, have, total)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := dl.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstartup delay: %v, rebuffering: %v\n",
+		startupDelay.Round(time.Millisecond), rebuffer.Round(time.Millisecond))
+	fmt.Printf("delivery: %d bytes edge, %d bytes peers, outcome %v\n",
+		res.BytesInfra, res.BytesPeers, res.Outcome)
+	fmt.Printf("\nsequential piece selection keeps the verified prefix contiguous,\n" +
+		"so playback starts immediately and never outruns the download.\n")
+}

@@ -1,0 +1,3 @@
+module netsession
+
+go 1.22

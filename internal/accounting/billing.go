@@ -1,0 +1,81 @@
+package accounting
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+
+	"netsession/internal/content"
+	"netsession/internal/protocol"
+)
+
+// BillingLine is the per-provider service summary content providers pay
+// against: volume delivered, split by source, with quality indicators.
+type BillingLine struct {
+	CP         content.CPCode
+	Downloads  int
+	Completed  int
+	BytesInfra int64
+	BytesPeers int64
+	// PeerEfficiency is peer bytes over total bytes across the provider's
+	// peer-assisted downloads.
+	PeerEfficiency float64
+}
+
+// Bill aggregates the accepted download log per CP code, sorted by CP.
+func Bill(log *Log) []BillingLine {
+	byCP := make(map[content.CPCode]*BillingLine)
+	for i := range log.Downloads {
+		d := &log.Downloads[i]
+		l := byCP[d.CP]
+		if l == nil {
+			l = &BillingLine{CP: d.CP}
+			byCP[d.CP] = l
+		}
+		l.Downloads++
+		if d.Outcome == protocol.OutcomeCompleted {
+			l.Completed++
+		}
+		l.BytesInfra += d.BytesInfra
+		l.BytesPeers += d.BytesPeers
+	}
+	out := make([]BillingLine, 0, len(byCP))
+	for _, l := range byCP {
+		if total := l.BytesInfra + l.BytesPeers; total > 0 {
+			l.PeerEfficiency = float64(l.BytesPeers) / float64(total)
+		}
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CP < out[j].CP })
+	return out
+}
+
+// WriteCSV renders billing lines as CSV, the export format content
+// providers' reports are delivered in ("detailed logs that show the amount
+// and the quality of the services provided", §3.1).
+func WriteCSV(w io.Writer, lines []BillingLine) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"cp_code", "downloads", "completed",
+		"bytes_infrastructure", "bytes_peers", "peer_efficiency",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		rec := []string{
+			strconv.FormatUint(uint64(l.CP), 10),
+			strconv.Itoa(l.Downloads),
+			strconv.Itoa(l.Completed),
+			strconv.FormatInt(l.BytesInfra, 10),
+			strconv.FormatInt(l.BytesPeers, 10),
+			strconv.FormatFloat(l.PeerEfficiency, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,119 @@
+package accounting
+
+import (
+	"fmt"
+	"sync"
+
+	"netsession/internal/content"
+	"netsession/internal/id"
+)
+
+// Verifier cross-checks a client-submitted download report against trusted
+// edge-server data before it enters the billing log (§3.5). Implementations
+// must be safe for concurrent use.
+type Verifier interface {
+	// CheckDownload returns a non-nil error when the report must be
+	// rejected as a suspected accounting attack.
+	CheckDownload(rec *DownloadRecord) error
+}
+
+// EdgeData is the subset of the edge tier's ledger the verifier needs;
+// *edge.Ledger satisfies it.
+type EdgeData interface {
+	Authorized(g id.GUID, obj content.ObjectID) bool
+	Served(g id.GUID, obj content.ObjectID) int64
+}
+
+// LedgerVerifier validates reports against the edge ledger: the download
+// must have been authorized, and the claimed infrastructure bytes cannot
+// exceed what the edge actually served (plus a small slack for retries and
+// rounding).
+type LedgerVerifier struct {
+	Edge EdgeData
+	// SlackBytes tolerates bookkeeping skew; defaults to one piece.
+	SlackBytes int64
+}
+
+// CheckDownload implements Verifier.
+func (v *LedgerVerifier) CheckDownload(rec *DownloadRecord) error {
+	if !v.Edge.Authorized(rec.GUID, rec.Object) {
+		return fmt.Errorf("accounting: peer %s reports unauthorized download of %v",
+			rec.GUID.Short(), rec.Object)
+	}
+	slack := v.SlackBytes
+	if slack == 0 {
+		slack = content.DefaultPieceSize
+	}
+	if served := v.Edge.Served(rec.GUID, rec.Object); rec.BytesInfra > served+slack {
+		return fmt.Errorf("accounting: peer %s claims %d infra bytes, edge served %d",
+			rec.GUID.Short(), rec.BytesInfra, served)
+	}
+	return nil
+}
+
+// Collector is the CN-side accumulation point for usage records. It filters
+// forged download reports through the verifier (if any) and keeps the
+// accepted log for billing and analysis.
+type Collector struct {
+	verifier Verifier
+
+	mu       sync.Mutex
+	log      Log
+	rejected int
+}
+
+// NewCollector creates a collector; verifier may be nil to accept all
+// reports (the simulator trusts its own synthetic reports).
+func NewCollector(verifier Verifier) *Collector {
+	return &Collector{verifier: verifier}
+}
+
+// AddDownload records a download report, returning an error if it was
+// rejected by verification.
+func (c *Collector) AddDownload(rec DownloadRecord) error {
+	if c.verifier != nil {
+		if err := c.verifier.CheckDownload(&rec); err != nil {
+			c.mu.Lock()
+			c.rejected++
+			c.mu.Unlock()
+			return err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log.Downloads = append(c.log.Downloads, rec)
+	return nil
+}
+
+// AddLogin records a login.
+func (c *Collector) AddLogin(rec LoginRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log.Logins = append(c.log.Logins, rec)
+}
+
+// AddRegistration records a DN registration event.
+func (c *Collector) AddRegistration(rec RegistrationRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log.Registrations = append(c.log.Registrations, rec)
+}
+
+// Rejected returns how many download reports verification filtered out.
+func (c *Collector) Rejected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rejected
+}
+
+// Snapshot returns a copy of the accepted log.
+func (c *Collector) Snapshot() *Log {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &Log{
+		Downloads:     append([]DownloadRecord(nil), c.log.Downloads...),
+		Logins:        append([]LoginRecord(nil), c.log.Logins...),
+		Registrations: append([]RegistrationRecord(nil), c.log.Registrations...),
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"netsession/internal/id"
+)
+
+// GraphClass classifies one installation's secondary-GUID graph (paper
+// Figure 12 / §6.2).
+type GraphClass int
+
+// Graph classes.
+const (
+	// GraphLinear is the expected chain of a healthy installation.
+	GraphLinear GraphClass = iota
+	// GraphShortBranch: one long branch plus a single one-vertex branch —
+	// consistent with a failed software update.
+	GraphShortBranch
+	// GraphTwoLong: two long branches — consistent with a restored backup.
+	GraphTwoLong
+	// GraphManyBranches: several short or medium branches from one point —
+	// consistent with re-imaging or cloning from a master image.
+	GraphManyBranches
+	// GraphIrregular: everything else.
+	GraphIrregular
+	numGraphClasses
+)
+
+func (c GraphClass) String() string {
+	switch c {
+	case GraphLinear:
+		return "linear"
+	case GraphShortBranch:
+		return "one short branch"
+	case GraphTwoLong:
+		return "two long branches"
+	case GraphManyBranches:
+		return "several branches"
+	case GraphIrregular:
+		return "irregular"
+	}
+	return "?"
+}
+
+// Figure12 summarizes the graph classification.
+type Figure12 struct {
+	// Graphs is the number of graphs with at least three vertices.
+	Graphs int
+	// Count per class.
+	Count [numGraphClasses]int
+	// PctNonLinear is the headline (0.6% in the paper).
+	PctNonLinear float64
+	// PctOfNonLinear is each non-linear class's share of non-linear
+	// graphs (the paper: 46.2% / 6.2% / 23.5% / rest).
+	PctOfNonLinear [numGraphClasses]float64
+}
+
+// ComputeFigure12 reconstructs per-GUID secondary-GUID graphs from the
+// login records and classifies their shapes: "vertices represent secondary
+// GUIDs and edges connect GUIDs that follow each other in a login entry"
+// (§6.2).
+func ComputeFigure12(in *Input) Figure12 {
+	type graph struct {
+		children map[id.Secondary]map[id.Secondary]bool
+		verts    map[id.Secondary]bool
+	}
+	graphs := make(map[id.GUID]*graph)
+	for i := range in.Log.Logins {
+		l := &in.Log.Logins[i]
+		g := graphs[l.GUID]
+		if g == nil {
+			g = &graph{
+				children: make(map[id.Secondary]map[id.Secondary]bool),
+				verts:    make(map[id.Secondary]bool),
+			}
+			graphs[l.GUID] = g
+		}
+		w := l.Secondaries
+		for k := 0; k+1 < len(w); k++ {
+			child, parent := w[k], w[k+1]
+			if child.IsZero() || parent.IsZero() {
+				continue
+			}
+			g.verts[child] = true
+			g.verts[parent] = true
+			m := g.children[parent]
+			if m == nil {
+				m = make(map[id.Secondary]bool)
+				g.children[parent] = m
+			}
+			m[child] = true
+		}
+	}
+	var out Figure12
+	for _, g := range graphs {
+		if len(g.verts) < 3 {
+			continue
+		}
+		out.Graphs++
+		out.Count[classifyGraph(g.children, g.verts)]++
+	}
+	nonLinear := out.Graphs - out.Count[GraphLinear]
+	if out.Graphs > 0 {
+		out.PctNonLinear = 100 * float64(nonLinear) / float64(out.Graphs)
+	}
+	if nonLinear > 0 {
+		for c := GraphShortBranch; c < numGraphClasses; c++ {
+			out.PctOfNonLinear[c] = 100 * float64(out.Count[c]) / float64(nonLinear)
+		}
+	}
+	return out
+}
+
+// classifyGraph labels one secondary-GUID graph.
+func classifyGraph(children map[id.Secondary]map[id.Secondary]bool, verts map[id.Secondary]bool) GraphClass {
+	// Parent counts detect non-tree shapes.
+	parents := make(map[id.Secondary]int)
+	var branchPoints []id.Secondary
+	for p, cs := range children {
+		if len(cs) >= 2 {
+			branchPoints = append(branchPoints, p)
+		}
+		for c := range cs {
+			parents[c]++
+		}
+	}
+	for _, n := range parents {
+		if n > 1 {
+			return GraphIrregular // a vertex with two histories: not a tree
+		}
+	}
+	switch len(branchPoints) {
+	case 0:
+		return GraphLinear
+	case 1:
+		bp := branchPoints[0]
+		var lengths []int
+		for c := range children[bp] {
+			lengths = append(lengths, chainLen(children, c))
+		}
+		if len(lengths) > 2 {
+			return GraphManyBranches
+		}
+		short := lengths[0]
+		if lengths[1] < short {
+			short = lengths[1]
+		}
+		if short <= 1 {
+			return GraphShortBranch
+		}
+		return GraphTwoLong
+	default:
+		// Multiple independent fork points: a history no single clean
+		// explanation (update failure, restore, re-imaging) produces.
+		return GraphIrregular
+	}
+}
+
+// chainLen follows a branch downward; branches below (which cannot exist
+// when there is a single branch point) just take the longest path.
+func chainLen(children map[id.Secondary]map[id.Secondary]bool, v id.Secondary) int {
+	n := 1
+	for {
+		cs := children[v]
+		if len(cs) == 0 {
+			return n
+		}
+		best := 0
+		var next id.Secondary
+		for c := range cs {
+			l := 1 // conservative: avoid deep recursion; single-point case has chains
+			if l > best {
+				best = l
+				next = c
+			}
+		}
+		v = next
+		n++
+		if n > 1_000_000 {
+			return n // cycle guard; irregular graphs are caught earlier
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+)
+
+// Headlines collects the scalar results quoted in the paper's running text.
+type Headlines struct {
+	// §5.1: "peer-to-peer downloads were enabled for only 1.7% of the
+	// files, but these downloads accounted for 57.4% of the downloaded
+	// bytes".
+	PctFilesP2PEnabled float64
+	PctBytesP2PFiles   float64
+	// §5.1: "the average peer efficiency for peer-assisted downloads was
+	// 71.4%" (per-download mean), plus the byte-weighted aggregate.
+	MeanPeerEfficiencyPct      float64
+	AggregatePeerEfficiencyPct float64
+
+	// §5.2 outcome rates, per class (infra-only / peer-assisted).
+	CompletionInfraPct float64
+	CompletionP2PPct   float64
+	FailSystemInfraPct float64
+	FailSystemP2PPct   float64
+	AbortInfraPct      float64
+	AbortP2PPct        float64
+
+	// §6.1: intra-AS share of p2p traffic (18% in the paper).
+	IntraASPct float64
+
+	// §6.2 mobility: GUIDs seen in 1 / 2 / >2 ASes; fraction of GUIDs
+	// whose farthest two geolocations are within 10 km.
+	Pct1AS        float64
+	Pct2AS        float64
+	PctMoreAS     float64
+	PctWithin10Km float64
+	// NewConnectionsPerMinute is the control-plane login churn.
+	NewConnectionsPerMinute float64
+}
+
+// ComputeHeadlines derives the scalar summary from the logs.
+func ComputeHeadlines(in *Input, traceDays int) Headlines {
+	var h Headlines
+
+	// Catalog policy share.
+	p2pFiles := 0
+	for _, f := range in.Catalog.Files {
+		if f.Object.P2PEnabled {
+			p2pFiles++
+		}
+	}
+	if n := len(in.Catalog.Files); n > 0 {
+		h.PctFilesP2PEnabled = 100 * float64(p2pFiles) / float64(n)
+	}
+
+	var bytesP2PFiles, bytesAll float64
+	var effSum float64
+	var effN int
+	var peerBytes, p2pTotalBytes float64
+	var nInfra, nP2P, doneInfra, doneP2P, sysInfra, sysP2P, abInfra, abP2P int
+	for i := range in.Log.Downloads {
+		d := &in.Log.Downloads[i]
+		total := float64(d.TotalBytes())
+		bytesAll += total
+		if d.P2PEnabled {
+			bytesP2PFiles += total
+			nP2P++
+			peerBytes += float64(d.BytesPeers)
+			p2pTotalBytes += total
+			if total > 0 {
+				effSum += 100 * d.PeerEfficiency()
+				effN++
+			}
+			switch d.Outcome {
+			case protocol.OutcomeCompleted:
+				doneP2P++
+			case protocol.OutcomeFailedSystem:
+				sysP2P++
+			case protocol.OutcomeAborted:
+				abP2P++
+			}
+		} else {
+			nInfra++
+			switch d.Outcome {
+			case protocol.OutcomeCompleted:
+				doneInfra++
+			case protocol.OutcomeFailedSystem:
+				sysInfra++
+			case protocol.OutcomeAborted:
+				abInfra++
+			}
+		}
+	}
+	if bytesAll > 0 {
+		h.PctBytesP2PFiles = 100 * bytesP2PFiles / bytesAll
+	}
+	if effN > 0 {
+		h.MeanPeerEfficiencyPct = effSum / float64(effN)
+	}
+	if p2pTotalBytes > 0 {
+		h.AggregatePeerEfficiencyPct = 100 * peerBytes / p2pTotalBytes
+	}
+	pct := func(a, b int) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * float64(a) / float64(b)
+	}
+	h.CompletionInfraPct = pct(doneInfra, nInfra)
+	h.CompletionP2PPct = pct(doneP2P, nP2P)
+	h.FailSystemInfraPct = pct(sysInfra, nInfra)
+	h.FailSystemP2PPct = pct(sysP2P, nP2P)
+	h.AbortInfraPct = pct(abInfra, nInfra)
+	h.AbortP2PPct = pct(abP2P, nP2P)
+
+	h.IntraASPct = 100 * ComputeASTraffic(in).IntraASFraction()
+
+	mob := ComputeMobility(in)
+	h.Pct1AS, h.Pct2AS, h.PctMoreAS, h.PctWithin10Km =
+		mob.Pct1AS, mob.Pct2AS, mob.PctMoreAS, mob.PctWithin10Km
+	if traceDays > 0 {
+		h.NewConnectionsPerMinute = float64(len(in.Log.Logins)) / (float64(traceDays) * 24 * 60)
+	}
+	return h
+}
+
+// Mobility summarizes peer movement (§6.2).
+type Mobility struct {
+	GUIDs         int
+	Pct1AS        float64
+	Pct2AS        float64
+	PctMoreAS     float64
+	PctWithin10Km float64
+}
+
+// ComputeMobility counts, per GUID, the distinct ASes seen across logins and
+// the maximum distance between any two login geolocations.
+func ComputeMobility(in *Input) Mobility {
+	type state struct {
+		ases   map[geo.ASN]bool
+		coords []geo.Coordinates
+	}
+	st := make(map[id.GUID]*state)
+	for i := range in.Log.Logins {
+		l := &in.Log.Logins[i]
+		rec, ok := in.lookup(l.IP)
+		if !ok {
+			continue
+		}
+		s := st[l.GUID]
+		if s == nil {
+			s = &state{ases: make(map[geo.ASN]bool)}
+			st[l.GUID] = s
+		}
+		if !s.ases[rec.ASN] {
+			s.ases[rec.ASN] = true
+		}
+		// Track distinct coordinates only (windows are tiny: a peer visits
+		// a handful of vantage points).
+		seen := false
+		for _, c := range s.coords {
+			if c == rec.Coord {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			s.coords = append(s.coords, rec.Coord)
+		}
+	}
+	var m Mobility
+	var one, two, more, within int
+	for _, s := range st {
+		m.GUIDs++
+		switch len(s.ases) {
+		case 1:
+			one++
+		case 2:
+			two++
+		default:
+			more++
+		}
+		maxKm := 0.0
+		for i := range s.coords {
+			for j := i + 1; j < len(s.coords); j++ {
+				if d := geo.DistanceKm(s.coords[i], s.coords[j]); d > maxKm {
+					maxKm = d
+				}
+			}
+		}
+		if maxKm <= 10 {
+			within++
+		}
+	}
+	if m.GUIDs > 0 {
+		m.Pct1AS = 100 * float64(one) / float64(m.GUIDs)
+		m.Pct2AS = 100 * float64(two) / float64(m.GUIDs)
+		m.PctMoreAS = 100 * float64(more) / float64(m.GUIDs)
+		m.PctWithin10Km = 100 * float64(within) / float64(m.GUIDs)
+	}
+	return m
+}

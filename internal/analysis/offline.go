@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The offline path analyzes exported JSON-lines logs without the generating
+// atlas: every record carries its own geolocation fields, the way the
+// paper's anonymized data set bundled EdgeScape annotations (§4.1). This is
+// what `netsession-sim -out` writes and `netsession-analyze` reads.
+
+// OfflineDownload is one exported download record.
+type OfflineDownload struct {
+	GUID       string                `json:"guid"`
+	IP         string                `json:"ip"`
+	Country    string                `json:"country"`
+	ASN        uint32                `json:"asn"`
+	Object     string                `json:"object"`
+	URLHash    string                `json:"urlHash"`
+	CP         uint32                `json:"cp"`
+	Size       int64                 `json:"size"`
+	P2PEnabled bool                  `json:"p2pEnabled"`
+	StartMs    int64                 `json:"startMs"`
+	EndMs      int64                 `json:"endMs"`
+	BytesInfra int64                 `json:"bytesInfra"`
+	BytesPeers int64                 `json:"bytesPeers"`
+	Outcome    string                `json:"outcome"`
+	Peers      int                   `json:"peersReturned"`
+	FromPeers  []OfflineContribution `json:"fromPeers,omitempty"`
+}
+
+// OfflineContribution attributes bytes to one serving peer.
+type OfflineContribution struct {
+	GUID    string `json:"guid"`
+	Country string `json:"country"`
+	ASN     uint32 `json:"asn"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// ReadDownloadsJSONL parses an exported downloads file.
+func ReadDownloadsJSONL(r io.Reader) ([]OfflineDownload, error) {
+	var out []OfflineDownload
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var d OfflineDownload
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			return nil, fmt.Errorf("analysis: downloads line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	return out, sc.Err()
+}
+
+// OfflineSummary is the standalone trace analysis: the subset of the
+// paper's quantities computable from the download log alone.
+type OfflineSummary struct {
+	Downloads     int
+	DistinctGUIDs int
+	DistinctURLs  int
+	Countries     int
+	ASes          int
+
+	CompletionInfraPct float64
+	CompletionP2PPct   float64
+	AbortInfraPct      float64
+	AbortP2PPct        float64
+
+	PctBytesP2PFiles           float64
+	MeanPeerEfficiencyPct      float64
+	AggregatePeerEfficiencyPct float64
+
+	MedianSpeedEdgeMbps float64
+	MedianSpeedP2PMbps  float64
+
+	IntraASPct     float64
+	HeavyASes      int
+	HeavySharePct  float64
+	TopObjectCount int
+	ZipfExponent   float64
+}
+
+// SummarizeOffline computes the summary.
+func SummarizeOffline(dls []OfflineDownload) OfflineSummary {
+	var s OfflineSummary
+	s.Downloads = len(dls)
+	guids := map[string]bool{}
+	urls := map[string]bool{}
+	countries := map[string]bool{}
+	ases := map[uint32]bool{}
+
+	var nInfra, nP2P, doneInfra, doneP2P, abInfra, abP2P int
+	var bytesAll, bytesP2P, peerBytes, p2pTotal float64
+	var effSum float64
+	var effN int
+	var speedEdge, speedP2P []float64
+	var intra, totalP2P int64
+	perASUp := map[uint32]int64{}
+	perURL := map[string]int{}
+	for i := range dls {
+		d := &dls[i]
+		guids[d.GUID] = true
+		urls[d.URLHash] = true
+		countries[d.Country] = true
+		ases[d.ASN] = true
+		perURL[d.URLHash]++
+		total := d.BytesInfra + d.BytesPeers
+		bytesAll += float64(total)
+		if d.P2PEnabled {
+			nP2P++
+			bytesP2P += float64(total)
+			peerBytes += float64(d.BytesPeers)
+			p2pTotal += float64(total)
+			if total > 0 {
+				effSum += 100 * float64(d.BytesPeers) / float64(total)
+				effN++
+			}
+		} else {
+			nInfra++
+		}
+		switch d.Outcome {
+		case "completed":
+			if d.P2PEnabled {
+				doneP2P++
+			} else {
+				doneInfra++
+			}
+			if dur := d.EndMs - d.StartMs; dur > 0 && total > 0 {
+				mbps := float64(total) * 8 / float64(dur) / 1000
+				if d.BytesPeers == 0 {
+					speedEdge = append(speedEdge, mbps)
+				} else if float64(d.BytesPeers) >= 0.5*float64(total) {
+					speedP2P = append(speedP2P, mbps)
+				}
+			}
+		case "aborted":
+			if d.P2PEnabled {
+				abP2P++
+			} else {
+				abInfra++
+			}
+		}
+		for _, pc := range d.FromPeers {
+			totalP2P += pc.Bytes
+			if pc.ASN == d.ASN {
+				intra += pc.Bytes
+			} else {
+				perASUp[pc.ASN] += pc.Bytes
+			}
+		}
+	}
+	s.DistinctGUIDs = len(guids)
+	s.DistinctURLs = len(urls)
+	s.Countries = len(countries)
+	s.ASes = len(ases)
+	pct := func(a, b int) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * float64(a) / float64(b)
+	}
+	s.CompletionInfraPct = pct(doneInfra, nInfra)
+	s.CompletionP2PPct = pct(doneP2P, nP2P)
+	s.AbortInfraPct = pct(abInfra, nInfra)
+	s.AbortP2PPct = pct(abP2P, nP2P)
+	if bytesAll > 0 {
+		s.PctBytesP2PFiles = 100 * bytesP2P / bytesAll
+	}
+	if effN > 0 {
+		s.MeanPeerEfficiencyPct = effSum / float64(effN)
+	}
+	if p2pTotal > 0 {
+		s.AggregatePeerEfficiencyPct = 100 * peerBytes / p2pTotal
+	}
+	s.MedianSpeedEdgeMbps = Percentile(speedEdge, 50)
+	s.MedianSpeedP2PMbps = Percentile(speedP2P, 50)
+	if t := intra + sumVals(perASUp); t > 0 {
+		s.IntraASPct = 100 * float64(intra) / float64(t)
+	}
+	// Heavy uploaders covering 90% of inter-AS bytes.
+	var ups []int64
+	var upTotal int64
+	for _, b := range perASUp {
+		ups = append(ups, b)
+		upTotal += b
+	}
+	sort.Slice(ups, func(i, j int) bool { return ups[i] > ups[j] })
+	var cum int64
+	for _, b := range ups {
+		if upTotal > 0 && float64(cum) >= 0.9*float64(upTotal) {
+			break
+		}
+		s.HeavyASes++
+		cum += b
+	}
+	if upTotal > 0 {
+		s.HeavySharePct = 100 * float64(cum) / float64(upTotal)
+	}
+	// Popularity head + slope.
+	counts := make([]int, 0, len(perURL))
+	for _, c := range perURL {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if len(counts) > 0 {
+		s.TopObjectCount = counts[0]
+	}
+	s.ZipfExponent = Figure3b{Counts: counts}.PowerLawSlope()
+	return s
+}
+
+func sumVals(m map[uint32]int64) int64 {
+	var t int64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Render prints the summary as text.
+func (s OfflineSummary) Render() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("downloads: %d by %d GUIDs over %d objects (%d countries, %d ASes)",
+		s.Downloads, s.DistinctGUIDs, s.DistinctURLs, s.Countries, s.ASes)
+	w("completion: infra-only %.1f%%, peer-assisted %.1f%% (paper: 94/92)",
+		s.CompletionInfraPct, s.CompletionP2PPct)
+	w("aborted:    infra-only %.1f%%, peer-assisted %.1f%% (paper: 3/8)",
+		s.AbortInfraPct, s.AbortP2PPct)
+	w("p2p-enabled files carry %.1f%% of bytes (paper: 57.4%%)", s.PctBytesP2PFiles)
+	w("peer efficiency: mean %.1f%%, byte-weighted %.1f%% (paper mean: 71.4%%)",
+		s.MeanPeerEfficiencyPct, s.AggregatePeerEfficiencyPct)
+	w("median speed: edge-only %.2f Mbps, >50%%-p2p %.2f Mbps", s.MedianSpeedEdgeMbps, s.MedianSpeedP2PMbps)
+	w("intra-AS p2p share %.1f%%; heavy uploaders: %d ASes carry %.0f%% of inter-AS bytes",
+		s.IntraASPct, s.HeavyASes, s.HeavySharePct)
+	w("popularity: top object %d downloads, fitted Zipf exponent %.2f",
+		s.TopObjectCount, s.ZipfExponent)
+	return b.String()
+}

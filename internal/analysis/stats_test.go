@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.2}, {2.5, 0.4}, {5, 1}, {99, 1},
+	}
+	for _, cse := range cases {
+		if got := c.FractionBelow(cse.x); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("FractionBelow(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if got := c.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+	empty := NewCDF(nil)
+	if empty.FractionBelow(1) != 0 {
+		t.Error("empty CDF should return 0")
+	}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		for i, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				samples[i] = 0
+			}
+		}
+		c := NewCDF(samples)
+		if a > b {
+			a, b = b, a
+		}
+		return c.FractionBelow(a) <= c.FractionBelow(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(xs[i]-want[i])/want[i] > 1e-9 {
+			t.Errorf("LogSpace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	if got := LogSpace(0, 10, 5); len(got) != 2 {
+		t.Error("degenerate LogSpace should return endpoints")
+	}
+}
+
+func TestMeanPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Mean(xs); got != 30 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 30 {
+		t.Errorf("P50 = %v", got)
+	}
+}
+
+func TestBucketizeLog(t *testing.T) {
+	var xs, ys []float64
+	// y = 10 for x in [1,10), y = 90 for x in [100,1000).
+	for i := 0; i < 50; i++ {
+		xs = append(xs, 2)
+		ys = append(ys, 10)
+		xs = append(xs, 500)
+		ys = append(ys, 90)
+	}
+	buckets := BucketizeLog(xs, ys, 1, 1000, 3)
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(buckets))
+	}
+	if buckets[0].Mean != 10 || buckets[1].Mean != 90 {
+		t.Errorf("bucket means %v / %v", buckets[0].Mean, buckets[1].Mean)
+	}
+	if buckets[0].N != 50 || buckets[1].N != 50 {
+		t.Errorf("bucket counts %d / %d", buckets[0].N, buckets[1].N)
+	}
+	if BucketizeLog(xs, ys[:1], 1, 1000, 3) != nil {
+		t.Error("mismatched lengths should return nil")
+	}
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+
+	"netsession/internal/content"
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/trace"
+)
+
+// Table1 is the overall statistics of the data set (paper Table 1).
+type Table1 struct {
+	LogEntries          int
+	GUIDs               int
+	ControlPlaneServers int
+	DistinctURLs        int
+	DistinctIPs         int
+	DownloadsInitiated  int
+	DistinctLocations   int
+	DistinctASes        int
+	DistinctCountries   int
+}
+
+// ComputeTable1 derives Table 1 from the logs.
+func ComputeTable1(in *Input) Table1 {
+	guids := make(map[id.GUID]bool)
+	ips := make(map[netip.Addr]bool)
+	urls := make(map[string]bool)
+	locs := make(map[geo.LocationID]bool)
+	ases := make(map[geo.ASN]bool)
+	countries := make(map[geo.CountryCode]bool)
+	note := func(ip netip.Addr) {
+		if !ip.IsValid() {
+			return
+		}
+		ips[ip] = true
+		if rec, ok := in.lookup(ip); ok {
+			locs[rec.Location] = true
+			ases[rec.ASN] = true
+			countries[rec.Country] = true
+		}
+	}
+	for i := range in.Log.Logins {
+		l := &in.Log.Logins[i]
+		guids[l.GUID] = true
+		note(l.IP)
+	}
+	for i := range in.Log.Downloads {
+		d := &in.Log.Downloads[i]
+		guids[d.GUID] = true
+		urls[d.URLHash] = true
+		note(d.IP)
+		for _, pc := range d.FromPeers {
+			note(pc.IP)
+		}
+	}
+	return Table1{
+		LogEntries:          in.Log.Entries(),
+		GUIDs:               len(guids),
+		ControlPlaneServers: in.ControlPlaneServers,
+		DistinctURLs:        len(urls),
+		DistinctIPs:         len(ips),
+		DownloadsInitiated:  len(in.Log.Downloads),
+		DistinctLocations:   len(locs),
+		DistinctASes:        len(ases),
+		DistinctCountries:   len(countries),
+	}
+}
+
+// Table2Row is one customer's regional download distribution in percent.
+type Table2Row struct {
+	Customer string
+	Share    map[geo.ReportRegion]float64
+	Total    int
+}
+
+// ComputeTable2 reproduces Table 2: the global distribution of downloads
+// for the ten largest content providers, plus the all-customers row.
+func ComputeTable2(in *Input) []Table2Row {
+	counts := make(map[content.CPCode]map[geo.ReportRegion]int)
+	totals := make(map[content.CPCode]int)
+	allRegion := make(map[geo.ReportRegion]int)
+	allTotal := 0
+	for i := range in.Log.Downloads {
+		d := &in.Log.Downloads[i]
+		region, ok := in.reportRegion(d.IP)
+		if !ok {
+			continue
+		}
+		if counts[d.CP] == nil {
+			counts[d.CP] = make(map[geo.ReportRegion]int)
+		}
+		counts[d.CP][region]++
+		totals[d.CP]++
+		allRegion[region]++
+		allTotal++
+	}
+	var out []Table2Row
+	for _, cust := range trace.Customers {
+		row := Table2Row{Customer: cust.Name, Share: make(map[geo.ReportRegion]float64), Total: totals[cust.CP]}
+		for _, reg := range geo.ReportRegions {
+			if t := totals[cust.CP]; t > 0 {
+				row.Share[reg] = 100 * float64(counts[cust.CP][reg]) / float64(t)
+			}
+		}
+		out = append(out, row)
+	}
+	all := Table2Row{Customer: "All customers", Share: make(map[geo.ReportRegion]float64), Total: allTotal}
+	for _, reg := range geo.ReportRegions {
+		if allTotal > 0 {
+			all.Share[reg] = 100 * float64(allRegion[reg]) / float64(allTotal)
+		}
+	}
+	return append(out, all)
+}
+
+// Table3 reports observed changes to the upload-enable setting, split by
+// the initial value (paper Table 3).
+type Table3 struct {
+	// Rows indexed by initial setting: false = "Disabled", true =
+	// "Enabled".
+	Rows map[bool]Table3Row
+}
+
+// Table3Row is one initial-setting cohort.
+type Table3Row struct {
+	Nodes      int
+	PctZero    float64
+	PctOne     float64
+	PctTwoPlus float64
+}
+
+// ComputeTable3 counts setting changes between consecutive logins per GUID.
+func ComputeTable3(in *Input) Table3 {
+	type state struct {
+		first, last bool
+		changes     int
+		seen        bool
+	}
+	// Logins are time-sorted by construction; track per GUID.
+	st := make(map[id.GUID]*state)
+	for i := range in.Log.Logins {
+		l := &in.Log.Logins[i]
+		s := st[l.GUID]
+		if s == nil {
+			st[l.GUID] = &state{first: l.UploadsEnabled, last: l.UploadsEnabled, seen: true}
+			continue
+		}
+		if l.UploadsEnabled != s.last {
+			s.changes++
+			s.last = l.UploadsEnabled
+		}
+	}
+	counts := map[bool][3]int{}
+	nodes := map[bool]int{}
+	for _, s := range st {
+		c := counts[s.first]
+		switch {
+		case s.changes == 0:
+			c[0]++
+		case s.changes == 1:
+			c[1]++
+		default:
+			c[2]++
+		}
+		counts[s.first] = c
+		nodes[s.first]++
+	}
+	out := Table3{Rows: make(map[bool]Table3Row)}
+	for _, init := range []bool{false, true} {
+		n := nodes[init]
+		row := Table3Row{Nodes: n}
+		if n > 0 {
+			c := counts[init]
+			row.PctZero = 100 * float64(c[0]) / float64(n)
+			row.PctOne = 100 * float64(c[1]) / float64(n)
+			row.PctTwoPlus = 100 * float64(c[2]) / float64(n)
+		}
+		out.Rows[init] = row
+	}
+	return out
+}
+
+// Table4Row is one customer's fraction of upload-enabled peers.
+type Table4Row struct {
+	Customer   string
+	PctEnabled float64
+	Peers      int
+}
+
+// ComputeTable4 reproduces Table 4: the fraction of peers with content
+// uploads enabled, grouped by the provider whose bundle installed the
+// client.
+func ComputeTable4(in *Input) []Table4Row {
+	// Current setting per GUID: the last login wins.
+	last := make(map[id.GUID]bool)
+	for i := range in.Log.Logins {
+		l := &in.Log.Logins[i]
+		last[l.GUID] = l.UploadsEnabled
+	}
+	enabled := make(map[content.CPCode]int)
+	total := make(map[content.CPCode]int)
+	for _, p := range in.Pop.Peers {
+		en, seen := last[p.GUID]
+		if !seen {
+			en = p.UploadsEnabledAtInstall
+		}
+		total[p.InstallCP]++
+		if en {
+			enabled[p.InstallCP]++
+		}
+	}
+	var out []Table4Row
+	for _, cust := range trace.Customers {
+		row := Table4Row{Customer: cust.Name, Peers: total[cust.CP]}
+		if row.Peers > 0 {
+			row.PctEnabled = 100 * float64(enabled[cust.CP]) / float64(row.Peers)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Customer < out[j].Customer })
+	return out
+}

@@ -1,0 +1,299 @@
+package controlplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"netsession/internal/accounting"
+	"netsession/internal/content"
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+	"netsession/internal/selection"
+)
+
+func wallNowMs() int64 { return time.Now().UnixMilli() }
+
+// CN is a connection node: it terminates the persistent TCP control
+// connections of its peers, answers their object queries via the local DN,
+// relays connect-to instructions, and collects usage statistics (§3.6). In
+// production "over 150,000 might be connected to one simultaneously".
+type CN struct {
+	cp *ControlPlane
+	ln net.Listener
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[*session]bool
+}
+
+// session is one peer's control connection.
+type session struct {
+	cn   *CN
+	conn net.Conn
+
+	guid   id.GUID
+	rec    geo.Record
+	region geo.NetworkRegion
+	info   protocol.PeerInfo // swarm contact details
+	// uploadsEnabled mirrors the peer's preference; registrations are only
+	// accepted while it is set (§3.6).
+	uploadsEnabled bool
+
+	wmu sync.Mutex
+}
+
+func startCN(cp *ControlPlane, addr string) (*CN, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: CN listen: %w", err)
+	}
+	cn := &CN{cp: cp, ln: ln, sessions: make(map[*session]bool)}
+	go cn.acceptLoop()
+	return cn, nil
+}
+
+// Addr returns the CN's listen address.
+func (cn *CN) Addr() string { return cn.ln.Addr().String() }
+
+// Close stops the CN and drops its sessions; peers reconnect to another CN
+// (§3.8: "If a CN goes down, the peers that are connected to that CN simply
+// reconnect to another one").
+func (cn *CN) Close() {
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return
+	}
+	cn.closed = true
+	sessions := make([]*session, 0, len(cn.sessions))
+	for s := range cn.sessions {
+		sessions = append(sessions, s)
+	}
+	cn.mu.Unlock()
+	cn.ln.Close()
+	for _, s := range sessions {
+		s.closeConn()
+	}
+}
+
+func (cn *CN) acceptLoop() {
+	for {
+		conn, err := cn.ln.Accept()
+		if err != nil {
+			return
+		}
+		go cn.serveConn(conn)
+	}
+}
+
+// SessionCount returns the live sessions on this CN.
+func (cn *CN) SessionCount() int {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return len(cn.sessions)
+}
+
+func (cn *CN) serveConn(conn net.Conn) {
+	defer conn.Close()
+	// The first frame must be a Login.
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	msg, err := protocol.ReadMessage(conn)
+	if err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	login, ok := msg.(*protocol.Login)
+	if !ok {
+		return
+	}
+
+	s := &session{cn: cn, conn: conn}
+	// Shed load when over capacity, telling the peer when to retry; this
+	// is the rate-limited reconnection of §3.8.
+	cn.mu.Lock()
+	over := cn.cp.cfg.MaxSessionsPerCN > 0 && len(cn.sessions) >= cn.cp.cfg.MaxSessionsPerCN
+	if !over && !cn.closed {
+		cn.sessions[s] = true
+	}
+	cn.mu.Unlock()
+	if over {
+		s.send(&protocol.LoginAck{OK: false, RetryAfterMs: 5000})
+		return
+	}
+	defer func() {
+		cn.mu.Lock()
+		delete(cn.sessions, s)
+		cn.mu.Unlock()
+		cn.cp.unregister(s)
+	}()
+
+	s.guid = login.GUID
+	s.rec = cn.cp.locate(login.DeclaredIP)
+	s.region = geo.RegionOf(s.rec)
+	s.uploadsEnabled = login.UploadsEnabled
+	s.info = protocol.PeerInfo{
+		GUID:     login.GUID,
+		Addr:     login.SwarmAddr,
+		NAT:      login.NAT,
+		ASN:      uint32(s.rec.ASN),
+		Location: uint32(s.rec.Location),
+	}
+	cn.cp.register(s)
+	cn.cp.Collector().AddLogin(accounting.LoginRecord{
+		TimeMs:          cn.cp.now(),
+		GUID:            login.GUID,
+		IP:              s.rec.IP,
+		SoftwareVersion: login.SoftwareVersion,
+		UploadsEnabled:  login.UploadsEnabled,
+		Secondaries:     login.Secondaries,
+	})
+	cc := cn.cp.cfg.ClientConfig
+	s.send(&protocol.LoginAck{OK: true, ConfigEpoch: 1})
+	s.send(&protocol.ConfigUpdate{
+		Epoch:              1,
+		MaxUploadConns:     uint16(cc.MaxUploadConns),
+		PerObjectUploadCap: uint16(cc.PerObjectUploadCap),
+		UploadRateBps:      uint64(cc.UploadRateBps),
+		CacheTTLSec:        uint32(cc.CacheTTLSec),
+		TargetVersion:      cc.TargetVersion,
+	})
+
+	for {
+		// Healthy clients ping every 30s; a five-minute silence means the
+		// peer is gone and the session's soft state should be released.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
+		msg, err := protocol.ReadMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Protocol violation or abrupt drop; either way the
+				// session ends and soft state covers the rest.
+				return
+			}
+			return
+		}
+		cn.handle(s, msg)
+	}
+}
+
+func (cn *CN) handle(s *session, msg protocol.Message) {
+	switch m := msg.(type) {
+	case *protocol.Query:
+		cn.handleQuery(s, m)
+	case *protocol.Register:
+		cn.handleRegister(s, m)
+	case *protocol.Unregister:
+		cn.dn(s).Directory().Unregister(m.Object, s.guid)
+	case *protocol.ReAddReply:
+		for _, e := range m.Entries {
+			cn.handleRegister(s, &protocol.Register{
+				Object: e.Object, NumPieces: e.NumPieces,
+				HaveCount: e.HaveCount, Complete: e.Complete,
+			})
+		}
+	case *protocol.StatsReport:
+		cn.handleStats(s, m)
+	case *protocol.Ping:
+		s.send(&protocol.Pong{Nonce: m.Nonce})
+	default:
+		// Unknown-but-valid frames are ignored for forward compatibility.
+	}
+}
+
+func (cn *CN) dn(s *session) *DN { return cn.cp.DN(s.region) }
+
+func (cn *CN) handleQuery(s *session, q *protocol.Query) {
+	// The search token was minted by an edge server at authorization time;
+	// an invalid or non-p2p token cannot search for peers (§3.5).
+	claims, err := cn.cp.cfg.Minter.Verify(q.Token, cn.cp.now())
+	if err != nil || claims.Object != q.Object || claims.GUID != s.guid || !claims.P2P {
+		s.send(&protocol.QueryResult{Object: q.Object, Err: "unauthorized"})
+		return
+	}
+	dir := cn.dn(s).Directory()
+	peers := dir.Select(cn.cp.cfg.Policy, selection.Query{
+		Object:        q.Object,
+		Requester:     s.rec,
+		RequesterGUID: s.guid,
+		RequesterNAT:  s.info.NAT,
+		NowMs:         cn.cp.now(),
+		Max:           int(q.MaxPeers),
+		Rand:          newSelectionRand(s.guid, q.Object),
+	})
+	s.send(&protocol.QueryResult{Object: q.Object, Peers: peers})
+	// Instruct the chosen peers to initiate connections to the querier as
+	// well, which is what lets NAT hole punching succeed (§3.7).
+	for _, p := range peers {
+		if up := cn.cp.lookupSession(p.GUID); up != nil {
+			up.send(&protocol.ConnectTo{Object: q.Object, Peer: s.info})
+		}
+	}
+}
+
+func (cn *CN) handleRegister(s *session, m *protocol.Register) {
+	if !s.uploadsEnabled {
+		return // peers appear in the database only with uploads enabled (§3.6)
+	}
+	cn.dn(s).Register(m.Object, selection.Entry{
+		Info:         s.info,
+		Rec:          s.rec,
+		Complete:     m.Complete,
+		RegisteredMs: cn.cp.now(),
+	}, cn.cp.now())
+}
+
+func (cn *CN) handleStats(s *session, m *protocol.StatsReport) {
+	rec := accounting.DownloadRecord{
+		GUID:          s.guid,
+		IP:            s.rec.IP,
+		Object:        m.Object,
+		URLHash:       m.URLHash,
+		CP:            content.CPCode(m.CP),
+		Size:          int64(m.Size),
+		StartMs:       m.StartUnixMs,
+		EndMs:         m.EndUnixMs,
+		BytesInfra:    int64(m.BytesInfra),
+		BytesPeers:    int64(m.BytesPeers),
+		Outcome:       m.Outcome,
+		PeersReturned: int(m.PeersReturned),
+	}
+	for _, pb := range m.FromPeers {
+		pc := accounting.PeerContribution{GUID: pb.GUID, Bytes: int64(pb.Bytes)}
+		if up := cn.cp.lookupSession(pb.GUID); up != nil {
+			pc.IP = up.rec.IP
+		}
+		rec.FromPeers = append(rec.FromPeers, pc)
+	}
+	// Attribute p2p enablement from the token when possible.
+	if claims, err := cn.cp.cfg.Minter.Verify(m.Token, 0); err == nil && claims.Object == m.Object {
+		rec.P2PEnabled = claims.P2P
+	}
+	// Verification failures are dropped silently here; the collector
+	// counts them and operators watch the monitor.
+	_ = cn.cp.Collector().AddDownload(rec)
+}
+
+func (s *session) send(m protocol.Message) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if err := protocol.WriteMessage(s.conn, m); err != nil {
+		s.conn.Close()
+	}
+}
+
+func (s *session) closeConn() { s.conn.Close() }
+
+// newSelectionRand derives a deterministic randomness source for one query,
+// so diversity picks are reproducible given (peer, object) — useful both for
+// debugging and for the deterministic simulator.
+func newSelectionRand(g id.GUID, obj content.ObjectID) *rand.Rand {
+	seed := int64(binary.BigEndian.Uint64(g[:8]) ^ binary.BigEndian.Uint64(obj[:8]))
+	return rand.New(rand.NewSource(seed))
+}

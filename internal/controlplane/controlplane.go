@@ -1,0 +1,213 @@
+// Package controlplane implements the NetSession control plane (§3.6): the
+// connection nodes (CNs) that terminate the peers' persistent TCP control
+// connections, the database nodes (DNs) that hold the object→peer directory,
+// the monitoring nodes that ingest operational reports, and the composition
+// that wires them together with region-local routing, soft-state recovery
+// (RE-ADD, §3.8) and rate-limited reconnection.
+package controlplane
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"netsession/internal/accounting"
+	"netsession/internal/edge"
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+	"netsession/internal/selection"
+)
+
+// Config assembles a control plane.
+type Config struct {
+	// Scape resolves declared peer IPs to (location, AS) for region routing
+	// and selection locality.
+	Scape *geo.EdgeScape
+	// Minter verifies the edge-issued search tokens peers present on
+	// queries.
+	Minter *edge.TokenMinter
+	// Collector receives usage records.
+	Collector *accounting.Collector
+	// Policy is the peer-selection policy.
+	Policy selection.Policy
+	// ClientConfig is pushed to peers on login.
+	ClientConfig edge.ClientConfig
+	// MaxSessionsPerCN sheds logins beyond this with a retry-after, the
+	// §3.8 rate-limited recovery. Zero means unlimited.
+	MaxSessionsPerCN int
+	// NowMs supplies time; the simulator injects a virtual clock. Nil uses
+	// wall clock.
+	NowMs func() int64
+}
+
+// ControlPlane is the assembled control plane: one DN (directory) per
+// network region plus any number of CNs, sharing a global session registry
+// used to route connect-to instructions between peers on different CNs
+// ("The CN/DN system is interconnected across regions", §3.7).
+type ControlPlane struct {
+	cfg Config
+
+	dns [geo.NumRegions]*DN
+
+	mu       sync.Mutex
+	cns      []*CN
+	sessions map[id.GUID]*session
+	epoch    uint32
+}
+
+// New creates a control plane with one DN per region and no CNs yet.
+func New(cfg Config) (*ControlPlane, error) {
+	if cfg.Scape == nil {
+		return nil, fmt.Errorf("controlplane: Config.Scape is required")
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = accounting.NewCollector(nil)
+	}
+	if cfg.Policy.MaxPeers == 0 {
+		cfg.Policy = selection.DefaultPolicy()
+	}
+	cp := &ControlPlane{cfg: cfg, sessions: make(map[id.GUID]*session)}
+	for r := 0; r < geo.NumRegions; r++ {
+		cp.dns[r] = NewDN(geo.NetworkRegion(r), cfg.Collector)
+	}
+	return cp, nil
+}
+
+// DN returns the database node serving a region.
+func (cp *ControlPlane) DN(r geo.NetworkRegion) *DN { return cp.dns[int(r)] }
+
+// Collector returns the accounting collector.
+func (cp *ControlPlane) Collector() *accounting.Collector { return cp.cfg.Collector }
+
+// StartCN starts a connection node listening on addr and returns it.
+func (cp *ControlPlane) StartCN(addr string) (*CN, error) {
+	cn, err := startCN(cp, addr)
+	if err != nil {
+		return nil, err
+	}
+	cp.mu.Lock()
+	cp.cns = append(cp.cns, cn)
+	cp.mu.Unlock()
+	return cn, nil
+}
+
+// Close shuts down all CNs.
+func (cp *ControlPlane) Close() {
+	cp.mu.Lock()
+	cns := append([]*CN(nil), cp.cns...)
+	cp.mu.Unlock()
+	for _, cn := range cns {
+		cn.Close()
+	}
+}
+
+// StartJanitor begins periodic soft-state expiry across all DNs: entries
+// older than ttlMs are purged every interval. Returns a stop function.
+// Expiry is safe because the directory's contents are reconstructible from
+// the peers themselves (§3.8).
+func (cp *ControlPlane) StartJanitor(interval time.Duration, ttlMs int64) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				now := cp.now()
+				for _, dn := range cp.dns {
+					dn.dir.Expire(now, ttlMs)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// FailDN simulates the loss of the DN for one region: its database is
+// cleared and every connected peer in the region is asked to RE-ADD its
+// object list (§3.8).
+func (cp *ControlPlane) FailDN(r geo.NetworkRegion) {
+	cp.dns[int(r)].dir.Clear()
+	cp.mu.Lock()
+	var toAsk []*session
+	for _, s := range cp.sessions {
+		if s.region == r {
+			toAsk = append(toAsk, s)
+		}
+	}
+	cp.mu.Unlock()
+	for _, s := range toAsk {
+		s.send(&protocol.ReAdd{})
+	}
+}
+
+// SessionCount returns the number of live peer sessions.
+func (cp *ControlPlane) SessionCount() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.sessions)
+}
+
+// Connected reports whether a peer currently holds a control connection.
+func (cp *ControlPlane) Connected(g id.GUID) bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	_, ok := cp.sessions[g]
+	return ok
+}
+
+func (cp *ControlPlane) now() int64 {
+	if cp.cfg.NowMs != nil {
+		return cp.cfg.NowMs()
+	}
+	return wallNowMs()
+}
+
+// register tracks a new session, replacing any stale session of the same
+// GUID (e.g. after an abrupt reconnect).
+func (cp *ControlPlane) register(s *session) {
+	cp.mu.Lock()
+	old := cp.sessions[s.guid]
+	cp.sessions[s.guid] = s
+	cp.mu.Unlock()
+	if old != nil && old != s {
+		old.closeConn()
+	}
+}
+
+func (cp *ControlPlane) unregister(s *session) {
+	cp.mu.Lock()
+	if cp.sessions[s.guid] == s {
+		delete(cp.sessions, s.guid)
+	}
+	cp.mu.Unlock()
+	// Departing peers leave the directory; their registrations are soft
+	// state that they will re-announce on reconnect.
+	cp.dns[int(s.region)].dir.DropPeer(s.guid)
+}
+
+// lookupSession finds a live session by GUID across all CNs.
+func (cp *ControlPlane) lookupSession(g id.GUID) *session {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.sessions[g]
+}
+
+// locate resolves a login to its geo record. Unknown declared IPs fall back
+// to a zero record in region 0 (live smoke tests without a synthetic
+// identity).
+func (cp *ControlPlane) locate(declaredIP string) geo.Record {
+	if declaredIP != "" {
+		if ip, err := netip.ParseAddr(declaredIP); err == nil {
+			if rec, ok := cp.cfg.Scape.Lookup(ip); ok {
+				return rec
+			}
+		}
+	}
+	return geo.Record{}
+}

@@ -1,0 +1,431 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"netsession/internal/accounting"
+	"netsession/internal/content"
+	"netsession/internal/edge"
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+)
+
+// harness wires a control plane with one CN over a small atlas.
+type harness struct {
+	t      *testing.T
+	atlas  *geo.Atlas
+	scape  *geo.EdgeScape
+	minter *edge.TokenMinter
+	cp     *ControlPlane
+	cn     *CN
+}
+
+func newHarness(t *testing.T, mutate func(*Config)) *harness {
+	t.Helper()
+	acfg := geo.DefaultAtlasConfig()
+	acfg.TailCountries = 2
+	atlas := geo.GenerateAtlas(acfg)
+	scape := geo.NewEdgeScape(atlas)
+	minter := edge.NewTokenMinter([]byte("cp-test-key"))
+	cfg := Config{
+		Scape:        scape,
+		Minter:       minter,
+		Collector:    accounting.NewCollector(nil),
+		ClientConfig: edge.DefaultClientConfig(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := cp.StartCN("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cp.Close)
+	return &harness{t: t, atlas: atlas, scape: scape, minter: minter, cp: cp, cn: cn}
+}
+
+// rawPeer is a minimal protocol-level client for driving the CN directly.
+type rawPeer struct {
+	t    *testing.T
+	conn net.Conn
+	guid id.GUID
+	rec  geo.Record
+	// incoming delivers every message read from the CN.
+	incoming chan protocol.Message
+}
+
+func (h *harness) allocRecord(country geo.CountryCode) geo.Record {
+	h.t.Helper()
+	c, ok := h.atlas.Country(country)
+	if !ok {
+		h.t.Fatalf("unknown country %s", country)
+	}
+	ip, err := h.scape.AllocateIP(c.ASNs[0], c.Locations[0])
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return h.scape.MustLookup(ip)
+}
+
+func (h *harness) dialPeer(country geo.CountryCode, uploadsEnabled bool) *rawPeer {
+	h.t.Helper()
+	rec := h.allocRecord(country)
+	conn, err := net.Dial("tcp", h.cn.Addr())
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	p := &rawPeer{
+		t: h.t, conn: conn, guid: id.NewGUID(), rec: rec,
+		incoming: make(chan protocol.Message, 64),
+	}
+	h.t.Cleanup(func() { conn.Close() })
+	err = protocol.WriteMessage(conn, &protocol.Login{
+		GUID:            p.guid,
+		SoftwareVersion: "test-1",
+		UploadsEnabled:  uploadsEnabled,
+		SwarmAddr:       "127.0.0.1:9",
+		NAT:             protocol.NATNone,
+		DeclaredIP:      rec.IP.String(),
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	go func() {
+		for {
+			m, err := protocol.ReadMessage(conn)
+			if err != nil {
+				close(p.incoming)
+				return
+			}
+			p.incoming <- m
+		}
+	}()
+	return p
+}
+
+// expect reads messages until one of the wanted type arrives.
+func expect[T protocol.Message](p *rawPeer) T {
+	p.t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m, ok := <-p.incoming:
+			if !ok {
+				p.t.Fatalf("connection closed waiting for %T", *new(T))
+			}
+			if want, ok := m.(T); ok {
+				return want
+			}
+		case <-deadline:
+			p.t.Fatalf("timeout waiting for %T", *new(T))
+		}
+	}
+}
+
+func (p *rawPeer) send(m protocol.Message) {
+	p.t.Helper()
+	if err := protocol.WriteMessage(p.conn, m); err != nil {
+		p.t.Fatal(err)
+	}
+}
+
+func (h *harness) token(g id.GUID, oid content.ObjectID, p2p bool) []byte {
+	return h.minter.Mint(edge.Claims{
+		GUID: g, Object: oid,
+		ExpiresMs: time.Now().UnixMilli() + 60_000, P2P: p2p,
+	})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestLoginRecordsAndSession(t *testing.T) {
+	h := newHarness(t, nil)
+	p := h.dialPeer("US", true)
+	ack := expect[*protocol.LoginAck](p)
+	if !ack.OK {
+		t.Fatal("login rejected")
+	}
+	cfg := expect[*protocol.ConfigUpdate](p)
+	if cfg.MaxUploadConns == 0 {
+		t.Error("config update missing upload connection limit")
+	}
+	waitFor(t, "session registration", func() bool { return h.cp.Connected(p.guid) })
+	log := h.cp.Collector().Snapshot()
+	if len(log.Logins) != 1 {
+		t.Fatalf("%d login records, want 1", len(log.Logins))
+	}
+	if log.Logins[0].IP != p.rec.IP {
+		t.Errorf("login record IP %v, want declared %v", log.Logins[0].IP, p.rec.IP)
+	}
+	// Ping/pong liveness.
+	p.send(&protocol.Ping{Nonce: 99})
+	if pong := expect[*protocol.Pong](p); pong.Nonce != 99 {
+		t.Error("pong nonce mismatch")
+	}
+}
+
+func TestRegisterQueryConnectTo(t *testing.T) {
+	h := newHarness(t, nil)
+	oid := content.NewObjectID(7, "file", 1)
+
+	up := h.dialPeer("US", true)
+	expect[*protocol.LoginAck](up)
+	up.send(&protocol.Register{Object: oid, NumPieces: 10, HaveCount: 10, Complete: true})
+
+	region := geo.RegionOf(up.rec)
+	waitFor(t, "registration", func() bool { return h.cp.DN(region).Copies(oid) == 1 })
+
+	down := h.dialPeer("US", false)
+	expect[*protocol.LoginAck](down)
+	down.send(&protocol.Query{Object: oid, Token: h.token(down.guid, oid, true), MaxPeers: 40})
+	qr := expect[*protocol.QueryResult](down)
+	if qr.Err != "" {
+		t.Fatalf("query error: %s", qr.Err)
+	}
+	if len(qr.Peers) != 1 || qr.Peers[0].GUID != up.guid {
+		t.Fatalf("query returned %d peers, want the uploader", len(qr.Peers))
+	}
+	// The uploader is instructed to connect back to the downloader.
+	ct := expect[*protocol.ConnectTo](up)
+	if ct.Object != oid || ct.Peer.GUID != down.guid {
+		t.Error("connect-to does not target the downloader")
+	}
+}
+
+func TestQueryAuthorization(t *testing.T) {
+	h := newHarness(t, nil)
+	oid := content.NewObjectID(7, "file", 1)
+	p := h.dialPeer("US", false)
+	expect[*protocol.LoginAck](p)
+
+	// Garbage token.
+	p.send(&protocol.Query{Object: oid, Token: []byte("junk"), MaxPeers: 10})
+	if qr := expect[*protocol.QueryResult](p); qr.Err == "" {
+		t.Error("garbage token accepted")
+	}
+	// Valid token for the wrong object.
+	other := content.NewObjectID(7, "other", 1)
+	p.send(&protocol.Query{Object: oid, Token: h.token(p.guid, other, true), MaxPeers: 10})
+	if qr := expect[*protocol.QueryResult](p); qr.Err == "" {
+		t.Error("wrong-object token accepted")
+	}
+	// Token minted for a different peer.
+	p.send(&protocol.Query{Object: oid, Token: h.token(id.NewGUID(), oid, true), MaxPeers: 10})
+	if qr := expect[*protocol.QueryResult](p); qr.Err == "" {
+		t.Error("stolen token accepted")
+	}
+	// Token without the p2p bit (provider disabled peer delivery).
+	p.send(&protocol.Query{Object: oid, Token: h.token(p.guid, oid, false), MaxPeers: 10})
+	if qr := expect[*protocol.QueryResult](p); qr.Err == "" {
+		t.Error("non-p2p token accepted for peer search")
+	}
+}
+
+func TestRegisterRequiresUploadsEnabled(t *testing.T) {
+	h := newHarness(t, nil)
+	oid := content.NewObjectID(7, "file", 1)
+	p := h.dialPeer("US", false) // uploads disabled
+	expect[*protocol.LoginAck](p)
+	p.send(&protocol.Register{Object: oid, NumPieces: 1, HaveCount: 1, Complete: true})
+	time.Sleep(100 * time.Millisecond)
+	if got := h.cp.DN(geo.RegionOf(p.rec)).Copies(oid); got != 0 {
+		t.Fatalf("upload-disabled peer registered: copies=%d", got)
+	}
+}
+
+func TestReAddAfterDNFailure(t *testing.T) {
+	h := newHarness(t, nil)
+	oid := content.NewObjectID(7, "file", 1)
+	p := h.dialPeer("US", true)
+	expect[*protocol.LoginAck](p)
+	p.send(&protocol.Register{Object: oid, NumPieces: 4, HaveCount: 4, Complete: true})
+	region := geo.RegionOf(p.rec)
+	waitFor(t, "registration", func() bool { return h.cp.DN(region).Copies(oid) == 1 })
+
+	h.cp.FailDN(region)
+	if h.cp.DN(region).Copies(oid) != 0 {
+		t.Fatal("DN failure did not clear the directory")
+	}
+	// The peer receives RE-ADD and answers with its object list.
+	expect[*protocol.ReAdd](p)
+	p.send(&protocol.ReAddReply{Entries: []protocol.ReAddEntry{
+		{Object: oid, NumPieces: 4, HaveCount: 4, Complete: true},
+	}})
+	waitFor(t, "directory repopulation", func() bool { return h.cp.DN(region).Copies(oid) == 1 })
+}
+
+func TestSessionSheddingWhenOverloaded(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.MaxSessionsPerCN = 1 })
+	p1 := h.dialPeer("US", true)
+	if ack := expect[*protocol.LoginAck](p1); !ack.OK {
+		t.Fatal("first login rejected")
+	}
+	p2 := h.dialPeer("US", true)
+	ack := expect[*protocol.LoginAck](p2)
+	if ack.OK {
+		t.Fatal("overload login accepted")
+	}
+	if ack.RetryAfterMs == 0 {
+		t.Error("shed login lacks retry-after")
+	}
+}
+
+func TestSessionReplacedOnReconnect(t *testing.T) {
+	h := newHarness(t, nil)
+	p1 := h.dialPeer("US", true)
+	expect[*protocol.LoginAck](p1)
+	waitFor(t, "session", func() bool { return h.cp.SessionCount() == 1 })
+
+	// Same GUID reconnects (e.g. after a network blip the old socket is
+	// still lingering); the new session replaces the old.
+	conn, err := net.Dial("tcp", h.cn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	err = protocol.WriteMessage(conn, &protocol.Login{
+		GUID: p1.guid, SwarmAddr: "127.0.0.1:10", DeclaredIP: p1.rec.IP.String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "old session replaced", func() bool {
+		_, ok := <-p1.incoming // drained until closed
+		return !ok
+	})
+	if h.cp.SessionCount() != 1 {
+		t.Fatalf("SessionCount=%d, want 1", h.cp.SessionCount())
+	}
+}
+
+func TestStatsVerificationFiltersForgedReports(t *testing.T) {
+	ledger := edge.NewLedger()
+	var collector *accounting.Collector
+	h := newHarness(t, func(c *Config) {
+		collector = accounting.NewCollector(&accounting.LedgerVerifier{Edge: ledger})
+		c.Collector = collector
+	})
+	oid := content.NewObjectID(7, "file", 1)
+	p := h.dialPeer("US", true)
+	expect[*protocol.LoginAck](p)
+
+	// Forged: never authorized by the edge.
+	p.send(&protocol.StatsReport{Object: oid, CP: 7, Size: 100, BytesInfra: 100})
+	time.Sleep(100 * time.Millisecond)
+	if got := collector.Rejected(); got != 1 {
+		t.Fatalf("Rejected=%d, want 1", got)
+	}
+
+	// Legitimate: authorized, and claimed infra bytes within what the edge
+	// served.
+	ledger.RecordAuthorization(p.guid, oid)
+	ledger.RecordServed(p.guid, oid, 1000)
+	p.send(&protocol.StatsReport{Object: oid, CP: 7, Size: 1000, BytesInfra: 900,
+		Token: h.token(p.guid, oid, true)})
+	waitFor(t, "accepted report", func() bool {
+		return len(collector.Snapshot().Downloads) == 1
+	})
+	rec := collector.Snapshot().Downloads[0]
+	if !rec.P2PEnabled {
+		t.Error("p2p flag not recovered from token")
+	}
+	if rec.IP != p.rec.IP {
+		t.Error("download record not attributed to declared IP")
+	}
+
+	// Inflated: claims more infra bytes than the edge served.
+	p.send(&protocol.StatsReport{Object: oid, CP: 7, Size: 1e9,
+		BytesInfra: 1 << 40, Token: h.token(p.guid, oid, true)})
+	waitFor(t, "second rejection", func() bool { return collector.Rejected() == 2 })
+}
+
+func TestMonitorIngestAndHTTP(t *testing.T) {
+	m := NewMonitor(4)
+	if err := m.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 6; i++ {
+		m.Ingest(Report{TimeMs: int64(i), GUID: "g", Kind: "crash", Detail: "x"})
+	}
+	if m.Count("crash") != 6 {
+		t.Fatalf("Count=%d, want 6", m.Count("crash"))
+	}
+	if got := len(m.Recent()); got != 4 {
+		t.Fatalf("ring kept %d, want 4", got)
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	h := newHarness(t, nil)
+	oid := content.NewObjectID(5, "s", 1)
+	p := h.dialPeer("US", true)
+	expect[*protocol.LoginAck](p)
+	p.send(&protocol.Register{Object: oid, NumPieces: 1, HaveCount: 1, Complete: true})
+	waitFor(t, "registration", func() bool {
+		return h.cp.DN(geo.RegionOf(p.rec)).Copies(oid) == 1
+	})
+
+	st := h.cp.Status()
+	if st.Sessions != 1 || st.CNs != 1 {
+		t.Errorf("sessions=%d cns=%d", st.Sessions, st.CNs)
+	}
+	total := 0
+	for _, r := range st.Regions {
+		total += r.Objects
+	}
+	if total != 1 {
+		t.Errorf("directory objects=%d, want 1", total)
+	}
+	// And over HTTP via the handler.
+	srv := httptest.NewServer(h.cp.StatusHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got Status
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sessions != 1 {
+		t.Errorf("HTTP status sessions=%d", got.Sessions)
+	}
+}
+
+func TestMonitorAlerts(t *testing.T) {
+	m := NewMonitor(16)
+	m.SetAlertThreshold("crash", 3)
+	for i := 0; i < 5; i++ {
+		m.Ingest(Report{Kind: "crash"})
+	}
+	m.Ingest(Report{Kind: "other"})
+	alerts := m.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want exactly 1 (raised once at threshold)", len(alerts))
+	}
+	if alerts[0].Kind != "crash" || alerts[0].Count != 3 {
+		t.Errorf("alert %+v", alerts[0])
+	}
+}

@@ -1,0 +1,46 @@
+package controlplane
+
+import (
+	"netsession/internal/accounting"
+	"netsession/internal/content"
+	"netsession/internal/geo"
+	"netsession/internal/selection"
+)
+
+// DN is a database node: the object→peer directory for one network region
+// (§3.6). It wraps the selection directory and logs registrations for the
+// Figure 5 copy counts.
+type DN struct {
+	region    geo.NetworkRegion
+	dir       *selection.Directory
+	collector *accounting.Collector
+}
+
+// NewDN creates a database node for a region.
+func NewDN(region geo.NetworkRegion, collector *accounting.Collector) *DN {
+	return &DN{
+		region:    region,
+		dir:       selection.NewDirectory(region),
+		collector: collector,
+	}
+}
+
+// Region returns the DN's network region.
+func (d *DN) Region() geo.NetworkRegion { return d.region }
+
+// Directory exposes the underlying directory (for the simulator, which
+// drives selection without TCP).
+func (d *DN) Directory() *selection.Directory { return d.dir }
+
+// Register records that a peer holds an object and can serve it.
+func (d *DN) Register(obj content.ObjectID, e selection.Entry, nowMs int64) {
+	d.dir.Register(obj, e)
+	if d.collector != nil {
+		d.collector.AddRegistration(accounting.RegistrationRecord{
+			TimeMs: nowMs, GUID: e.Info.GUID, Object: obj,
+		})
+	}
+}
+
+// Copies returns how many peers register the object in this region.
+func (d *DN) Copies(obj content.ObjectID) int { return d.dir.Copies(obj) }

@@ -1,0 +1,151 @@
+package controlplane
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Monitor is a monitoring node: "peers upload information about their
+// operation and about problems, such as application crash reports, to these
+// nodes. Processing their logs helps to monitor the network in real-time"
+// (§3.6). It ingests reports over HTTP, keeps per-kind counters and a bounded
+// ring of recent reports, and exposes a health summary.
+type Monitor struct {
+	mu         sync.Mutex
+	counts     map[string]int
+	recent     []Report
+	maxRing    int
+	thresholds map[string]int
+	alerts     []Alert
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// Alert is raised when a report kind crosses its configured threshold:
+// "automated alerts are in place to notify network engineers in case of
+// large-scale problems" (§3.8).
+type Alert struct {
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+}
+
+// Report is one operational report from a peer.
+type Report struct {
+	TimeMs int64  `json:"timeMs"`
+	GUID   string `json:"guid"`
+	Kind   string `json:"kind"` // e.g. "crash", "piece-corrupt", "nat-fail"
+	Detail string `json:"detail"`
+}
+
+// NewMonitor creates a monitoring node keeping up to ringSize recent
+// reports.
+func NewMonitor(ringSize int) *Monitor {
+	if ringSize <= 0 {
+		ringSize = 1024
+	}
+	m := &Monitor{
+		counts:     make(map[string]int),
+		maxRing:    ringSize,
+		thresholds: make(map[string]int),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/report", m.handleReport)
+	mux.HandleFunc("GET /v1/health", m.handleHealth)
+	m.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return m
+}
+
+// Start listens and serves in the background.
+func (m *Monitor) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("controlplane: monitor listen: %w", err)
+	}
+	m.ln = ln
+	go m.httpSrv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address.
+func (m *Monitor) Addr() string {
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close shuts the monitor down.
+func (m *Monitor) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return m.httpSrv.Shutdown(ctx)
+}
+
+// SetAlertThreshold raises an Alert once `kind` accumulates n reports.
+func (m *Monitor) SetAlertThreshold(kind string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.thresholds[kind] = n
+}
+
+// Alerts returns the raised alerts, oldest first.
+func (m *Monitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alert(nil), m.alerts...)
+}
+
+// Ingest records a report directly (in-process peers and the simulator).
+func (m *Monitor) Ingest(r Report) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts[r.Kind]++
+	m.recent = append(m.recent, r)
+	if len(m.recent) > m.maxRing {
+		m.recent = m.recent[len(m.recent)-m.maxRing:]
+	}
+	if th, ok := m.thresholds[r.Kind]; ok && m.counts[r.Kind] == th {
+		m.alerts = append(m.alerts, Alert{Kind: r.Kind, Count: m.counts[r.Kind]})
+	}
+}
+
+// Count returns how many reports of a kind arrived.
+func (m *Monitor) Count(kind string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[kind]
+}
+
+// Recent returns a copy of the recent-report ring.
+func (m *Monitor) Recent() []Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Report(nil), m.recent...)
+}
+
+func (m *Monitor) handleReport(w http.ResponseWriter, r *http.Request) {
+	var rep Report
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<10)).Decode(&rep); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m.Ingest(rep)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (m *Monitor) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	out := make(map[string]int, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

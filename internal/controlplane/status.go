@@ -1,0 +1,52 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"netsession/internal/geo"
+)
+
+// Status is an operator snapshot of the control plane: "download and upload
+// performance is constantly monitored" (§3.8). It is cheap to compute and
+// safe to expose on an internal HTTP port.
+type Status struct {
+	Sessions int          `json:"sessions"`
+	CNs      int          `json:"cns"`
+	Regions  []RegionInfo `json:"regions"`
+	// AcceptedDownloads / RejectedReports summarize accounting health.
+	AcceptedDownloads int `json:"acceptedDownloads"`
+	RejectedReports   int `json:"rejectedReports"`
+}
+
+// RegionInfo is one region's directory footprint.
+type RegionInfo struct {
+	Region  string `json:"region"`
+	Objects int    `json:"objects"`
+}
+
+// Status computes the current snapshot.
+func (cp *ControlPlane) Status() Status {
+	cp.mu.Lock()
+	st := Status{Sessions: len(cp.sessions), CNs: len(cp.cns)}
+	cp.mu.Unlock()
+	for r := 0; r < geo.NumRegions; r++ {
+		st.Regions = append(st.Regions, RegionInfo{
+			Region:  geo.NetworkRegion(r).String(),
+			Objects: cp.dns[r].dir.Objects(),
+		})
+	}
+	log := cp.Collector().Snapshot()
+	st.AcceptedDownloads = len(log.Downloads)
+	st.RejectedReports = cp.Collector().Rejected()
+	return st
+}
+
+// StatusHandler serves the snapshot as JSON (mount wherever the operator's
+// internal HTTP surface lives).
+func (cp *ControlPlane) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(cp.Status())
+	})
+}

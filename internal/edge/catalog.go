@@ -1,0 +1,76 @@
+package edge
+
+import (
+	"fmt"
+	"sync"
+
+	"netsession/internal/content"
+)
+
+// Catalog is the set of objects published to an edge server, with their
+// manifests. Edge servers are the authority on secure IDs and piece hashes
+// ("edge servers generate and maintain secure IDs of content ... as well as
+// secure hashes of the pieces of each file", §3.5).
+type Catalog struct {
+	mu   sync.RWMutex
+	objs map[content.ObjectID]*published
+}
+
+type published struct {
+	manifest *content.Manifest
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{objs: make(map[content.ObjectID]*published)}
+}
+
+// PublishSynthetic publishes an object whose body is the deterministic
+// synthetic stream for its ID; the manifest is computed here, making the
+// edge the hash authority.
+func (c *Catalog) PublishSynthetic(obj *content.Object) error {
+	m, err := content.SyntheticManifest(obj)
+	if err != nil {
+		return fmt.Errorf("edge: publish %v: %w", obj.ID, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.objs[obj.ID] = &published{manifest: m}
+	return nil
+}
+
+// PublishManifest publishes with a precomputed manifest (e.g. for real file
+// content hashed elsewhere).
+func (c *Catalog) PublishManifest(m *content.Manifest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.objs[m.Object.ID] = &published{manifest: m}
+}
+
+// Manifest returns the manifest of a published object.
+func (c *Catalog) Manifest(oid content.ObjectID) (*content.Manifest, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.objs[oid]
+	if !ok {
+		return nil, false
+	}
+	return p.manifest, true
+}
+
+// Object returns the object metadata.
+func (c *Catalog) Object(oid content.ObjectID) (*content.Object, bool) {
+	m, ok := c.Manifest(oid)
+	if !ok {
+		return nil, false
+	}
+	o := m.Object
+	return &o, true
+}
+
+// Len returns the number of published objects.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.objs)
+}

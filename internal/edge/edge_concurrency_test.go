@@ -1,0 +1,85 @@
+package edge
+
+import (
+	"sync"
+	"testing"
+
+	"netsession/internal/content"
+	"netsession/internal/id"
+)
+
+// TestConcurrentClients hits one edge server from many goroutines mixing
+// authorizations, manifest fetches and ranged reads; run with -race.
+func TestConcurrentClients(t *testing.T) {
+	obj := testObj(t, 300_000, true)
+	srv, _ := startServer(t, obj)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli := &Client{BaseURL: "http://" + srv.Addr()}
+			g := id.NewGUID()
+			auth, err := cli.Authorize(g, obj.ID)
+			if err != nil {
+				t.Errorf("worker %d authorize: %v", w, err)
+				return
+			}
+			m, err := cli.FetchManifest(obj.ID)
+			if err != nil {
+				t.Errorf("worker %d manifest: %v", w, err)
+				return
+			}
+			for i := 0; i < obj.NumPieces(); i++ {
+				data, err := cli.FetchPiece(m, auth.Token, i)
+				if err != nil {
+					t.Errorf("worker %d piece %d: %v", w, i, err)
+					return
+				}
+				if len(data) != obj.PieceLength(i) {
+					t.Errorf("worker %d piece %d short", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestLedgerConcurrency exercises the ledger under parallel writers.
+func TestLedgerConcurrency(t *testing.T) {
+	l := NewLedger()
+	oid := content.NewObjectID(1, "c", 1)
+	var wg sync.WaitGroup
+	guids := make([]id.GUID, 8)
+	for i := range guids {
+		guids[i] = id.NewGUID()
+	}
+	for _, g := range guids {
+		wg.Add(1)
+		go func(g id.GUID) {
+			defer wg.Done()
+			l.RecordAuthorization(g, oid)
+			for k := 0; k < 100; k++ {
+				l.RecordServed(g, oid, 10)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, g := range guids {
+		if !l.Authorized(g, oid) {
+			t.Fatal("authorization lost")
+		}
+		if got := l.Served(g, oid); got != 1000 {
+			t.Fatalf("served %d, want 1000", got)
+		}
+	}
+	// Negative and zero increments are ignored.
+	l.RecordServed(guids[0], oid, -5)
+	l.RecordServed(guids[0], oid, 0)
+	if got := l.Served(guids[0], oid); got != 1000 {
+		t.Fatalf("served %d after no-op increments", got)
+	}
+}

@@ -1,0 +1,65 @@
+package edge
+
+import (
+	"sync"
+
+	"netsession/internal/content"
+	"netsession/internal/id"
+)
+
+// Ledger records what the edge tier actually served and authorized. The
+// control plane consults it to "prevent accounting attacks, where
+// compromised or faulty peers incorrectly report downloads and uploads"
+// (§3.5): a client report that names a download the edge never authorized,
+// or claims more infrastructure bytes than the edge served, is filtered.
+type Ledger struct {
+	mu         sync.Mutex
+	authorized map[ledgerKey]bool
+	served     map[ledgerKey]int64
+}
+
+type ledgerKey struct {
+	guid id.GUID
+	obj  content.ObjectID
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		authorized: make(map[ledgerKey]bool),
+		served:     make(map[ledgerKey]int64),
+	}
+}
+
+// RecordAuthorization notes a minted token.
+func (l *Ledger) RecordAuthorization(g id.GUID, obj content.ObjectID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.authorized[ledgerKey{g, obj}] = true
+}
+
+// RecordServed accumulates infrastructure bytes delivered to a peer for an
+// object.
+func (l *Ledger) RecordServed(g id.GUID, obj content.ObjectID, n int64) {
+	if n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.served[ledgerKey{g, obj}] += n
+}
+
+// Authorized reports whether the edge minted a token for (peer, object).
+func (l *Ledger) Authorized(g id.GUID, obj content.ObjectID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.authorized[ledgerKey{g, obj}]
+}
+
+// Served returns the infrastructure bytes the edge delivered to the peer
+// for the object.
+func (l *Ledger) Served(g id.GUID, obj content.ObjectID) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.served[ledgerKey{g, obj}]
+}

@@ -1,0 +1,314 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// countrySpec seeds the synthetic atlas. Weights are relative peer-population
+// shares, calibrated so the continental totals match the deployment overview
+// in Section 4.2 of the paper (NA ≈ 27%, EU ≈ 35%, sizable SA and Asia
+// groups, observed connections from 239 countries and territories — we model
+// the heavy head explicitly and pool the long tail).
+type countrySpec struct {
+	code      CountryCode
+	name      string
+	continent Continent
+	weight    float64
+	center    Coordinates
+	tzOffset  int
+	// downMbps/upMbps are mean access-link speeds; upstream is much smaller
+	// than downstream on typical broadband (paper §5.2, citing [11]).
+	downMbps float64
+	upMbps   float64
+}
+
+var countrySpecs = []countrySpec{
+	// North America: 27% total.
+	{"US", "United States", NorthAmerica, 20.0, Coordinates{39.8, -98.6}, -6, 18, 3.5},
+	{"CA", "Canada", NorthAmerica, 3.0, Coordinates{56.1, -106.3}, -6, 16, 3},
+	{"MX", "Mexico", NorthAmerica, 4.0, Coordinates{23.6, -102.5}, -6, 6, 1.2},
+	// South America: ~10%.
+	{"BR", "Brazil", SouthAmerica, 5.5, Coordinates{-14.2, -51.9}, -3, 7, 1.3},
+	{"AR", "Argentina", SouthAmerica, 2.0, Coordinates{-38.4, -63.6}, -3, 6, 1.1},
+	{"CL", "Chile", SouthAmerica, 1.0, Coordinates{-35.7, -71.5}, -4, 8, 1.5},
+	{"CO", "Colombia", SouthAmerica, 1.5, Coordinates{4.6, -74.3}, -5, 5, 1},
+	// Europe: 35% total.
+	{"DE", "Germany", Europe, 7.0, Coordinates{51.2, 10.4}, 1, 16, 2.8},
+	{"FR", "France", Europe, 5.5, Coordinates{46.2, 2.2}, 1, 15, 2.6},
+	{"GB", "United Kingdom", Europe, 5.0, Coordinates{55.4, -3.4}, 0, 14, 2.4},
+	{"IT", "Italy", Europe, 3.5, Coordinates{41.9, 12.6}, 1, 10, 1.8},
+	{"ES", "Spain", Europe, 3.0, Coordinates{40.5, -3.7}, 1, 12, 2},
+	{"PL", "Poland", Europe, 2.5, Coordinates{51.9, 19.1}, 1, 11, 2},
+	{"NL", "Netherlands", Europe, 2.0, Coordinates{52.1, 5.3}, 1, 22, 4},
+	{"SE", "Sweden", Europe, 1.5, Coordinates{60.1, 18.6}, 1, 24, 6},
+	{"RU", "Russia", Europe, 3.0, Coordinates{55.8, 37.6}, 3, 12, 4},
+	{"TR", "Turkey", Europe, 1.5, Coordinates{39.0, 35.2}, 3, 8, 1},
+	{"RO", "Romania", Europe, 0.5, Coordinates{45.9, 24.9}, 2, 25, 8},
+	// Africa: ~4%.
+	{"EG", "Egypt", Africa, 1.2, Coordinates{26.8, 30.8}, 2, 4, 0.8},
+	{"ZA", "South Africa", Africa, 1.0, Coordinates{-30.6, 22.9}, 2, 5, 1},
+	{"NG", "Nigeria", Africa, 0.9, Coordinates{9.1, 8.7}, 1, 3, 0.6},
+	{"MA", "Morocco", Africa, 0.9, Coordinates{31.8, -7.1}, 0, 4, 0.8},
+	// Asia: ~20%.
+	{"CN", "China", Asia, 4.5, Coordinates{35.9, 104.2}, 8, 9, 2},
+	{"IN", "India", Asia, 4.0, Coordinates{20.6, 79.0}, 5, 4, 0.8},
+	{"JP", "Japan", Asia, 4.0, Coordinates{36.2, 138.3}, 9, 30, 10},
+	{"KR", "South Korea", Asia, 2.5, Coordinates{35.9, 127.8}, 9, 35, 12},
+	{"TW", "Taiwan", Asia, 1.5, Coordinates{23.7, 121.0}, 8, 20, 5},
+	{"TH", "Thailand", Asia, 1.2, Coordinates{15.9, 101.0}, 7, 8, 1.5},
+	{"VN", "Vietnam", Asia, 1.0, Coordinates{14.1, 108.3}, 7, 6, 1.2},
+	{"ID", "Indonesia", Asia, 1.3, Coordinates{-0.8, 113.9}, 7, 3, 0.6},
+	// Oceania: ~2%.
+	{"AU", "Australia", Oceania, 1.6, Coordinates{-25.3, 133.8}, 10, 10, 1},
+	{"NZ", "New Zealand", Oceania, 0.4, Coordinates{-40.9, 174.9}, 12, 10, 1.2},
+}
+
+// Country aggregates the atlas view of one country.
+type Country struct {
+	Code      CountryCode
+	Name      string
+	Continent Continent
+	Weight    float64
+	Center    Coordinates
+	Locations []LocationID
+	ASNs      []ASN
+}
+
+// AtlasConfig controls synthetic atlas generation.
+type AtlasConfig struct {
+	// CitiesPerCountry is the number of city-granularity locations generated
+	// for each modelled country.
+	CitiesPerCountry int
+	// ASesPerCountry is the number of eyeball ASes generated per country.
+	// AS sizes within a country follow a Zipf-like skew, reproducing the
+	// heavy-tailed IPs-per-AS distribution in Figure 9c.
+	ASesPerCountry int
+	// TailCountries adds this many tiny long-tail "territory" countries so
+	// the atlas, like the paper's trace, covers a couple hundred country
+	// codes (239 in the paper).
+	TailCountries int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultAtlasConfig returns the configuration used by the experiments.
+func DefaultAtlasConfig() AtlasConfig {
+	return AtlasConfig{
+		CitiesPerCountry: 24,
+		ASesPerCountry:   10,
+		TailCountries:    207, // 32 modelled + 207 tail = 239 country codes
+		Seed:             1,
+	}
+}
+
+// Atlas is an immutable synthetic world model. All lookups are safe for
+// concurrent use after generation.
+type Atlas struct {
+	Countries []Country
+	countryIx map[CountryCode]int
+
+	Locations []Location // indexed by LocationID
+	ASes      []AS
+	asIx      map[ASN]int
+
+	// locWeights is the cumulative sampling distribution over locations.
+	locWeights []float64
+	// adj is the AS adjacency structure (see adjacency.go).
+	adj map[ASN]map[ASN]bool
+}
+
+// GenerateAtlas builds a deterministic synthetic atlas.
+func GenerateAtlas(cfg AtlasConfig) *Atlas {
+	if cfg.CitiesPerCountry <= 0 {
+		cfg.CitiesPerCountry = 1
+	}
+	if cfg.ASesPerCountry <= 0 {
+		cfg.ASesPerCountry = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	specs := make([]countrySpec, len(countrySpecs))
+	copy(specs, countrySpecs)
+	// Long-tail territories: tiny weights, spread across continents.
+	tailContinents := []Continent{Africa, Asia, SouthAmerica, Oceania, Europe, NorthAmerica}
+	for i := 0; i < cfg.TailCountries; i++ {
+		cont := tailContinents[i%len(tailContinents)]
+		specs = append(specs, countrySpec{
+			code:      CountryCode(fmt.Sprintf("X%c%c", 'A'+(i/26)%26, 'A'+i%26)),
+			name:      fmt.Sprintf("Territory %d", i+1),
+			continent: cont,
+			weight:    0.002,
+			center:    Coordinates{Lat: r.Float64()*140 - 60, Lon: r.Float64()*360 - 180},
+			tzOffset:  r.Intn(25) - 12,
+			downMbps:  2 + r.Float64()*4,
+			upMbps:    0.4 + r.Float64(),
+		})
+	}
+
+	a := &Atlas{
+		countryIx: make(map[CountryCode]int, len(specs)),
+		asIx:      make(map[ASN]int),
+	}
+	nextASN := ASN(1000)
+	for ci, sp := range specs {
+		c := Country{
+			Code:      sp.code,
+			Name:      sp.name,
+			Continent: sp.continent,
+			Weight:    sp.weight,
+			Center:    sp.center,
+		}
+		nCities := cfg.CitiesPerCountry
+		nASes := cfg.ASesPerCountry
+		if sp.weight < 0.01 { // tail territories stay small
+			nCities, nASes = 2, 1
+		}
+		for i := 0; i < nCities; i++ {
+			id := LocationID(len(a.Locations))
+			// Jitter cities around the country centroid. Spread scales
+			// loosely with weight so large countries cover more area.
+			spread := 3.0 + sp.weight/2
+			loc := Location{
+				ID:        id,
+				City:      fmt.Sprintf("%s-%02d", sp.code, i+1),
+				Country:   sp.code,
+				Continent: sp.continent,
+				Coord: Coordinates{
+					Lat: clampLat(sp.center.Lat + r.NormFloat64()*spread),
+					Lon: wrapLon(sp.center.Lon + r.NormFloat64()*spread*1.5),
+				},
+				TimezoneOffsetHours: sp.tzOffset,
+			}
+			a.Locations = append(a.Locations, loc)
+			c.Locations = append(c.Locations, id)
+		}
+		for i := 0; i < nASes; i++ {
+			asn := nextASN
+			nextASN++
+			// Zipf-like AS size skew inside each country: the first AS is
+			// the incumbent carrying most subscribers.
+			w := 1.0 / float64(i+1)
+			as := AS{
+				Number:       asn,
+				Name:         fmt.Sprintf("%s-ISP-%d", sp.code, i+1),
+				Country:      sp.code,
+				Weight:       w,
+				DownMbpsMean: sp.downMbps * (0.7 + r.Float64()*0.6),
+				UpMbpsMean:   sp.upMbps * (0.7 + r.Float64()*0.6),
+			}
+			a.asIx[asn] = len(a.ASes)
+			a.ASes = append(a.ASes, as)
+			c.ASNs = append(c.ASNs, asn)
+		}
+		a.countryIx[sp.code] = ci
+		a.Countries = append(a.Countries, c)
+	}
+
+	// Cumulative per-location sampling weights: country weight split evenly
+	// over its cities with mild skew toward the first (largest) cities.
+	a.locWeights = make([]float64, len(a.Locations))
+	sum := 0.0
+	for _, c := range a.Countries {
+		n := len(c.Locations)
+		denom := 0.0
+		for i := 0; i < n; i++ {
+			denom += 1 / float64(i+1)
+		}
+		for i, id := range c.Locations {
+			w := c.Weight * (1 / float64(i+1)) / denom
+			sum += w
+			a.locWeights[id] = sum
+		}
+	}
+	// Normalize cumulative weights to [0,1].
+	for i := range a.locWeights {
+		a.locWeights[i] /= sum
+	}
+	a.buildAdjacency(r)
+	return a
+}
+
+// Country returns the country record for a code.
+func (a *Atlas) Country(code CountryCode) (*Country, bool) {
+	ix, ok := a.countryIx[code]
+	if !ok {
+		return nil, false
+	}
+	return &a.Countries[ix], true
+}
+
+// Location returns the location with the given ID.
+func (a *Atlas) Location(id LocationID) *Location {
+	return &a.Locations[int(id)]
+}
+
+// AS returns the AS record for an ASN.
+func (a *Atlas) AS(n ASN) (*AS, bool) {
+	ix, ok := a.asIx[n]
+	if !ok {
+		return nil, false
+	}
+	return &a.ASes[ix], true
+}
+
+// SampleLocation draws a location according to the atlas population weights.
+func (a *Atlas) SampleLocation(r *rand.Rand) *Location {
+	x := r.Float64()
+	ix := sort.SearchFloat64s(a.locWeights, x)
+	if ix >= len(a.Locations) {
+		ix = len(a.Locations) - 1
+	}
+	return &a.Locations[ix]
+}
+
+// SampleAS draws an AS for a peer located in the given country, following
+// the per-country AS weight skew.
+func (a *Atlas) SampleAS(r *rand.Rand, code CountryCode) *AS {
+	c, ok := a.Country(code)
+	if !ok || len(c.ASNs) == 0 {
+		// Fall back to a uniform AS; only reachable with a corrupt atlas.
+		return &a.ASes[r.Intn(len(a.ASes))]
+	}
+	total := 0.0
+	for _, asn := range c.ASNs {
+		as, _ := a.AS(asn)
+		total += as.Weight
+	}
+	x := r.Float64() * total
+	for _, asn := range c.ASNs {
+		as, _ := a.AS(asn)
+		x -= as.Weight
+		if x <= 0 {
+			return as
+		}
+	}
+	as, _ := a.AS(c.ASNs[len(c.ASNs)-1])
+	return as
+}
+
+func clampLat(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v > 85 {
+		return 85
+	}
+	if v < -85 {
+		return -85
+	}
+	return v
+}
+
+func wrapLon(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	v = math.Mod(v+180, 360)
+	if v < 0 {
+		v += 360
+	}
+	return v - 180
+}

@@ -1,0 +1,158 @@
+package geo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+)
+
+// Record is the result of an EdgeScape-style lookup for one IP address,
+// mirroring the fields the paper's data set carries (§4.1): a country code,
+// a city/state name, a lat/lon pair, a timezone and a network provider.
+type Record struct {
+	IP        netip.Addr
+	Country   CountryCode
+	Continent Continent
+	City      string
+	Location  LocationID
+	Coord     Coordinates
+	TZOffset  int
+	ASN       ASN
+	Provider  string
+}
+
+// EdgeScape is the synthetic geolocation service. It allocates addresses out
+// of per-(AS, location) prefixes, so a later Lookup of any allocated address
+// recovers the (location, AS) pair — exactly the property the paper's
+// analyses rely on.
+//
+// Addresses are IPv4, laid out as 10.B.C.D where a /24 is carved per
+// (AS, location) block on demand; blocks chain to additional /24s when they
+// fill. EdgeScape is safe for concurrent use.
+type EdgeScape struct {
+	atlas *Atlas
+
+	mu     sync.Mutex
+	blocks map[blockKey]*block
+	byIP   map[netip.Addr]Record
+	nextB  uint32 // next free /24 index within 10.0.0.0/8
+}
+
+type blockKey struct {
+	asn ASN
+	loc LocationID
+}
+
+type block struct {
+	prefix uint32 // the /24 network, host byte 0
+	used   uint8
+}
+
+// NewEdgeScape creates an empty geolocation service over an atlas.
+func NewEdgeScape(atlas *Atlas) *EdgeScape {
+	return &EdgeScape{
+		atlas:  atlas,
+		blocks: make(map[blockKey]*block),
+		byIP:   make(map[netip.Addr]Record),
+		nextB:  1, // skip 10.0.0.0/24
+	}
+}
+
+// AllocateIP assigns a fresh address homed in the given AS and location and
+// registers it for Lookup. The same (asn, loc) pair yields addresses that
+// share prefixes, which makes the per-AS IP counting of Figure 9c behave as
+// in a real address plan.
+func (e *EdgeScape) AllocateIP(asn ASN, loc LocationID) (netip.Addr, error) {
+	l := e.atlas.Location(loc)
+	as, ok := e.atlas.AS(asn)
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("geo: unknown ASN %d", asn)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	key := blockKey{asn, loc}
+	b := e.blocks[key]
+	if b == nil || b.used == 254 {
+		if e.nextB >= 1<<24 {
+			return netip.Addr{}, fmt.Errorf("geo: address space exhausted")
+		}
+		b = &block{prefix: 10<<24 | e.nextB<<8}
+		e.nextB++
+		e.blocks[key] = b
+	}
+	b.used++
+	var raw [4]byte
+	binary.BigEndian.PutUint32(raw[:], b.prefix|uint32(b.used))
+	ip := netip.AddrFrom4(raw)
+	rec := Record{
+		IP:        ip,
+		Country:   l.Country,
+		Continent: l.Continent,
+		City:      l.City,
+		Location:  l.ID,
+		Coord:     l.Coord,
+		TZOffset:  l.TimezoneOffsetHours,
+		ASN:       asn,
+		Provider:  as.Name,
+	}
+	e.byIP[ip] = rec
+	return ip, nil
+}
+
+// AllocateRandom assigns an address for a peer drawn from the atlas
+// population distribution: first a location, then an AS of that country.
+func (e *EdgeScape) AllocateRandom(r *rand.Rand) (Record, error) {
+	loc := e.atlas.SampleLocation(r)
+	as := e.atlas.SampleAS(r, loc.Country)
+	ip, err := e.AllocateIP(as.Number, loc.ID)
+	if err != nil {
+		return Record{}, err
+	}
+	return e.MustLookup(ip), nil
+}
+
+// Identities deterministically allocates n identities drawn from the atlas
+// population distribution. Two processes that generate the same atlas and
+// call Identities with the same n and seed obtain identical address plans —
+// which is how a multi-process live deployment shares synthetic identities
+// without a coordination service.
+func Identities(scape *EdgeScape, n int, seed int64) ([]Record, error) {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec, err := scape.AllocateRandom(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Lookup resolves an allocated address to its record.
+func (e *EdgeScape) Lookup(ip netip.Addr) (Record, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.byIP[ip]
+	return rec, ok
+}
+
+// MustLookup is Lookup for addresses known to be allocated; it panics on a
+// miss, which indicates a bug in the caller.
+func (e *EdgeScape) MustLookup(ip netip.Addr) Record {
+	rec, ok := e.Lookup(ip)
+	if !ok {
+		panic(fmt.Sprintf("geo: lookup of unallocated address %v", ip))
+	}
+	return rec
+}
+
+// Size returns the number of allocated addresses.
+func (e *EdgeScape) Size() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.byIP)
+}

@@ -1,0 +1,164 @@
+// Package geo provides the synthetic geography substrate used throughout the
+// NetSession reproduction: a world atlas of continents, countries, cities and
+// autonomous systems, an EdgeScape-like IP geolocation service, the locality
+// set hierarchy used by the control plane's peer selector, and the network
+// region partitioning of the control plane itself.
+//
+// The paper relies on Akamai's proprietary EdgeScape database to map peer IP
+// addresses to (location, AS) pairs. This package is the substitution: it
+// generates a deterministic synthetic atlas whose marginal distributions
+// (peer share per continent, AS size skew, access bandwidth asymmetry) are
+// calibrated to the figures reported in Section 4 of the paper.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Continent identifies one of the six inhabited continents using a
+// two-letter code.
+type Continent string
+
+// Continent codes.
+const (
+	NorthAmerica Continent = "NA"
+	SouthAmerica Continent = "SA"
+	Europe       Continent = "EU"
+	Africa       Continent = "AF"
+	Asia         Continent = "AS"
+	Oceania      Continent = "OC"
+)
+
+// Continents lists all continent codes in stable order.
+var Continents = []Continent{NorthAmerica, SouthAmerica, Europe, Africa, Asia, Oceania}
+
+// CountryCode is an ISO 3166-1 alpha-2 country code. Territories and areas
+// of geographic interest may also carry codes, mirroring EdgeScape.
+type CountryCode string
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// LocationID identifies a city-granularity location in the atlas.
+type LocationID uint32
+
+// Coordinates is a latitude/longitude pair in decimal degrees.
+type Coordinates struct {
+	Lat float64
+	Lon float64
+}
+
+// earthRadiusKm is the mean Earth radius used by Distance.
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle distance between two coordinate pairs
+// in kilometres, using the haversine formula.
+func DistanceKm(a, b Coordinates) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// Location is a city-granularity location, the same granularity EdgeScape
+// reports for well-covered regions (the paper notes 218 distinct locations
+// in Pennsylvania alone).
+type Location struct {
+	ID        LocationID
+	City      string
+	Country   CountryCode
+	Continent Continent
+	Coord     Coordinates
+	// TimezoneOffsetHours is the UTC offset used to convert the diurnal
+	// workload pattern into local time (Figure 3c).
+	TimezoneOffsetHours int
+}
+
+// AS describes an autonomous system in the atlas.
+type AS struct {
+	Number  ASN
+	Name    string
+	Country CountryCode
+	// Weight is the relative share of the country's peers homed in this AS.
+	Weight float64
+	// Access-link profile for subscribers of this AS. Broadband links are
+	// asymmetric (Dischinger et al., cited as [11] in the paper): upstream
+	// is typically a small fraction of downstream.
+	DownMbpsMean float64
+	UpMbpsMean   float64
+}
+
+// ReportRegion is one of the ten coarse regions used by Table 2 of the
+// paper to break down customer downloads.
+type ReportRegion string
+
+// Report regions, in the column order of Table 2.
+const (
+	RegionUSEast        ReportRegion = "US East"
+	RegionUSWest        ReportRegion = "US West"
+	RegionAmericasOther ReportRegion = "Americas Other"
+	RegionIndia         ReportRegion = "India"
+	RegionChina         ReportRegion = "China"
+	RegionAsiaOther     ReportRegion = "Asia Other"
+	RegionEurope        ReportRegion = "Europe"
+	RegionAfrica        ReportRegion = "Africa"
+	RegionOceania       ReportRegion = "Oceania"
+)
+
+// ReportRegions lists the Table 2 regions in column order.
+var ReportRegions = []ReportRegion{
+	RegionUSEast, RegionUSWest, RegionAmericasOther,
+	RegionIndia, RegionChina, RegionAsiaOther,
+	RegionEurope, RegionAfrica, RegionOceania,
+}
+
+// ReportRegionOf classifies a location into a Table 2 report region.
+func ReportRegionOf(loc *Location) ReportRegion {
+	switch loc.Continent {
+	case Europe:
+		return RegionEurope
+	case Africa:
+		return RegionAfrica
+	case Oceania:
+		return RegionOceania
+	case Asia:
+		switch loc.Country {
+		case "IN":
+			return RegionIndia
+		case "CN":
+			return RegionChina
+		default:
+			return RegionAsiaOther
+		}
+	case NorthAmerica:
+		if loc.Country == "US" {
+			// The Mississippi is a fine enough east/west divide for a
+			// synthetic atlas.
+			if loc.Coord.Lon >= -95 {
+				return RegionUSEast
+			}
+			return RegionUSWest
+		}
+		return RegionAmericasOther
+	case SouthAmerica:
+		return RegionAmericasOther
+	}
+	return RegionAmericasOther
+}
+
+func (c Continent) String() string { return string(c) }
+
+// Valid reports whether c is one of the six known continent codes.
+func (c Continent) Valid() bool {
+	switch c {
+	case NorthAmerica, SouthAmerica, Europe, Africa, Asia, Oceania:
+		return true
+	}
+	return false
+}
+
+func (id LocationID) String() string { return fmt.Sprintf("loc-%d", uint32(id)) }

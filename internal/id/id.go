@@ -1,0 +1,111 @@
+// Package id defines the peer identifiers used across NetSession: the
+// primary GUID chosen at random when the NetSession Interface is first
+// installed, and the 160-bit secondary GUIDs chosen freshly at every start,
+// which the paper uses to detect cloning and re-imaging of installations
+// (§6.2, Figure 12).
+package id
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand"
+)
+
+// GUID is the primary peer identifier: "Each peer has a unique GUID, which
+// is chosen at random during installation" (§3.4).
+type GUID [16]byte
+
+// NewGUID draws a GUID from crypto/rand. It panics only if the system
+// entropy source fails, which is unrecoverable.
+func NewGUID() GUID {
+	var g GUID
+	if _, err := rand.Read(g[:]); err != nil {
+		panic(fmt.Sprintf("id: entropy source failed: %v", err))
+	}
+	return g
+}
+
+// RandGUID draws a GUID from a seeded source, for deterministic simulations.
+func RandGUID(r *mrand.Rand) GUID {
+	var g GUID
+	for i := 0; i < len(g); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8; j++ {
+			g[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return g
+}
+
+func (g GUID) String() string { return hex.EncodeToString(g[:]) }
+
+// Short returns an abbreviated form for logs.
+func (g GUID) Short() string { return hex.EncodeToString(g[:4]) }
+
+// IsZero reports whether the GUID is unset.
+func (g GUID) IsZero() bool { return g == GUID{} }
+
+// ParseGUID decodes the hex form produced by String.
+func ParseGUID(s string) (GUID, error) {
+	var g GUID
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(g) {
+		return g, fmt.Errorf("id: invalid GUID %q", s)
+	}
+	copy(g[:], b)
+	return g, nil
+}
+
+// Secondary is a random 160-bit secondary GUID, "chosen freshly every time
+// the software starts" (§6.2).
+type Secondary [20]byte
+
+// NewSecondary draws a secondary GUID from crypto/rand.
+func NewSecondary() Secondary {
+	var s Secondary
+	if _, err := rand.Read(s[:]); err != nil {
+		panic(fmt.Sprintf("id: entropy source failed: %v", err))
+	}
+	return s
+}
+
+// RandSecondary draws a secondary GUID from a seeded source.
+func RandSecondary(r *mrand.Rand) Secondary {
+	var s Secondary
+	for i := 0; i < 16; i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8; j++ {
+			s[i+j] = byte(v >> (8 * j))
+		}
+	}
+	v := r.Uint32()
+	s[16], s[17], s[18], s[19] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return s
+}
+
+func (s Secondary) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the secondary GUID is unset.
+func (s Secondary) IsZero() bool { return s == Secondary{} }
+
+// History is the sliding window of the last secondary GUIDs, newest first,
+// reported to the control plane on login. A normal installation reports
+// overlapping sequences (5 4 3 2 1, then 6 5 4 3 2, ...); a rolled-back
+// installation forks the sequence.
+type History struct {
+	Window [HistoryLen]Secondary
+}
+
+// HistoryLen is the number of secondary GUIDs reported on login ("the last
+// five", §6.2).
+const HistoryLen = 5
+
+// Push records a fresh secondary GUID at the head of the window.
+func (h *History) Push(s Secondary) {
+	copy(h.Window[1:], h.Window[:HistoryLen-1])
+	h.Window[0] = s
+}
+
+// Current returns the newest secondary GUID.
+func (h *History) Current() Secondary { return h.Window[0] }

@@ -1,0 +1,87 @@
+package id
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewGUIDUnique(t *testing.T) {
+	seen := make(map[GUID]bool)
+	for i := 0; i < 1000; i++ {
+		g := NewGUID()
+		if g.IsZero() {
+			t.Fatal("zero GUID generated")
+		}
+		if seen[g] {
+			t.Fatal("duplicate GUID")
+		}
+		seen[g] = true
+	}
+}
+
+func TestRandGUIDDeterministic(t *testing.T) {
+	a := RandGUID(rand.New(rand.NewSource(5)))
+	b := RandGUID(rand.New(rand.NewSource(5)))
+	if a != b {
+		t.Error("RandGUID not deterministic for same seed")
+	}
+	c := RandGUID(rand.New(rand.NewSource(6)))
+	if a == c {
+		t.Error("RandGUID identical across seeds")
+	}
+}
+
+func TestParseGUIDRoundTrip(t *testing.T) {
+	g := RandGUID(rand.New(rand.NewSource(9)))
+	got, err := ParseGUID(g.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Errorf("round trip mismatch: %v vs %v", got, g)
+	}
+	if _, err := ParseGUID("zz"); err == nil {
+		t.Error("invalid hex accepted")
+	}
+	if _, err := ParseGUID("abcd"); err == nil {
+		t.Error("short GUID accepted")
+	}
+}
+
+func TestHistoryWindow(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var h History
+	var all []Secondary
+	for i := 0; i < 8; i++ {
+		s := RandSecondary(r)
+		all = append(all, s)
+		h.Push(s)
+		if h.Current() != s {
+			t.Fatalf("Current() != last pushed at step %d", i)
+		}
+	}
+	// Window holds the last five, newest first.
+	for i := 0; i < HistoryLen; i++ {
+		want := all[len(all)-1-i]
+		if h.Window[i] != want {
+			t.Errorf("Window[%d] = %v, want %v", i, h.Window[i], want)
+		}
+	}
+}
+
+func TestHistoryOverlap(t *testing.T) {
+	// Consecutive logins of a healthy installation share HistoryLen-1
+	// entries — the property the clone detector relies on.
+	r := rand.New(rand.NewSource(3))
+	var h History
+	for i := 0; i < 6; i++ {
+		h.Push(RandSecondary(r))
+	}
+	before := h.Window
+	h.Push(RandSecondary(r))
+	for i := 0; i < HistoryLen-1; i++ {
+		if h.Window[i+1] != before[i] {
+			t.Errorf("window did not slide at %d", i)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package nat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// The STUN-like binding protocol. NetSession "uses a custom implementation"
+// with "goals similar to" RFC 5389 (§3.6); this is that custom protocol:
+//
+//	request:  magic(2)=0x5354 kind(1)=1 txn(8)
+//	response: magic(2)=0x5354 kind(1)=2 txn(8) family(1)=4 port(2) addr(4)
+//
+// The response carries the reflexive (server-observed) transport address,
+// which is what the peer registers with the control plane so other peers can
+// reach its NAT mapping.
+const (
+	stunMagic0   = 0x53
+	stunMagic1   = 0x54
+	kindRequest  = 1
+	kindResponse = 2
+	requestLen   = 11
+	responseLen  = 18
+)
+
+// Server is a STUN binding server over UDP.
+type Server struct {
+	pc net.PacketConn
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewServer starts a STUN server on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nat: stun listen: %w", err)
+	}
+	s := &Server{pc: pc, done: make(chan struct{})}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.pc.LocalAddr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.pc.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) serve() {
+	defer close(s.done)
+	buf := make([]byte, 64)
+	for {
+		n, from, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		if n != requestLen || buf[0] != stunMagic0 || buf[1] != stunMagic1 || buf[2] != kindRequest {
+			continue // not ours; drop silently as STUN servers do
+		}
+		udp, ok := from.(*net.UDPAddr)
+		if !ok {
+			continue
+		}
+		ip := udp.AddrPort().Addr().Unmap()
+		if !ip.Is4() {
+			continue
+		}
+		resp := make([]byte, responseLen)
+		resp[0], resp[1], resp[2] = stunMagic0, stunMagic1, kindResponse
+		copy(resp[3:11], buf[3:11]) // echo transaction ID
+		resp[11] = 4
+		binary.BigEndian.PutUint16(resp[12:14], uint16(udp.Port))
+		a4 := ip.As4()
+		copy(resp[14:18], a4[:])
+		if _, err := s.pc.WriteTo(resp, from); err != nil {
+			return
+		}
+	}
+}
+
+// errTimeout is returned when no binding response arrives in time.
+var errTimeout = errors.New("nat: stun request timed out")
+
+// Discover sends a binding request from pc to the server at serverAddr and
+// returns the reflexive address the server observed. The caller owns pc and
+// typically reuses the same local port for the swarm listener so the
+// discovered mapping stays valid.
+func Discover(pc net.PacketConn, serverAddr string, txn uint64, timeout time.Duration) (netip.AddrPort, error) {
+	dst, err := net.ResolveUDPAddr("udp", serverAddr)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("nat: resolve stun server: %w", err)
+	}
+	req := make([]byte, requestLen)
+	req[0], req[1], req[2] = stunMagic0, stunMagic1, kindRequest
+	binary.BigEndian.PutUint64(req[3:11], txn)
+	if _, err := pc.WriteTo(req, dst); err != nil {
+		return netip.AddrPort{}, fmt.Errorf("nat: stun send: %w", err)
+	}
+	deadline := time.Now().Add(timeout)
+	if err := pc.SetReadDeadline(deadline); err != nil {
+		return netip.AddrPort{}, err
+	}
+	defer pc.SetReadDeadline(time.Time{})
+	buf := make([]byte, 64)
+	for time.Now().Before(deadline) {
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return netip.AddrPort{}, errTimeout
+			}
+			return netip.AddrPort{}, err
+		}
+		if n != responseLen || buf[0] != stunMagic0 || buf[1] != stunMagic1 || buf[2] != kindResponse {
+			continue
+		}
+		if binary.BigEndian.Uint64(buf[3:11]) != txn {
+			continue // stale response
+		}
+		port := binary.BigEndian.Uint16(buf[12:14])
+		var a4 [4]byte
+		copy(a4[:], buf[14:18])
+		return netip.AddrPortFrom(netip.AddrFrom4(a4), port), nil
+	}
+	return netip.AddrPort{}, errTimeout
+}

@@ -1,0 +1,358 @@
+// Package peer implements the NetSession Interface (§3.4): the background
+// client installed on user machines. It maintains a persistent control
+// connection to the control plane, downloads content in parallel from edge
+// servers (HTTP) and other peers (the swarming protocol), verifies every
+// piece against the edge-issued manifest, serves uploads subject to the
+// global connection limit and per-object caps, reports usage statistics for
+// accounting, and lets the user disable uploads at any time without losing
+// download performance.
+package peer
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"netsession/internal/content"
+	"netsession/internal/edge"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+)
+
+// Config configures a NetSession Interface instance.
+type Config struct {
+	// GUID is the installation identity; zero means choose one at random,
+	// as a fresh installation would.
+	GUID id.GUID
+	// DeclaredIP is the peer's public IP in the experiment's synthetic
+	// address plan (see protocol.Login.DeclaredIP).
+	DeclaredIP string
+	// NAT is the peer's NAT class as discovered via STUN.
+	NAT protocol.NATClass
+	// ControlAddrs are CN addresses, tried in order on (re)connect.
+	ControlAddrs []string
+	// EdgeURL is the edge tier's base URL; EdgeURLs adds more servers for
+	// failover. At least one of the two must be set.
+	EdgeURL  string
+	EdgeURLs []string
+	// STUNAddr, when set, is a STUN server the client queries at startup
+	// to discover its reflexive (NAT-mapped) address (§3.6).
+	STUNAddr string
+	// MonitorURL, when set, receives operational reports (crash reports,
+	// corrupt-piece observations) over HTTP (§3.6).
+	MonitorURL string
+	// StateDir, when set, persists the installation state (GUID, upload
+	// preference, secondary-GUID window) across restarts, like the real
+	// installed client. It overrides Config.GUID and Config.UploadsEnabled
+	// with the stored values.
+	StateDir string
+	// Store holds verified pieces; nil means an in-memory store.
+	Store content.Store
+	// UploadsEnabled is the initial preference; content providers bundle
+	// the binary with this on or off (§5.1).
+	UploadsEnabled bool
+	// SoftwareVersion is reported on login.
+	SoftwareVersion string
+	// MaxPeerConnsPerDownload bounds the swarm fan-out of one download.
+	MaxPeerConnsPerDownload int
+	// RequeryInterval is how often an unsatisfied download re-queries the
+	// control plane for more peers; zero selects the 2s default.
+	RequeryInterval time.Duration
+	// Logf receives debug logging; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Client is one running NetSession Interface.
+type Client struct {
+	cfg   Config
+	store content.Store
+	edge  *edgePool
+
+	secMu       sync.Mutex
+	secondaries id.History
+
+	prefs *Preferences
+
+	control *controlConn
+	uploads *uploadManager
+
+	swarmLn net.Listener
+
+	mu        sync.Mutex
+	manifests map[content.ObjectID]*content.Manifest
+	downloads map[content.ObjectID]*Download
+	cachedAt  map[content.ObjectID]time.Time
+	closed    bool
+	clientCfg edge.ClientConfig
+	reflexive netip.AddrPort
+	evictStop chan struct{}
+}
+
+// New creates and starts a client: it opens the swarm listener, connects to
+// the control plane, and logs in. Close releases everything.
+func New(cfg Config) (*Client, error) {
+	var state *State
+	if cfg.StateDir != "" {
+		var err error
+		state, err = LoadOrCreateState(cfg.StateDir, cfg.UploadsEnabled)
+		if err != nil {
+			return nil, err
+		}
+		cfg.GUID = state.GUID
+		cfg.UploadsEnabled = state.UploadsEnabled
+	}
+	if cfg.GUID.IsZero() {
+		cfg.GUID = id.NewGUID()
+	}
+	if cfg.Store == nil {
+		cfg.Store = content.NewMemStore()
+	}
+	if cfg.SoftwareVersion == "" {
+		cfg.SoftwareVersion = "ns-3.1"
+	}
+	if cfg.MaxPeerConnsPerDownload <= 0 {
+		cfg.MaxPeerConnsPerDownload = 8
+	}
+	if cfg.RequeryInterval <= 0 {
+		cfg.RequeryInterval = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if len(cfg.ControlAddrs) == 0 {
+		return nil, fmt.Errorf("peer: no control plane addresses configured")
+	}
+	pool, err := newEdgePool(append([]string{cfg.EdgeURL}, cfg.EdgeURLs...))
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:       cfg,
+		store:     cfg.Store,
+		edge:      pool,
+		prefs:     NewPreferences(cfg.UploadsEnabled),
+		manifests: make(map[content.ObjectID]*content.Manifest),
+		downloads: make(map[content.ObjectID]*Download),
+		cachedAt:  make(map[content.ObjectID]time.Time),
+		clientCfg: edge.DefaultClientConfig(),
+		evictStop: make(chan struct{}),
+	}
+	// A fresh secondary GUID per start (§6.2); with persistent state the
+	// previous window slides forward and is saved, so consecutive starts
+	// report overlapping sequences — and a copied state directory forks
+	// the chain, which is what the clone analysis of Figure 12 detects.
+	c.secMu.Lock()
+	if state != nil {
+		c.secondaries = state.Secondaries
+	}
+	c.secondaries.Push(id.NewSecondary())
+	window := c.secondaries
+	c.secMu.Unlock()
+	if state != nil {
+		state.Secondaries = window
+		if err := state.Save(cfg.StateDir); err != nil {
+			return nil, err
+		}
+		// Persist preference flips too.
+	}
+
+	if state != nil {
+		dir := cfg.StateDir
+		c.prefs.Observe(func(enabled bool) {
+			state.UploadsEnabled = enabled
+			state.Save(dir)
+		})
+	}
+	c.uploads = newUploadManager(c)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("peer: swarm listen: %w", err)
+	}
+	c.swarmLn = ln
+	go c.acceptSwarmLoop()
+	c.discoverReflexive()
+
+	c.control = newControlConn(c)
+	if err := c.control.start(); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	go c.evictLoop()
+	return c, nil
+}
+
+// markCached records when an object completed, for cache-TTL eviction.
+func (c *Client) markCached(oid content.ObjectID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cachedAt[oid] = time.Now()
+}
+
+// evictLoop drops cached objects past the provider-configured TTL and
+// withdraws their registrations: peers keep a completed download "in a
+// local cache for a certain amount of time" (§5.2), no longer.
+func (c *Client) evictLoop() {
+	t := time.NewTicker(30 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.evictStop:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		ttl := time.Duration(c.clientCfg.CacheTTLSec) * time.Second
+		var expired []content.ObjectID
+		for oid, at := range c.cachedAt {
+			if ttl > 0 && time.Since(at) > ttl {
+				expired = append(expired, oid)
+				delete(c.cachedAt, oid)
+			}
+		}
+		c.mu.Unlock()
+		for _, oid := range expired {
+			if c.activeDownload(oid) != nil {
+				continue // being re-downloaded; keep
+			}
+			c.store.Drop(oid)
+			c.control.send(&protocol.Unregister{Object: oid})
+			c.logf("evicted cached object %v", oid)
+		}
+	}
+}
+
+// GUID returns the installation GUID.
+func (c *Client) GUID() id.GUID { return c.cfg.GUID }
+
+// SoftwareVersion returns the currently installed client version (it
+// changes after a centrally triggered self-upgrade, §3.8).
+func (c *Client) SoftwareVersion() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.SoftwareVersion
+}
+
+// SwarmAddr returns the peer's swarm listener address.
+func (c *Client) SwarmAddr() string { return c.swarmLn.Addr().String() }
+
+// Preferences returns the user-facing preference handle (the control-panel
+// equivalent; users "can turn uploading on or off", §3.9).
+func (c *Client) Preferences() *Preferences { return c.prefs }
+
+// Store exposes the local piece store.
+func (c *Client) Store() content.Store { return c.store }
+
+// Close stops the client.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	dls := make([]*Download, 0, len(c.downloads))
+	for _, d := range c.downloads {
+		dls = append(dls, d)
+	}
+	c.mu.Unlock()
+	close(c.evictStop)
+	for _, d := range dls {
+		d.Abort()
+	}
+	c.control.stop()
+	c.swarmLn.Close()
+	c.uploads.closeAll()
+}
+
+func (c *Client) logf(format string, args ...any) {
+	c.cfg.Logf("peer %s: %s", c.cfg.GUID.Short(), fmt.Sprintf(format, args...))
+}
+
+// manifest returns (fetching and caching if needed) the manifest of an
+// object.
+func (c *Client) manifest(oid content.ObjectID) (*content.Manifest, error) {
+	c.mu.Lock()
+	if m := c.manifests[oid]; m != nil {
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	m, err := c.edge.FetchManifest(oid)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.manifests[oid] = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+func (c *Client) cachedManifest(oid content.ObjectID) *content.Manifest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.manifests[oid]
+}
+
+// activeDownload returns the running download of an object, if any.
+func (c *Client) activeDownload(oid content.ObjectID) *Download {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.downloads[oid]
+}
+
+// registerStoredObjects (re)announces every locally stored object to the
+// control plane; used after login and in response to RE-ADD.
+func (c *Client) registerStoredObjects() {
+	if !c.prefs.UploadsEnabled() {
+		return
+	}
+	for _, oid := range c.store.Objects() {
+		bf := c.store.Have(oid)
+		if bf == nil || bf.Count() == 0 {
+			continue
+		}
+		c.control.send(&protocol.Register{
+			Object:    oid,
+			NumPieces: uint32(bf.Len()),
+			HaveCount: uint32(bf.Count()),
+			Complete:  bf.Complete(),
+		})
+	}
+}
+
+// reAddEntries builds the RE-ADD reply listing stored objects.
+func (c *Client) reAddEntries() []protocol.ReAddEntry {
+	if !c.prefs.UploadsEnabled() {
+		return nil
+	}
+	var out []protocol.ReAddEntry
+	for _, oid := range c.store.Objects() {
+		bf := c.store.Have(oid)
+		if bf == nil || bf.Count() == 0 {
+			continue
+		}
+		out = append(out, protocol.ReAddEntry{
+			Object:    oid,
+			NumPieces: uint32(bf.Len()),
+			HaveCount: uint32(bf.Count()),
+			Complete:  bf.Complete(),
+		})
+	}
+	return out
+}
+
+// WaitControlConnected blocks until the control connection is up or the
+// timeout elapses; tests and examples use it to sequence setups.
+func (c *Client) WaitControlConnected(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.control.connected() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return c.control.connected()
+}

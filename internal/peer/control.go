@@ -1,0 +1,368 @@
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"netsession/internal/content"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+)
+
+// controlConn maintains the persistent TCP connection to the control plane:
+// "Whenever the NetSession Interface is active and the peer is online, it
+// maintains a TCP connection to the control plane" (§3.4). It reconnects
+// with jittered backoff and honours the control plane's retry-after during
+// large-scale recovery (§3.8).
+type controlConn struct {
+	c *Client
+
+	mu        sync.Mutex
+	conn      net.Conn
+	connUp    bool
+	stopped   bool
+	waiters   map[content.ObjectID][]chan *protocol.QueryResult
+	retryAfer time.Duration
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newControlConn(c *Client) *controlConn {
+	return &controlConn{
+		c:       c,
+		waiters: make(map[content.ObjectID][]chan *protocol.QueryResult),
+		stopCh:  make(chan struct{}),
+	}
+}
+
+// start dials the control plane once synchronously (so callers get a fast
+// failure on misconfiguration) and then keeps the session alive in the
+// background.
+func (cc *controlConn) start() error {
+	conn, err := cc.dialAndLogin()
+	if err != nil {
+		return err
+	}
+	cc.wg.Add(1)
+	go cc.run(conn)
+	return nil
+}
+
+func (cc *controlConn) stop() {
+	cc.mu.Lock()
+	if cc.stopped {
+		cc.mu.Unlock()
+		return
+	}
+	cc.stopped = true
+	conn := cc.conn
+	cc.mu.Unlock()
+	close(cc.stopCh)
+	if conn != nil {
+		conn.Close()
+	}
+	cc.wg.Wait()
+}
+
+func (cc *controlConn) connected() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.connUp
+}
+
+// dialAndLogin opens a session with any configured CN.
+func (cc *controlConn) dialAndLogin() (net.Conn, error) {
+	var lastErr error
+	for _, addr := range cc.c.cfg.ControlAddrs {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cc.c.secMu.Lock()
+		secs := cc.c.secondaries.Window
+		cc.c.secMu.Unlock()
+		login := &protocol.Login{
+			GUID:            cc.c.cfg.GUID,
+			Secondaries:     secs,
+			SoftwareVersion: cc.c.SoftwareVersion(),
+			UploadsEnabled:  cc.c.prefs.UploadsEnabled(),
+			SwarmAddr:       cc.c.SwarmAddr(),
+			NAT:             cc.c.cfg.NAT,
+			DeclaredIP:      cc.c.cfg.DeclaredIP,
+		}
+		if err := protocol.WriteMessage(conn, login); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		cc.mu.Lock()
+		cc.conn = conn
+		cc.mu.Unlock()
+		return conn, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no control plane addresses")
+	}
+	return nil, fmt.Errorf("peer: control connect: %w", lastErr)
+}
+
+// run services one session at a time, reconnecting until stopped. A peer
+// whose CN goes down "simply reconnects to another one" (§3.8).
+func (cc *controlConn) run(conn net.Conn) {
+	defer cc.wg.Done()
+	stopPing := cc.startKeepalive()
+	defer stopPing()
+	for {
+		cc.readLoop(conn)
+		cc.mu.Lock()
+		cc.connUp = false
+		cc.conn = nil
+		stopped := cc.stopped
+		wait := cc.retryAfer
+		cc.retryAfer = 0
+		cc.mu.Unlock()
+		cc.failWaiters()
+		if stopped {
+			return
+		}
+		if wait == 0 {
+			wait = time.Duration(200+rand.Intn(300)) * time.Millisecond
+		}
+		select {
+		case <-cc.stopCh:
+			return
+		case <-time.After(wait):
+		}
+		var err error
+		conn, err = cc.dialAndLogin()
+		if err != nil {
+			cc.c.logf("control reconnect failed: %v", err)
+			conn = nil
+			// Try again after backoff.
+			select {
+			case <-cc.stopCh:
+				return
+			case <-time.After(time.Second):
+			}
+			continue
+		}
+	}
+}
+
+// startKeepalive pings the control plane periodically so half-dead TCP
+// sessions are detected instead of lingering silently.
+func (cc *controlConn) startKeepalive() (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(30 * time.Second)
+		defer t.Stop()
+		var nonce uint64
+		for {
+			select {
+			case <-done:
+				return
+			case <-cc.stopCh:
+				return
+			case <-t.C:
+				nonce++
+				cc.send(&protocol.Ping{Nonce: nonce})
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+func (cc *controlConn) readLoop(conn net.Conn) {
+	if conn == nil {
+		return
+	}
+	for {
+		// The keepalive guarantees traffic at least every 30s on a healthy
+		// session; a silent two-minute gap means the session is dead.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		msg, err := protocol.ReadMessage(conn)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		switch m := msg.(type) {
+		case *protocol.LoginAck:
+			if !m.OK {
+				cc.mu.Lock()
+				cc.retryAfer = time.Duration(m.RetryAfterMs) * time.Millisecond
+				cc.mu.Unlock()
+				conn.Close()
+				return
+			}
+			cc.mu.Lock()
+			cc.connUp = true
+			cc.mu.Unlock()
+			// Re-announce local content after every (re)login; the
+			// directory is soft state.
+			go cc.c.registerStoredObjects()
+		case *protocol.ConfigUpdate:
+			cc.c.applyConfig(m)
+		case *protocol.QueryResult:
+			cc.deliverQueryResult(m)
+		case *protocol.ConnectTo:
+			cc.c.handleConnectTo(m)
+		case *protocol.ReAdd:
+			cc.send(&protocol.ReAddReply{Entries: cc.c.reAddEntries()})
+		case *protocol.Ping:
+			cc.send(&protocol.Pong{Nonce: m.Nonce})
+		default:
+			// Tolerate unknown messages.
+		}
+	}
+}
+
+// send writes a message on the current session; messages sent while
+// disconnected are dropped (the state they carry is soft and re-announced
+// on reconnect).
+func (cc *controlConn) send(m protocol.Message) {
+	cc.mu.Lock()
+	conn := cc.conn
+	cc.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if err := protocol.WriteMessage(conn, m); err != nil {
+		conn.Close()
+	}
+}
+
+// query asks the control plane for peers holding an object and waits for
+// the result.
+func (cc *controlConn) query(oid content.ObjectID, token []byte, maxPeers int, timeout time.Duration) (*protocol.QueryResult, error) {
+	ch := make(chan *protocol.QueryResult, 1)
+	cc.mu.Lock()
+	cc.waiters[oid] = append(cc.waiters[oid], ch)
+	cc.mu.Unlock()
+	cc.send(&protocol.Query{Object: oid, Token: token, MaxPeers: uint16(maxPeers)})
+	select {
+	case r := <-ch:
+		if r == nil {
+			return nil, errors.New("peer: control connection lost during query")
+		}
+		if r.Err != "" {
+			return nil, fmt.Errorf("peer: query rejected: %s", r.Err)
+		}
+		return r, nil
+	case <-time.After(timeout):
+		cc.dropWaiter(oid, ch)
+		return nil, errors.New("peer: query timed out")
+	case <-cc.stopCh:
+		return nil, errors.New("peer: client closed")
+	}
+}
+
+func (cc *controlConn) deliverQueryResult(m *protocol.QueryResult) {
+	cc.mu.Lock()
+	chans := cc.waiters[m.Object]
+	if len(chans) > 0 {
+		cc.waiters[m.Object] = chans[1:]
+		if len(cc.waiters[m.Object]) == 0 {
+			delete(cc.waiters, m.Object)
+		}
+	}
+	cc.mu.Unlock()
+	if len(chans) > 0 {
+		chans[0] <- m
+	}
+}
+
+func (cc *controlConn) dropWaiter(oid content.ObjectID, ch chan *protocol.QueryResult) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	list := cc.waiters[oid]
+	for i, x := range list {
+		if x == ch {
+			cc.waiters[oid] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(cc.waiters[oid]) == 0 {
+		delete(cc.waiters, oid)
+	}
+}
+
+// failWaiters releases pending queries when the session drops.
+func (cc *controlConn) failWaiters() {
+	cc.mu.Lock()
+	all := cc.waiters
+	cc.waiters = make(map[content.ObjectID][]chan *protocol.QueryResult)
+	cc.mu.Unlock()
+	for _, chans := range all {
+		for _, ch := range chans {
+			ch <- nil
+		}
+	}
+}
+
+// applyConfig installs pushed client policy and triggers a background
+// self-upgrade when the fleet target version is ahead of ours: "the ability
+// to perform fast software upgrades without user interaction can help to
+// respond quickly to security or performance incidents" (§3.8).
+func (c *Client) applyConfig(m *protocol.ConfigUpdate) {
+	c.mu.Lock()
+	c.clientCfg.MaxUploadConns = int(m.MaxUploadConns)
+	c.clientCfg.PerObjectUploadCap = int(m.PerObjectUploadCap)
+	c.clientCfg.UploadRateBps = int64(m.UploadRateBps)
+	c.clientCfg.CacheTTLSec = int(m.CacheTTLSec)
+	c.uploads.applyConfig(c.clientCfg)
+	needsUpgrade := m.TargetVersion != "" && m.TargetVersion != c.cfg.SoftwareVersion
+	c.mu.Unlock()
+	if needsUpgrade {
+		go c.selfUpgrade(m.TargetVersion)
+	}
+}
+
+// selfUpgrade installs the new version (here: adopts the version string — a
+// real client would swap binaries), restarts the process-equivalent state
+// (a fresh secondary GUID, like any restart), and re-logs-in so the control
+// plane sees the upgraded version.
+func (c *Client) selfUpgrade(version string) {
+	c.mu.Lock()
+	if c.closed || c.cfg.SoftwareVersion == version {
+		c.mu.Unlock()
+		return
+	}
+	c.cfg.SoftwareVersion = version
+	c.mu.Unlock()
+	c.logf("self-upgrading to %s", version)
+	c.secMu.Lock()
+	c.secondaries.Push(id.NewSecondary())
+	c.secMu.Unlock()
+	// Drop the control session; the reconnect logic logs in with the new
+	// version.
+	c.control.mu.Lock()
+	conn := c.control.conn
+	c.control.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// handleConnectTo reacts to the control plane's instruction to connect to
+// another peer. If we are downloading the object, the peer is an extra
+// candidate; if we hold the object and serve uploads, we dial back so both
+// sides initiate (the hole-punch choreography of §3.7).
+func (c *Client) handleConnectTo(m *protocol.ConnectTo) {
+	if d := c.activeDownload(m.Object); d != nil {
+		d.addCandidate(m.Peer)
+		return
+	}
+	if !c.prefs.UploadsEnabled() {
+		return
+	}
+	if bf := c.store.Have(m.Object); bf != nil && bf.Count() > 0 {
+		go c.uploads.dialBack(m.Object, m.Peer)
+	}
+}

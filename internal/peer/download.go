@@ -1,0 +1,683 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"netsession/internal/content"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+)
+
+// downloadState is the lifecycle of a Download.
+type downloadState int
+
+const (
+	stateRunning downloadState = iota
+	statePaused
+	stateDone
+)
+
+// Result summarizes a finished download; its fields mirror the CN log
+// record (§4.1).
+type Result struct {
+	Object        content.ObjectID
+	Outcome       protocol.Outcome
+	BytesInfra    int64
+	BytesPeers    int64
+	FromPeers     map[id.GUID]int64
+	PeersReturned int
+	Duration      time.Duration
+}
+
+// PeerEfficiency returns the fraction of bytes that came from peers.
+func (r *Result) PeerEfficiency() float64 {
+	t := r.BytesInfra + r.BytesPeers
+	if t == 0 {
+		return 0
+	}
+	return float64(r.BytesPeers) / float64(t)
+}
+
+// DownloadOpts tunes one transfer.
+type DownloadOpts struct {
+	// Sequential requests pieces in order — the streaming-delivery mode
+	// (NetSession "also supports video streaming", §3.4). The default
+	// randomizes piece selection across the swarm, which diversifies which
+	// pieces each peer holds.
+	Sequential bool
+}
+
+// Download is one Download-Manager transfer (§3.3): it downloads from the
+// edge servers over HTTP while, in parallel, querying the control plane for
+// peers and swarming with them. The edge connection guarantees progress
+// independent of the peers.
+type Download struct {
+	c        *Client
+	oid      content.ObjectID
+	manifest *content.Manifest
+	token    []byte
+	p2p      bool
+	opts     DownloadOpts
+	start    time.Time
+	rng      *rand.Rand // guarded by mu
+
+	mu            sync.Mutex
+	have          *content.Bitfield
+	inflight      map[int]int
+	pendingReq    map[*swarmConn]int
+	conns         map[*swarmConn]bool
+	candidates    []protocol.PeerInfo
+	dialed        map[id.GUID]bool
+	bytesInfra    int64
+	bytesPeers    int64
+	fromPeers     map[id.GUID]int64
+	peersReturned int
+	queried       bool
+	corrupt       int
+	state         downloadState
+	outcome       protocol.Outcome
+	pauseCh       chan struct{} // closed while running; replaced when paused
+
+	doneCh   chan struct{}
+	reported bool
+}
+
+// Download starts downloading an object. It returns immediately with a
+// handle; use Wait for completion. Downloads of objects already in progress
+// return the existing handle.
+func (c *Client) Download(oid content.ObjectID) (*Download, error) {
+	return c.DownloadWith(oid, DownloadOpts{})
+}
+
+// DownloadWith starts a download with explicit options.
+func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Download, error) {
+	c.mu.Lock()
+	if d := c.downloads[oid]; d != nil {
+		c.mu.Unlock()
+		return d, nil
+	}
+	c.mu.Unlock()
+
+	auth, err := c.edge.Authorize(c.cfg.GUID, oid)
+	if err != nil {
+		return nil, fmt.Errorf("peer: authorize: %w", err)
+	}
+	m, err := c.manifest(oid)
+	if err != nil {
+		return nil, fmt.Errorf("peer: manifest: %w", err)
+	}
+	d := &Download{
+		c:          c,
+		oid:        oid,
+		manifest:   m,
+		token:      auth.Token,
+		p2p:        auth.P2P,
+		opts:       opts,
+		start:      time.Now(),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		inflight:   make(map[int]int),
+		pendingReq: make(map[*swarmConn]int),
+		conns:      make(map[*swarmConn]bool),
+		dialed:     make(map[id.GUID]bool),
+		fromPeers:  make(map[id.GUID]int64),
+		pauseCh:    closedChan(),
+		doneCh:     make(chan struct{}),
+	}
+	// Resume support: start from whatever the store already holds.
+	if bf := c.store.Have(oid); bf != nil {
+		d.have = bf
+	} else {
+		d.have = content.NewBitfield(m.Object.NumPieces())
+	}
+
+	c.mu.Lock()
+	if existing := c.downloads[oid]; existing != nil {
+		c.mu.Unlock()
+		return existing, nil
+	}
+	c.downloads[oid] = d
+	c.mu.Unlock()
+
+	if d.have.Complete() {
+		// Already fully cached; finish immediately.
+		go d.finish(protocol.OutcomeCompleted)
+	} else {
+		go d.edgeLoop()
+		if d.p2p {
+			go d.peerLoop()
+		}
+	}
+	return d, nil
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// Object returns the object being downloaded.
+func (d *Download) Object() content.Object { return d.manifest.Object }
+
+// Wait blocks until the download reaches a terminal state or the context is
+// cancelled; cancellation aborts the download.
+func (d *Download) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-d.doneCh:
+	case <-ctx.Done():
+		d.Abort()
+		<-d.doneCh
+	}
+	return d.result(), nil
+}
+
+func (d *Download) result() *Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fp := make(map[id.GUID]int64, len(d.fromPeers))
+	for g, b := range d.fromPeers {
+		fp[g] = b
+	}
+	return &Result{
+		Object:        d.oid,
+		Outcome:       d.outcome,
+		BytesInfra:    d.bytesInfra,
+		BytesPeers:    d.bytesPeers,
+		FromPeers:     fp,
+		PeersReturned: d.peersReturned,
+		Duration:      time.Since(d.start),
+	}
+}
+
+// Pause suspends the download; in-flight pieces complete, then activity
+// stops. Users "can pause and resume downloads" (§3.3).
+func (d *Download) Pause() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != stateRunning {
+		return
+	}
+	d.state = statePaused
+	d.pauseCh = make(chan struct{})
+}
+
+// Resume continues a paused download.
+func (d *Download) Resume() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != statePaused {
+		return
+	}
+	d.state = stateRunning
+	close(d.pauseCh)
+}
+
+// Abort terminates the download; the log will show it as aborted/paused and
+// never resumed.
+func (d *Download) Abort() { d.finish(protocol.OutcomeAborted) }
+
+// Progress returns verified and total piece counts.
+func (d *Download) Progress() (havePieces, totalPieces int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.have.Count(), d.have.Len()
+}
+
+// running reports whether work should proceed, blocking while paused.
+func (d *Download) running() bool {
+	d.mu.Lock()
+	state := d.state
+	pause := d.pauseCh
+	d.mu.Unlock()
+	switch state {
+	case stateDone:
+		return false
+	case statePaused:
+		select {
+		case <-pause:
+			return d.running()
+		case <-d.doneCh:
+			return false
+		}
+	}
+	return true
+}
+
+// takeEdgePiece picks the next piece for the edge connection: the first
+// missing piece nobody is fetching. When only in-flight pieces remain and
+// the swarm has stalled, the edge duplicates an in-flight piece — the
+// backstop that makes progress independent of peers ("if a peer is 'unlucky'
+// and picks peers that are slow or unreliable, the infrastructure can cover
+// the difference", §3.3).
+func (d *Download) takeEdgePiece(allowDup bool) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.have.Len()
+	fallback := -1
+	for i := 0; i < n; i++ {
+		if d.have.Has(i) {
+			continue
+		}
+		if d.inflight[i] == 0 {
+			d.inflight[i]++
+			return i
+		}
+		if fallback < 0 {
+			fallback = i
+		}
+	}
+	if allowDup && fallback >= 0 {
+		d.inflight[fallback]++
+		return fallback
+	}
+	return -1
+}
+
+func (d *Download) releaseInflight(i int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.inflight[i] > 1 {
+		d.inflight[i]--
+	} else {
+		delete(d.inflight, i)
+	}
+}
+
+// edgeLoop downloads pieces over HTTP until the object completes or the
+// download ends.
+func (d *Download) edgeLoop() {
+	stall := 0
+	backoff := 200 * time.Millisecond
+	for d.running() {
+		idx := d.takeEdgePiece(stall > 5)
+		if idx < 0 {
+			d.mu.Lock()
+			complete := d.have.Complete()
+			d.mu.Unlock()
+			if complete {
+				return
+			}
+			stall++
+			select {
+			case <-d.doneCh:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		stall = 0
+		data, err := d.c.edge.FetchPiece(d.manifest, d.token, idx)
+		d.releaseInflight(idx)
+		if err != nil {
+			d.c.logf("edge fetch piece %d: %v", idx, err)
+			select {
+			case <-d.doneCh:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 200 * time.Millisecond
+		d.storeVerified(idx, data, id.GUID{}, true)
+	}
+}
+
+// peerLoop manages swarm membership: it queries the control plane for
+// candidates and dials them, issuing "additional queries ... until a
+// sufficient number of peer connections succeed" (§3.7).
+func (d *Download) peerLoop() {
+	lastQuery := time.Time{}
+	for d.running() {
+		d.mu.Lock()
+		complete := d.have.Complete()
+		nConns := len(d.conns)
+		var cand protocol.PeerInfo
+		haveCand := false
+		if len(d.candidates) > 0 {
+			cand = d.candidates[0]
+			d.candidates = d.candidates[1:]
+			haveCand = true
+		}
+		needQuery := !haveCand && nConns < d.c.cfg.MaxPeerConnsPerDownload &&
+			time.Since(lastQuery) > d.c.cfg.RequeryInterval
+		d.mu.Unlock()
+		if complete {
+			return
+		}
+		switch {
+		case haveCand:
+			d.dialCandidate(cand)
+		case needQuery:
+			lastQuery = time.Now()
+			qr, err := d.c.control.query(d.oid, d.token, 40, 5*time.Second)
+			if err != nil {
+				d.c.logf("peer query: %v", err)
+				break
+			}
+			d.mu.Lock()
+			if !d.queried {
+				d.queried = true
+				d.peersReturned = len(qr.Peers)
+			}
+			for _, p := range qr.Peers {
+				if !d.dialed[p.GUID] && p.GUID != d.c.cfg.GUID {
+					d.candidates = append(d.candidates, p)
+				}
+			}
+			d.mu.Unlock()
+		}
+		select {
+		case <-d.doneCh:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (d *Download) dialCandidate(p protocol.PeerInfo) {
+	d.mu.Lock()
+	if d.dialed[p.GUID] || len(d.conns) >= d.c.cfg.MaxPeerConnsPerDownload {
+		d.mu.Unlock()
+		return
+	}
+	d.dialed[p.GUID] = true
+	d.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := d.c.dialSwarm(ctx, d, p); err != nil {
+		d.c.logf("swarm dial %s: %v", p.Addr, err)
+	}
+}
+
+// addCandidate feeds a control-plane-suggested peer into the dial queue.
+func (d *Download) addCandidate(p protocol.PeerInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.dialed[p.GUID] && p.GUID != d.c.cfg.GUID {
+		d.candidates = append(d.candidates, p)
+	}
+}
+
+func (d *Download) attachConn(sc *swarmConn) {
+	d.mu.Lock()
+	d.conns[sc] = true
+	d.pendingReq[sc] = -1
+	d.mu.Unlock()
+}
+
+func (d *Download) removeConn(sc *swarmConn) {
+	d.mu.Lock()
+	if idx, ok := d.pendingReq[sc]; ok && idx >= 0 {
+		if d.inflight[idx] > 1 {
+			d.inflight[idx]--
+		} else {
+			delete(d.inflight, idx)
+		}
+	}
+	delete(d.pendingReq, sc)
+	delete(d.conns, sc)
+	d.mu.Unlock()
+}
+
+// kickScheduler issues the next piece request on a connection that has no
+// outstanding request. One outstanding request per connection keeps the
+// implementation simple while still filling multi-peer pipelines.
+func (d *Download) kickScheduler(sc *swarmConn) {
+	if !d.running() {
+		return
+	}
+	remote := sc.remoteBitfield()
+	if remote == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.state != stateRunning || !d.conns[sc] {
+		d.mu.Unlock()
+		return
+	}
+	if idx, ok := d.pendingReq[sc]; ok && idx >= 0 {
+		d.mu.Unlock()
+		return // request already outstanding
+	}
+	pick := -1
+	n := d.have.Len()
+	if d.opts.Sequential {
+		for i := 0; i < n; i++ {
+			if !d.have.Has(i) && remote.Has(i) && d.inflight[i] == 0 {
+				pick = i
+				break
+			}
+		}
+	} else {
+		// Randomize among the first eligible pieces so concurrent peers
+		// fetch disjoint pieces and can trade them.
+		var cands []int
+		for i := 0; i < n && len(cands) < 32; i++ {
+			if !d.have.Has(i) && remote.Has(i) && d.inflight[i] == 0 {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) > 0 {
+			pick = cands[d.rng.Intn(len(cands))]
+		}
+	}
+	if pick < 0 {
+		// End-game: few pieces left, all in flight; duplicate one that the
+		// remote has so a slow source cannot stall completion.
+		missing := d.have.Missing(8)
+		for _, i := range missing {
+			if remote.Has(i) {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			d.mu.Unlock()
+			return
+		}
+	}
+	d.inflight[pick]++
+	d.pendingReq[sc] = pick
+	d.mu.Unlock()
+	if err := sc.send(&protocol.Request{Index: uint32(pick)}); err != nil {
+		d.releaseInflight(pick)
+		d.mu.Lock()
+		d.pendingReq[sc] = -1
+		d.mu.Unlock()
+	}
+}
+
+// onPiece handles a piece arriving from a swarm connection.
+func (d *Download) onPiece(sc *swarmConn, idx int, data []byte) {
+	d.mu.Lock()
+	if cur, ok := d.pendingReq[sc]; ok && cur == idx {
+		d.pendingReq[sc] = -1
+		if d.inflight[idx] > 1 {
+			d.inflight[idx]--
+		} else {
+			delete(d.inflight, idx)
+		}
+	}
+	d.mu.Unlock()
+	if err := d.manifest.Verify(idx, data); err != nil {
+		// "If a peer cannot validate a file piece, it discards the piece
+		// and does not upload it to other peers" (§3.5).
+		d.mu.Lock()
+		d.corrupt++
+		tooMany := d.corrupt > 25
+		d.mu.Unlock()
+		sc.mu.Lock()
+		sc.corrupt++
+		badPeer := sc.corrupt >= 3
+		sc.mu.Unlock()
+		d.c.logf("corrupt piece %d from %s", idx, sc.remote.Short())
+		d.c.reportProblem("piece-corrupt",
+			fmt.Sprintf("object %v piece %d from peer %s", d.oid, idx, sc.remote.Short()))
+		if badPeer {
+			// A peer that repeatedly fails verification is broken or
+			// hostile; drop it and let the edge (and honest peers) cover.
+			sc.send(&protocol.Goodbye{Reason: "verification failures"})
+			sc.close()
+			return
+		}
+		if tooMany {
+			// Corruption across many sources: give up with the §5.2
+			// "system-related" failure cause.
+			d.finish(protocol.OutcomeFailedSystem)
+			return
+		}
+		d.kickScheduler(sc)
+		return
+	}
+	d.storeVerified(idx, data, sc.remote, false)
+	d.kickScheduler(sc)
+}
+
+// storeVerified persists a verified piece, updates accounting, announces it
+// to the swarm, and completes the download when it was the last piece.
+func (d *Download) storeVerified(idx int, data []byte, from id.GUID, infra bool) {
+	d.mu.Lock()
+	if d.state == stateDone {
+		d.mu.Unlock()
+		return
+	}
+	dup := d.have.Has(idx)
+	d.mu.Unlock()
+	if dup {
+		return // end-game duplicate; drop silently
+	}
+	if err := d.c.store.Put(d.manifest, idx, data); err != nil {
+		// The piece verified but storage failed: a user-side problem
+		// (e.g. the disk is full), a "failed (other)" outcome in §5.2.
+		d.c.logf("store piece %d: %v", idx, err)
+		d.finish(protocol.OutcomeFailedOther)
+		return
+	}
+	d.mu.Lock()
+	if d.have.Has(idx) {
+		d.mu.Unlock()
+		return
+	}
+	d.have.Set(idx)
+	if infra {
+		d.bytesInfra += int64(len(data))
+	} else {
+		d.bytesPeers += int64(len(data))
+		d.fromPeers[from] += int64(len(data))
+	}
+	haveCount := d.have.Count()
+	total := d.have.Len()
+	complete := d.have.Complete()
+	conns := make([]*swarmConn, 0, len(d.conns))
+	for sc := range d.conns {
+		conns = append(conns, sc)
+	}
+	d.mu.Unlock()
+	for _, sc := range conns {
+		sc.send(&protocol.Have{Index: uint32(idx)})
+	}
+	// Partially downloaded objects are already shareable: the DN tracks
+	// partial holders (Register carries HaveCount, §3.6). Announce at each
+	// quarter so concurrent downloaders of a hot object find each other
+	// mid-swarm.
+	if !complete && d.c.prefs.UploadsEnabled() && total >= 8 {
+		quarter := total / 4
+		if quarter > 0 && haveCount%quarter == 0 {
+			d.c.control.send(&protocol.Register{
+				Object:    d.oid,
+				NumPieces: uint32(total),
+				HaveCount: uint32(haveCount),
+				Complete:  false,
+			})
+		}
+	}
+	if complete {
+		d.finish(protocol.OutcomeCompleted)
+	}
+}
+
+// finish moves the download to a terminal state exactly once, reports the
+// usage record, registers the completed object for upload, and cleans up.
+func (d *Download) finish(outcome protocol.Outcome) {
+	d.mu.Lock()
+	if d.state == stateDone {
+		d.mu.Unlock()
+		return
+	}
+	if d.state == statePaused {
+		close(d.pauseCh)
+	}
+	d.state = stateDone
+	d.outcome = outcome
+	conns := make([]*swarmConn, 0, len(d.conns))
+	for sc := range d.conns {
+		conns = append(conns, sc)
+	}
+	d.mu.Unlock()
+
+	for _, sc := range conns {
+		sc.send(&protocol.Goodbye{Reason: "download finished"})
+		sc.close()
+	}
+	if outcome == protocol.OutcomeFailedSystem {
+		d.c.reportProblem("download-failed-system", d.oid.String())
+	}
+
+	d.c.mu.Lock()
+	if d.c.downloads[d.oid] == d {
+		delete(d.c.downloads, d.oid)
+	}
+	d.c.mu.Unlock()
+
+	d.report()
+	if outcome == protocol.OutcomeCompleted {
+		d.c.markCached(d.oid)
+	}
+	if outcome == protocol.OutcomeCompleted && d.c.prefs.UploadsEnabled() {
+		bf := d.c.store.Have(d.oid)
+		if bf != nil && bf.Count() > 0 {
+			d.c.control.send(&protocol.Register{
+				Object:    d.oid,
+				NumPieces: uint32(bf.Len()),
+				HaveCount: uint32(bf.Count()),
+				Complete:  bf.Complete(),
+			})
+		}
+	}
+	close(d.doneCh)
+}
+
+// report uploads the usage statistics record for billing (§3.4).
+func (d *Download) report() {
+	d.mu.Lock()
+	if d.reported {
+		d.mu.Unlock()
+		return
+	}
+	d.reported = true
+	rep := &protocol.StatsReport{
+		Object:        d.oid,
+		URLHash:       d.manifest.Object.URL,
+		CP:            uint32(d.manifest.Object.CP),
+		Size:          uint64(d.manifest.Object.Size),
+		StartUnixMs:   d.start.UnixMilli(),
+		EndUnixMs:     time.Now().UnixMilli(),
+		BytesInfra:    uint64(d.bytesInfra),
+		BytesPeers:    uint64(d.bytesPeers),
+		Outcome:       d.outcome,
+		PeersReturned: uint16(d.peersReturned),
+		Token:         d.token,
+	}
+	for g, b := range d.fromPeers {
+		rep.FromPeers = append(rep.FromPeers, protocol.PeerBytes{GUID: g, Bytes: uint64(b)})
+	}
+	d.mu.Unlock()
+	d.c.control.send(rep)
+}

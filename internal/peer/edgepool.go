@@ -1,0 +1,100 @@
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"netsession/internal/content"
+	"netsession/internal/edge"
+	"netsession/internal/id"
+)
+
+// edgePool fronts one or more edge servers with failover. Akamai's edge is
+// a fleet; the client's DNS-selected server can fail mid-download, and the
+// DLM simply continues against another one. The pool prefers the server
+// that last succeeded and rotates on error.
+type edgePool struct {
+	mu      sync.Mutex
+	clients []*edge.Client
+	// current is the preferred index.
+	current int
+}
+
+func newEdgePool(urls []string) (*edgePool, error) {
+	p := &edgePool{}
+	for _, u := range urls {
+		if u == "" {
+			continue
+		}
+		p.clients = append(p.clients, &edge.Client{BaseURL: u})
+	}
+	if len(p.clients) == 0 {
+		return nil, errors.New("peer: no edge URLs configured")
+	}
+	return p, nil
+}
+
+// do runs op against edge servers starting from the preferred one, rotating
+// until one succeeds or all have failed.
+func (p *edgePool) do(op func(*edge.Client) error) error {
+	p.mu.Lock()
+	start := p.current
+	n := len(p.clients)
+	p.mu.Unlock()
+	var lastErr error
+	for k := 0; k < n; k++ {
+		ix := (start + k) % n
+		err := op(p.clients[ix])
+		if err == nil {
+			p.mu.Lock()
+			p.current = ix
+			p.mu.Unlock()
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("peer: all %d edge servers failed: %w", n, lastErr)
+}
+
+// Authorize obtains a download authorization with failover.
+func (p *edgePool) Authorize(g id.GUID, oid content.ObjectID) (*edge.Authorization, error) {
+	var out *edge.Authorization
+	err := p.do(func(c *edge.Client) error {
+		a, err := c.Authorize(g, oid)
+		if err != nil {
+			return err
+		}
+		out = a
+		return nil
+	})
+	return out, err
+}
+
+// FetchManifest downloads a manifest with failover.
+func (p *edgePool) FetchManifest(oid content.ObjectID) (*content.Manifest, error) {
+	var out *content.Manifest
+	err := p.do(func(c *edge.Client) error {
+		m, err := c.FetchManifest(oid)
+		if err != nil {
+			return err
+		}
+		out = m
+		return nil
+	})
+	return out, err
+}
+
+// FetchPiece downloads and verifies one piece with failover.
+func (p *edgePool) FetchPiece(m *content.Manifest, token []byte, index int) ([]byte, error) {
+	var out []byte
+	err := p.do(func(c *edge.Client) error {
+		data, err := c.FetchPiece(m, token, index)
+		if err != nil {
+			return err
+		}
+		out = data
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,67 @@
+package peer
+
+import (
+	"testing"
+
+	"netsession/internal/content"
+	"netsession/internal/edge"
+	"netsession/internal/id"
+)
+
+func TestEdgePoolRequiresURL(t *testing.T) {
+	if _, err := newEdgePool([]string{"", ""}); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	p, err := newEdgePool([]string{"", "http://a", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.clients) != 1 {
+		t.Fatalf("pool kept %d clients", len(p.clients))
+	}
+}
+
+func TestEdgePoolFailoverAndStickiness(t *testing.T) {
+	obj, err := content.NewObject(1, "pool", 1, 40_000, 8192, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := edge.NewCatalog()
+	if err := cat.PublishSynthetic(obj); err != nil {
+		t.Fatal(err)
+	}
+	minter := edge.NewTokenMinter([]byte("pool-key"))
+	ledger := edge.NewLedger()
+	good := edge.NewServer(cat, minter, ledger, edge.DefaultClientConfig())
+	if err := good.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+
+	// First URL is dead; the pool must fail over and then stick to the
+	// working server.
+	pool, err := newEdgePool([]string{"http://127.0.0.1:1", "http://" + good.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := pool.Authorize(id.NewGUID(), obj.ID)
+	if err != nil {
+		t.Fatalf("authorize via failover: %v", err)
+	}
+	if pool.current != 1 {
+		t.Errorf("pool did not stick to the working server (current=%d)", pool.current)
+	}
+	m, err := pool.FetchManifest(obj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.FetchPiece(m, auth.Token, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// All servers down: the error names the failure count.
+	good.Close()
+	if _, err := pool.FetchManifest(obj.ID); err == nil {
+		t.Fatal("fetch succeeded with every edge server down")
+	}
+}

@@ -1,0 +1,89 @@
+package peer
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netsession/internal/id"
+)
+
+// State is the on-disk installation state of the NetSession Interface: the
+// primary GUID chosen at install time, the user's upload preference, and
+// the secondary-GUID window. The window must persist across restarts — a
+// healthy installation reports overlapping sequences (5 4 3 2 1, then
+// 6 5 4 3 2, §6.2), which only works if past secondaries survive the
+// process. Copying a state directory to another machine is exactly the
+// cloning/re-imaging behaviour the paper detects in Figure 12.
+type State struct {
+	GUID           id.GUID
+	UploadsEnabled bool
+	Secondaries    id.History
+}
+
+// stateFile is the JSON representation.
+type stateFile struct {
+	GUID           string   `json:"guid"`
+	UploadsEnabled bool     `json:"uploadsEnabled"`
+	Secondaries    []string `json:"secondaries"`
+}
+
+const stateFileName = "netsession-state.json"
+
+// LoadOrCreateState reads the installation state from dir, creating a fresh
+// installation (new random GUID) if none exists.
+func LoadOrCreateState(dir string, uploadsDefault bool) (*State, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("peer: state dir: %w", err)
+	}
+	path := filepath.Join(dir, stateFileName)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		st := &State{GUID: id.NewGUID(), UploadsEnabled: uploadsDefault}
+		if err := st.Save(dir); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("peer: read state: %w", err)
+	}
+	var sf stateFile
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		return nil, fmt.Errorf("peer: parse state: %w", err)
+	}
+	st := &State{UploadsEnabled: sf.UploadsEnabled}
+	if st.GUID, err = id.ParseGUID(sf.GUID); err != nil {
+		return nil, err
+	}
+	for i, hexSec := range sf.Secondaries {
+		if i >= id.HistoryLen {
+			break
+		}
+		b, err := hex.DecodeString(hexSec)
+		if err != nil || len(b) != 20 {
+			return nil, fmt.Errorf("peer: bad secondary %q in state", hexSec)
+		}
+		copy(st.Secondaries.Window[i][:], b)
+	}
+	return st, nil
+}
+
+// Save writes the state to dir atomically.
+func (st *State) Save(dir string) error {
+	sf := stateFile{GUID: st.GUID.String(), UploadsEnabled: st.UploadsEnabled}
+	for _, s := range st.Secondaries.Window {
+		sf.Secondaries = append(sf.Secondaries, s.String())
+	}
+	raw, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, stateFileName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("peer: write state: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(dir, stateFileName))
+}

@@ -1,0 +1,74 @@
+package peer
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/netip"
+	"time"
+
+	"netsession/internal/nat"
+)
+
+// discoverReflexive queries the configured STUN server for the client's
+// reflexive transport address — the connectivity detail the control plane's
+// DN records for NAT-aware selection (§3.6). Errors are soft: a client
+// behind a UDP-blocking firewall still works, it just reports NATBlocked
+// semantics to the operator.
+func (c *Client) discoverReflexive() {
+	if c.cfg.STUNAddr == "" {
+		return
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		c.logf("stun socket: %v", err)
+		return
+	}
+	defer pc.Close()
+	addr, err := nat.Discover(pc, c.cfg.STUNAddr, uint64(time.Now().UnixNano()), 3*time.Second)
+	if err != nil {
+		c.logf("stun discover: %v", err)
+		c.reportProblem("nat-fail", err.Error())
+		return
+	}
+	c.mu.Lock()
+	c.reflexive = addr
+	c.mu.Unlock()
+	c.logf("reflexive address %v", addr)
+}
+
+// ReflexiveAddr returns the STUN-discovered mapped address, or a zero value
+// when discovery was disabled or failed.
+func (c *Client) ReflexiveAddr() netip.AddrPort {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reflexive
+}
+
+// reportProblem uploads an operational report to the monitoring node,
+// best-effort and asynchronous ("peers upload information about their
+// operation and about problems ... to these nodes", §3.6).
+func (c *Client) reportProblem(kind, detail string) {
+	url := c.cfg.MonitorURL
+	if url == "" {
+		return
+	}
+	body, err := json.Marshal(map[string]any{
+		"timeMs": time.Now().UnixMilli(),
+		"guid":   c.cfg.GUID.String(),
+		"kind":   kind,
+		"detail": detail,
+	})
+	if err != nil {
+		return
+	}
+	go func() {
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Post(url+"/v1/report", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		resp.Body.Close()
+	}()
+}

@@ -1,0 +1,94 @@
+package peer
+
+import (
+	"testing"
+	"time"
+
+	"netsession/internal/content"
+	"netsession/internal/edge"
+)
+
+// newTestUploadManager builds an upload manager detached from a live client.
+func newTestUploadManager(maxConns, perObjectCap int, rateBps int64) *uploadManager {
+	u := newUploadManager(&Client{})
+	cfg := edge.DefaultClientConfig()
+	cfg.MaxUploadConns = maxConns
+	cfg.PerObjectUploadCap = perObjectCap
+	cfg.UploadRateBps = rateBps
+	u.applyConfig(cfg)
+	return u
+}
+
+func TestUploadManagerGlobalLimit(t *testing.T) {
+	u := newTestUploadManager(2, 0, 0)
+	oid := content.NewObjectID(1, "o", 1)
+	a := &swarmConn{oid: oid}
+	b := &swarmConn{oid: oid}
+	c := &swarmConn{oid: oid}
+	if !u.tryAcquire(a) || !u.tryAcquire(b) {
+		t.Fatal("slots under the limit refused")
+	}
+	if u.tryAcquire(c) {
+		t.Fatal("third slot granted over MaxUploadConns=2")
+	}
+	if u.ActiveUploads() != 2 {
+		t.Fatalf("ActiveUploads=%d", u.ActiveUploads())
+	}
+	u.release(a)
+	if !u.tryAcquire(c) {
+		t.Fatal("slot not granted after release")
+	}
+}
+
+func TestUploadManagerPerObjectCap(t *testing.T) {
+	u := newTestUploadManager(0, 2, 0)
+	oid := content.NewObjectID(1, "o", 1)
+	other := content.NewObjectID(1, "p", 1)
+	if !u.tryAcquire(&swarmConn{oid: oid}) || !u.tryAcquire(&swarmConn{oid: oid}) {
+		t.Fatal("sessions under the cap refused")
+	}
+	// The cap counts sessions ever granted for the object (§3.9: "peers
+	// upload each object at most a limited number of times"), so a third
+	// session is refused even though earlier ones may have ended.
+	if u.tryAcquire(&swarmConn{oid: oid}) {
+		t.Fatal("per-object cap not enforced")
+	}
+	if !u.tryAcquire(&swarmConn{oid: other}) {
+		t.Fatal("cap leaked across objects")
+	}
+}
+
+func TestUploadManagerThrottle(t *testing.T) {
+	// 80 kbit/s: sending 2x 10 KB must take ≈1s for the second send.
+	u := newTestUploadManager(0, 0, 80_000)
+	start := time.Now()
+	u.throttle(10_000) // first send charges the bucket but does not wait
+	u.throttle(10_000) // second send waits for the first's drain time
+	elapsed := time.Since(start)
+	if elapsed < 700*time.Millisecond {
+		t.Fatalf("throttle too permissive: %v", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("throttle too strict: %v", elapsed)
+	}
+}
+
+func TestUploadManagerThrottleUnlimited(t *testing.T) {
+	u := newTestUploadManager(0, 0, 0)
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		u.throttle(1 << 20)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("unlimited rate should never sleep")
+	}
+}
+
+func TestUploadManagerCountBytes(t *testing.T) {
+	u := newTestUploadManager(0, 0, 0)
+	u.countBytes(100)
+	u.countBytes(23)
+	if got := u.UploadedBytes(); got != 123 {
+		t.Fatalf("UploadedBytes=%d", got)
+	}
+}

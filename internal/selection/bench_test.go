@@ -1,0 +1,55 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+
+	"netsession/internal/content"
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+)
+
+// BenchmarkSelect40 measures one full locality-aware selection against a
+// directory holding 10,000 registrations of one hot object — the DN's hot
+// path for popular content.
+func BenchmarkSelect40(b *testing.B) {
+	acfg := geo.DefaultAtlasConfig()
+	acfg.TailCountries = 2
+	atlas := geo.GenerateAtlas(acfg)
+	scape := geo.NewEdgeScape(atlas)
+	dir := NewDirectory(0)
+	r := rand.New(rand.NewSource(1))
+	oid := content.NewObjectID(1, "hot", 1)
+
+	for i := 0; i < 10_000; i++ {
+		rec, err := scape.AllocateRandom(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir.Register(oid, Entry{
+			Info: protocol.PeerInfo{
+				GUID: id.RandGUID(r), Addr: "a:1",
+				NAT: protocol.NATClass(r.Intn(5)), ASN: uint32(rec.ASN),
+			},
+			Rec: rec, Complete: true, RegisteredMs: 0,
+		})
+	}
+	req, err := scape.AllocateRandom(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := DefaultPolicy()
+	pol.SoftStateTTLMs = 0
+	q := Query{
+		Object: oid, Requester: req, RequesterGUID: id.RandGUID(r),
+		RequesterNAT: protocol.NATNone, Rand: r,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := dir.Select(pol, q); len(got) == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package selection implements the database-node directory of file
+// locations and the locality-aware peer-selection strategy of §3.7.
+//
+// Selection is two-level. The first level is region-based: each directory
+// instance serves one control-plane network region, and connection nodes
+// query only their local directory ("long-term experimentation has shown
+// that using only local DNs in searches does not negatively impact
+// performance"). The second level is geolocation-based: within a directory,
+// each peer belongs to nested locality sets (AS ⊂ country ⊂ continent ⊂
+// World), and "selection begins with peers from the most specific set that
+// the querying peer belongs to, and proceeds to less specific sets until
+// enough suitable peers are found", with occasional diversity picks from
+// less specific sets, fairness rotation, and NAT-compatibility filtering.
+package selection
+
+import (
+	"sync"
+
+	"netsession/internal/content"
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+)
+
+// Entry is one peer's registration for one object.
+type Entry struct {
+	Info protocol.PeerInfo
+	Rec  geo.Record
+	// Complete reports whether the peer holds every piece; partial holders
+	// are still useful uploaders mid-swarm.
+	Complete bool
+	// RegisteredMs is the soft-state timestamp; stale entries are purged.
+	RegisteredMs int64
+}
+
+// Directory is the DN database for one network region: "a database of which
+// objects are currently available on which peers, as well as details about
+// the connectivity of these peers" (§3.6). It is safe for concurrent use.
+type Directory struct {
+	region geo.NetworkRegion
+
+	mu      sync.Mutex
+	objects map[content.ObjectID]*objectEntry
+	// peerObjects tracks, per peer, which objects it has registered, so a
+	// peer's departure can be cleaned up in one call.
+	peerObjects map[id.GUID]map[content.ObjectID]bool
+}
+
+type objectEntry struct {
+	// entries holds the registration per peer.
+	entries map[id.GUID]*Entry
+	// bySet keeps a fairness-ordered list of GUIDs per locality set: a
+	// selected peer moves to the tail ("when a peer is selected, it is
+	// placed at the end of a peer selection list for fairness").
+	bySet map[geo.SetKey][]id.GUID
+}
+
+// NewDirectory creates an empty directory for a region.
+func NewDirectory(region geo.NetworkRegion) *Directory {
+	return &Directory{
+		region:      region,
+		objects:     make(map[content.ObjectID]*objectEntry),
+		peerObjects: make(map[id.GUID]map[content.ObjectID]bool),
+	}
+}
+
+// Region returns the network region this directory serves.
+func (d *Directory) Region() geo.NetworkRegion { return d.region }
+
+// Register adds or refreshes a peer's registration for an object. Peers
+// appear here only when uploads are enabled and they hold content (§3.6);
+// enforcing that is the caller's (CN's) job.
+func (d *Directory) Register(obj content.ObjectID, e Entry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	oe := d.objects[obj]
+	if oe == nil {
+		oe = &objectEntry{
+			entries: make(map[id.GUID]*Entry),
+			bySet:   make(map[geo.SetKey][]id.GUID),
+		}
+		d.objects[obj] = oe
+	}
+	g := e.Info.GUID
+	if _, known := oe.entries[g]; !known {
+		for _, key := range geo.SetsFor(e.Rec) {
+			oe.bySet[key] = append(oe.bySet[key], g)
+		}
+	}
+	cp := e
+	oe.entries[g] = &cp
+	if d.peerObjects[g] == nil {
+		d.peerObjects[g] = make(map[content.ObjectID]bool)
+	}
+	d.peerObjects[g][obj] = true
+}
+
+// Unregister removes one (peer, object) registration.
+func (d *Directory) Unregister(obj content.ObjectID, g id.GUID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.unregisterLocked(obj, g)
+}
+
+func (d *Directory) unregisterLocked(obj content.ObjectID, g id.GUID) {
+	oe := d.objects[obj]
+	if oe == nil {
+		return
+	}
+	e := oe.entries[g]
+	if e == nil {
+		return
+	}
+	delete(oe.entries, g)
+	for _, key := range geo.SetsFor(e.Rec) {
+		oe.bySet[key] = removeGUID(oe.bySet[key], g)
+	}
+	if len(oe.entries) == 0 {
+		delete(d.objects, obj)
+	}
+	if po := d.peerObjects[g]; po != nil {
+		delete(po, obj)
+		if len(po) == 0 {
+			delete(d.peerObjects, g)
+		}
+	}
+}
+
+// DropPeer removes every registration of a departing peer (its control
+// connection closed, or it disabled uploads).
+func (d *Directory) DropPeer(g id.GUID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for obj := range d.peerObjects[g] {
+		d.unregisterLocked(obj, g)
+	}
+}
+
+// Expire purges registrations whose soft state is older than ttlMs at time
+// nowMs, returning how many entries were purged. The directory's contents
+// are reconstructible from the peers (§3.8), so aggressive expiry is safe.
+func (d *Directory) Expire(nowMs, ttlMs int64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	purged := 0
+	for obj, oe := range d.objects {
+		for g, e := range oe.entries {
+			if nowMs-e.RegisteredMs > ttlMs {
+				d.unregisterLocked(obj, g)
+				purged++
+			}
+		}
+	}
+	return purged
+}
+
+// Copies returns how many peers currently register the object — the
+// quantity on the x-axis of Figure 5.
+func (d *Directory) Copies(obj content.ObjectID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	oe := d.objects[obj]
+	if oe == nil {
+		return 0
+	}
+	return len(oe.entries)
+}
+
+// Objects returns the number of distinct objects with at least one
+// registration.
+func (d *Directory) Objects() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.objects)
+}
+
+// Clear drops the whole database, simulating a DN failure; the control
+// plane then re-populates it via RE-ADD (§3.8).
+func (d *Directory) Clear() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.objects = make(map[content.ObjectID]*objectEntry)
+	d.peerObjects = make(map[id.GUID]map[content.ObjectID]bool)
+}
+
+func removeGUID(list []id.GUID, g id.GUID) []id.GUID {
+	for i, x := range list {
+		if x == g {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

@@ -1,0 +1,170 @@
+package selection
+
+import (
+	"math/rand"
+
+	"netsession/internal/content"
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/nat"
+	"netsession/internal/protocol"
+)
+
+// Policy holds the configurable knobs of the selection process ("the
+// selection process can be modified with a set of configurable policies",
+// §3.7).
+type Policy struct {
+	// MaxPeers bounds how many peers one query returns ("by default, up to
+	// 40 peers are returned").
+	MaxPeers int
+	// DiversityProb scales the chance of an out-of-turn pick from a less
+	// specific set; the pick probability is DiversityProb multiplied by
+	// the candidate set's specificity.
+	DiversityProb float64
+	// RequireNATCompat filters candidates the requester's NAT cannot punch
+	// with.
+	RequireNATCompat bool
+	// SoftStateTTLMs rejects registrations older than this; 0 disables the
+	// freshness check.
+	SoftStateTTLMs int64
+	// LocalityAware switches between the paper's strategy and the random
+	// baseline used by the ablation benches.
+	LocalityAware bool
+}
+
+// DefaultPolicy returns the production-like policy.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxPeers:         40,
+		DiversityProb:    0.10,
+		RequireNATCompat: true,
+		SoftStateTTLMs:   6 * 3600 * 1000,
+		LocalityAware:    true,
+	}
+}
+
+// Query describes one peer-selection request arriving at the directory.
+type Query struct {
+	Object    content.ObjectID
+	Requester geo.Record
+	// RequesterGUID is excluded from results.
+	RequesterGUID id.GUID
+	RequesterNAT  protocol.NATClass
+	NowMs         int64
+	// Max overrides Policy.MaxPeers when positive.
+	Max int
+	// Rand drives the diversity mechanism; required.
+	Rand *rand.Rand
+}
+
+// Select returns up to Max suitable peers for the query under the given
+// policy. The result order is the order peers should be tried in.
+func (d *Directory) Select(p Policy, q Query) []protocol.PeerInfo {
+	max := p.MaxPeers
+	if q.Max > 0 && q.Max < max {
+		max = q.Max
+	}
+	if max <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	oe := d.objects[q.Object]
+	if oe == nil {
+		return nil
+	}
+	if !p.LocalityAware {
+		return d.selectRandomLocked(oe, p, q, max)
+	}
+
+	chosen := make(map[id.GUID]bool, max)
+	var out []protocol.PeerInfo
+	take := func(g id.GUID) bool {
+		e := oe.entries[g]
+		if e == nil || chosen[g] || g == q.RequesterGUID {
+			return false
+		}
+		if p.SoftStateTTLMs > 0 && q.NowMs-e.RegisteredMs > p.SoftStateTTLMs {
+			return false
+		}
+		if p.RequireNATCompat && !nat.CanConnect(q.RequesterNAT, e.Info.NAT) {
+			return false
+		}
+		chosen[g] = true
+		out = append(out, e.Info)
+		return true
+	}
+
+	sets := geo.SetsFor(q.Requester)
+	for li, key := range sets {
+		// Walk a snapshot of the fairness list from the head; every taken
+		// peer rotates to the tail of the live list for the next query.
+		list := append([]id.GUID(nil), oe.bySet[key]...)
+		for i := 0; i < len(list) && len(out) < max; i++ {
+			g := list[i]
+			if take(g) {
+				oe.bySet[key] = rotateToTail(oe.bySet[key], g)
+				// Diversity: occasionally substitute one pick from a less
+				// specific set, with probability proportional to that
+				// set's specificity.
+				for _, wider := range sets[li+1:] {
+					if len(out) >= max {
+						break
+					}
+					if q.Rand.Float64() < p.DiversityProb*wider.Level.Specificity() {
+						wlist := oe.bySet[wider]
+						for _, wg := range wlist {
+							if take(wg) {
+								oe.bySet[wider] = rotateToTail(oe.bySet[wider], wg)
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// selectRandomLocked is the baseline selector: a uniformly random subset of
+// compatible holders, ignoring locality. Used to quantify how much the
+// locality-aware strategy matters (ablation benches; cf. the discussion of
+// locality-aware selection reducing cross-ISP traffic in §7).
+func (d *Directory) selectRandomLocked(oe *objectEntry, p Policy, q Query, max int) []protocol.PeerInfo {
+	world := oe.bySet[geo.SetKey{Level: geo.LevelWorld, Value: "world"}]
+	perm := q.Rand.Perm(len(world))
+	var out []protocol.PeerInfo
+	for _, ix := range perm {
+		g := world[ix]
+		e := oe.entries[g]
+		if e == nil || g == q.RequesterGUID {
+			continue
+		}
+		if p.SoftStateTTLMs > 0 && q.NowMs-e.RegisteredMs > p.SoftStateTTLMs {
+			continue
+		}
+		if p.RequireNATCompat && !nat.CanConnect(q.RequesterNAT, e.Info.NAT) {
+			continue
+		}
+		out = append(out, e.Info)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+func rotateToTail(list []id.GUID, g id.GUID) []id.GUID {
+	for i, x := range list {
+		if x == g {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = g
+			return list
+		}
+	}
+	return list
+}

@@ -1,0 +1,18 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEvents measures raw event-loop throughput: schedule and
+// run one million no-op events.
+func BenchmarkEngineEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		const n = 1_000_000
+		for k := 0; k < n; k++ {
+			e.At(int64(k%1000), func() {})
+		}
+		if got := e.Run(1000); got != n {
+			b.Fatalf("ran %d events", got)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"netsession/internal/geo"
+	"netsession/internal/selection"
+	"netsession/internal/trace"
+)
+
+// ScenarioConfig parameterizes one simulated deployment month.
+type ScenarioConfig struct {
+	Seed int64
+
+	// Population and workload scale (the paper's trace has 26M peers and
+	// 12.5M downloads; experiments run a proportionally smaller world).
+	NumPeers       int
+	Days           int
+	TotalDownloads int
+
+	Atlas    geo.AtlasConfig
+	Catalog  trace.CatalogConfig
+	Workload trace.WorkloadConfig
+
+	// Policy is the control plane's selection policy.
+	Policy selection.Policy
+	// MaxServersPerDownload caps concurrent serving peers per download
+	// (the client's swarm fan-out).
+	MaxServersPerDownload int
+	// ConnFailureProb is the chance an instructed peer connection fails
+	// anyway (stale directory entry, host asleep); additional candidates
+	// are used in its place (§3.7).
+	ConnFailureProb float64
+
+	// EdgePerConnMbps is the backstop rate of the single always-open edge
+	// connection while peers are serving a download (§3.3).
+	EdgePerConnMbps float64
+	// EdgeOnlyMbps is the aggregate edge throughput when no peers serve a
+	// download (p2p disabled, or none found): the DLM opens multiple edge
+	// connections and is limited only by the access link.
+	EdgeOnlyMbps float64
+	// BackstopEnabled disables the edge connection when false (the
+	// pure-p2p ablation).
+	BackstopEnabled bool
+
+	// Session churn: exponential on/off times, in hours.
+	SessionOnHours  float64
+	SessionOffHours float64
+	// RefreshIntervalHours is how often an online peer re-announces its
+	// cached objects, keeping its directory soft state fresh.
+	RefreshIntervalHours float64
+	// CacheTTLHours is how long completed downloads stay registered.
+	CacheTTLHours float64
+	// PerObjectUploadCap caps serving sessions per (peer, object) (§3.9);
+	// zero disables the cap.
+	PerObjectUploadCap int
+	// MaxUploadConnsPerPeer is the client's globally configured limit on
+	// simultaneous upload connections (§3.4).
+	MaxUploadConnsPerPeer int
+	// DNFailureAtDay, when positive, wipes every region directory at the
+	// start of that day — the large-scale DN failure of §3.8. Soft state
+	// recovers via the peers' periodic re-announcements.
+	DNFailureAtDay int
+	// SeedCopiesPerObject pre-seeds each p2p-enabled object at this many
+	// upload-enabled peers at time zero. The hybrid system needs no seeds
+	// (the edge is the origin); the pure-p2p ablation does.
+	SeedCopiesPerObject int
+	// UploadEnabledOverride, when in [0,1], replaces the per-customer
+	// Table 4 upload-enable defaults with a uniform fraction — the
+	// contribution-sweep ablation. Negative keeps the calibrated defaults.
+	UploadEnabledOverride float64
+
+	// Outcome model (§5.2): a small immediate-abort probability plus an
+	// abandonment clock make long downloads terminate more often
+	// (Figure 7); failures are rare and mostly user-side.
+	ImmediateAbortProb float64
+	AbortRatePerHour   float64
+	FailOtherProb      float64
+	FailSystemInfra    float64
+	FailSystemP2P      float64
+}
+
+// DefaultScenario returns the scale used by the experiment harness: large
+// enough that every figure's shape is visible, small enough to run in
+// seconds.
+func DefaultScenario() ScenarioConfig {
+	atlas := geo.DefaultAtlasConfig()
+	cat := trace.DefaultCatalogConfig()
+	wl := trace.DefaultWorkloadConfig()
+	// Directory entries are refreshed while peers stay online, so the
+	// selector's soft-state TTL only filters genuinely stale state.
+	policy := selection.DefaultPolicy()
+	policy.SoftStateTTLMs = 12 * 3600 * 1000
+	return ScenarioConfig{
+		Seed:           1,
+		NumPeers:       20_000,
+		Days:           31,
+		TotalDownloads: 100_000,
+
+		Atlas:    atlas,
+		Catalog:  cat,
+		Workload: wl,
+
+		Policy:                policy,
+		MaxServersPerDownload: 40,
+		ConnFailureProb:       0.15,
+
+		EdgePerConnMbps: 2.5,
+		EdgeOnlyMbps:    12,
+		BackstopEnabled: true,
+
+		SessionOnHours:        10,
+		SessionOffHours:       8,
+		RefreshIntervalHours:  6,
+		CacheTTLHours:         14 * 24,
+		PerObjectUploadCap:    50,
+		MaxUploadConnsPerPeer: 8,
+		UploadEnabledOverride: -1,
+
+		ImmediateAbortProb: 0.02,
+		AbortRatePerHour:   0.08,
+		FailOtherProb:      0.028,
+		FailSystemInfra:    0.001,
+		FailSystemP2P:      0.002,
+	}
+}
+
+// SmallScenario is a fast scale for unit tests and benches.
+func SmallScenario() ScenarioConfig {
+	cfg := DefaultScenario()
+	cfg.NumPeers = 4000
+	cfg.Days = 10
+	cfg.TotalDownloads = 15_000
+	cfg.Catalog.FilesPerCustomer = 150
+	cfg.Atlas.TailCountries = 20
+	return cfg
+}

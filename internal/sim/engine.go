@@ -1,0 +1,84 @@
+// Package sim is the discrete-event simulator that stands in for the
+// paper's production deployment. It executes the same directory, selection,
+// policy and accounting code as the live system, but models data transfer at
+// flow level: every download is a fluid flow fed by one edge connection and
+// up to several peer connections, each serving peer dividing its uplink
+// fairly across the downloads it serves, and each download capped by its
+// own downlink. A month of virtual time with tens of thousands of peers
+// runs in seconds, which is what makes regenerating the paper's figures
+// tractable.
+package sim
+
+import (
+	"container/heap"
+)
+
+// Engine is a minimal discrete-event executor over a virtual millisecond
+// clock. It is single-goroutine by design: determinism beats parallelism
+// for reproducing figures.
+type Engine struct {
+	now int64
+	seq uint64
+	pq  eventQueue
+}
+
+type event struct {
+	t   int64
+	seq uint64 // FIFO tiebreak for equal times
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time in milliseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn at virtual time tMs; times in the past run "now".
+func (e *Engine) At(tMs int64, fn func()) {
+	if tMs < e.now {
+		tMs = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{t: tMs, seq: e.seq, fn: fn})
+}
+
+// After schedules fn dMs from now.
+func (e *Engine) After(dMs int64, fn func()) { e.At(e.now+dMs, fn) }
+
+// Run executes events in order until the queue drains or the clock passes
+// untilMs. It returns the number of events executed.
+func (e *Engine) Run(untilMs int64) int {
+	n := 0
+	for e.pq.Len() > 0 {
+		ev := e.pq[0]
+		if ev.t > untilMs {
+			break
+		}
+		heap.Pop(&e.pq)
+		e.now = ev.t
+		ev.fn()
+		n++
+	}
+	if e.now < untilMs {
+		e.now = untilMs
+	}
+	return n
+}

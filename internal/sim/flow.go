@@ -1,0 +1,416 @@
+package sim
+
+import (
+	"netsession/internal/accounting"
+	"netsession/internal/content"
+	"netsession/internal/core"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+	"netsession/internal/selection"
+	"netsession/internal/trace"
+)
+
+// dl is one in-progress simulated download, modelled as a fluid flow.
+type dl struct {
+	req  trace.Request
+	peer *simPeer
+	obj  *content.Object
+
+	startMs     int64
+	lastAccrual int64
+	total       float64
+	bytesInfra  float64
+	servers     []*srcLink
+
+	peersReturned int
+	p2p           bool
+
+	// Outcome pre-draws.
+	abortAtMs  int64 // -1: never
+	failOther  bool
+	failSystem bool
+
+	epoch     uint64 // invalidates stale completion events
+	requeries int
+	finished  bool
+}
+
+type srcLink struct {
+	server *simPeer
+	bytes  float64
+}
+
+func (d *dl) bytesPeers() float64 {
+	t := 0.0
+	for _, l := range d.servers {
+		t += l.bytes
+	}
+	return t
+}
+
+func (d *dl) done() float64 { return d.bytesInfra + d.bytesPeers() }
+
+// rates returns the current fluid allocation in bytes/ms: the edge share
+// and the per-server shares, jointly capped by the downloader's downlink.
+// The arithmetic lives in internal/core; this assembles the offers.
+func (s *Sim) rates(d *dl) (edge float64, per []float64, total float64) {
+	if s.cfg.BackstopEnabled {
+		if len(d.servers) == 0 {
+			// No peers serving: the DLM behaves like a plain multi-
+			// connection download manager against the edge.
+			edge = mbpsToBytesPerMs(s.cfg.EdgeOnlyMbps)
+		} else {
+			edge = mbpsToBytesPerMs(s.cfg.EdgePerConnMbps)
+		}
+	}
+	offers := make([]float64, len(d.servers))
+	for i, l := range d.servers {
+		offers[i] = core.FairShareOffer(
+			bpsToBytesPerMs(l.server.spec.UpBps), len(l.server.serving))
+	}
+	a := core.Allocate(edge, offers, bpsToBytesPerMs(d.peer.spec.DownBps))
+	return a.Edge, a.PerSource, a.Total
+}
+
+// accrue advances a download's byte counters to virtual now at the current
+// rates. Callers must accrue every affected download BEFORE any mutation
+// that changes rates.
+func (s *Sim) accrue(d *dl) {
+	now := s.eng.Now()
+	dt := float64(now - d.lastAccrual)
+	d.lastAccrual = now
+	if dt <= 0 || d.finished {
+		return
+	}
+	edge, per, _ := s.rates(d)
+	dEdge := edge * dt
+	dPer := make([]float64, len(per))
+	sum := dEdge
+	for i := range per {
+		dPer[i] = per[i] * dt
+		sum += dPer[i]
+	}
+	if sum <= 0 {
+		return
+	}
+	// Clamp overshoot proportionally (completion events fire exactly on
+	// time; only floating-point error and late events land here).
+	if remaining := d.total - d.done(); sum > remaining {
+		f := remaining / sum
+		dEdge *= f
+		for i := range dPer {
+			dPer[i] *= f
+		}
+	}
+	d.bytesInfra += dEdge
+	for i := range dPer {
+		d.servers[i].bytes += dPer[i]
+	}
+}
+
+// affectedBy returns all downloads whose rates depend on any of the given
+// peers' serving sets.
+func (s *Sim) affectedBy(peers ...*simPeer) map[*dl]bool {
+	out := make(map[*dl]bool)
+	for _, p := range peers {
+		for d := range p.serving {
+			out[d] = true
+		}
+	}
+	return out
+}
+
+// accrueAll accrues a set of downloads.
+func (s *Sim) accrueAll(set map[*dl]bool) {
+	for d := range set {
+		s.accrue(d)
+	}
+}
+
+// reschedule recomputes the completion event for each download in the set.
+func (s *Sim) reschedule(set map[*dl]bool) {
+	for d := range set {
+		s.scheduleCompletion(d)
+	}
+}
+
+func (s *Sim) scheduleCompletion(d *dl) {
+	if d.finished {
+		return
+	}
+	d.epoch++
+	epoch := d.epoch
+	_, _, rate := s.rates(d)
+	if rate <= 0 {
+		// Stalled (pure-p2p mode with no sources): retry peer discovery
+		// shortly; the abort clock may fire first.
+		s.eng.After(60_000, func() {
+			if !d.finished && d.epoch == epoch {
+				s.refreshServers(d)
+			}
+		})
+		return
+	}
+	remainMs := int64((d.total-d.done())/rate) + 1
+	s.eng.After(remainMs, func() {
+		if d.finished || d.epoch != epoch {
+			return
+		}
+		s.accrue(d)
+		if d.done() >= d.total-1 {
+			s.finishDownload(d, protocol.OutcomeCompleted)
+		} else {
+			s.scheduleCompletion(d)
+		}
+	})
+}
+
+// startDownload handles one workload request.
+func (s *Sim) startDownload(req trace.Request) {
+	p := s.peers[req.PeerIndex]
+	// The user is at the machine: force presence.
+	s.setOnline(p)
+
+	obj := req.File.Object
+	d := &dl{
+		req: req, peer: p, obj: obj,
+		startMs: s.eng.Now(), lastAccrual: s.eng.Now(),
+		total: float64(obj.Size),
+		p2p:   obj.P2PEnabled,
+	}
+	// Outcome pre-draws (§5.2).
+	d.abortAtMs = -1
+	if s.rng.Float64() < s.cfg.ImmediateAbortProb {
+		d.abortAtMs = d.startMs + int64(s.rng.Float64()*60_000)
+	} else if s.cfg.AbortRatePerHour > 0 {
+		d.abortAtMs = d.startMs + expMs(s.rng, 1/s.cfg.AbortRatePerHour)
+	}
+	d.failOther = s.rng.Float64() < s.cfg.FailOtherProb
+	sysProb := s.cfg.FailSystemInfra
+	if d.p2p {
+		sysProb = s.cfg.FailSystemP2P
+	}
+	d.failSystem = s.rng.Float64() < sysProb
+
+	p.downloading[d] = true
+	if d.p2p {
+		s.p2pAttempted++
+		s.attachInitialServers(d)
+		s.scheduleRequery(d)
+	}
+	if d.abortAtMs >= 0 {
+		at := d.abortAtMs
+		s.eng.At(at, func() {
+			if !d.finished {
+				s.accrue(d)
+				s.finishDownload(d, protocol.OutcomeAborted)
+			}
+		})
+	}
+	s.scheduleCompletion(d)
+}
+
+// attachInitialServers queries the (region-local) directory and connects up
+// to MaxServersPerDownload compatible peers.
+func (s *Sim) attachInitialServers(d *dl) {
+	dir := s.dirs[d.peer.region]
+	cands := dir.Select(s.cfg.Policy, selection.Query{
+		Object:        d.obj.ID,
+		Requester:     d.peer.spec.Home,
+		RequesterGUID: d.peer.spec.GUID,
+		RequesterNAT:  d.peer.spec.NAT,
+		NowMs:         s.eng.Now(),
+		Rand:          s.rng,
+	})
+	d.peersReturned = len(cands)
+	s.connectCandidates(d, cands)
+}
+
+// scheduleRequery keeps long-running swarms fed: "if connections to some of
+// these peers cannot be established, additional queries are issued until a
+// sufficient number of peer connections succeed" (§3.7). Fresh copies that
+// registered since the first query also join this way.
+func (s *Sim) scheduleRequery(d *dl) {
+	// Requeries are capped: each costs directory work and rate
+	// recomputation across the swarm, and in practice a download that has
+	// not found peers after a handful of attempts will not.
+	if d.requeries >= 5 {
+		return
+	}
+	d.requeries++
+	s.eng.After(10*60_000, func() {
+		if d.finished {
+			return
+		}
+		if len(d.servers) < s.cfg.MaxServersPerDownload/4 {
+			s.attachInitialServersKeepCount(d)
+		}
+		s.scheduleRequery(d)
+	})
+}
+
+// refreshServers re-queries when a download has no sources (pure-p2p mode).
+func (s *Sim) refreshServers(d *dl) {
+	if d.finished || len(d.servers) > 0 {
+		return
+	}
+	s.attachInitialServersKeepCount(d)
+	s.scheduleCompletion(d)
+}
+
+func (s *Sim) attachInitialServersKeepCount(d *dl) {
+	// Like attachInitialServers but preserves the Figure 6 "initially
+	// returned" count from the first query.
+	dir := s.dirs[d.peer.region]
+	cands := dir.Select(s.cfg.Policy, selection.Query{
+		Object:        d.obj.ID,
+		Requester:     d.peer.spec.Home,
+		RequesterGUID: d.peer.spec.GUID,
+		RequesterNAT:  d.peer.spec.NAT,
+		NowMs:         s.eng.Now(),
+		Rand:          s.rng,
+	})
+	s.connectCandidates(d, cands)
+}
+
+func (s *Sim) connectCandidates(d *dl, cands []protocol.PeerInfo) {
+	attached := make([]*simPeer, 0, s.cfg.MaxServersPerDownload)
+	for _, c := range cands {
+		if len(d.servers)+len(attached) >= s.cfg.MaxServersPerDownload {
+			break
+		}
+		sp := s.peerByGUID(c.GUID)
+		if sp == nil || !sp.online || !sp.uploadsEnabled || sp == d.peer {
+			continue
+		}
+		if sp.serving[d] {
+			continue // already serving this download
+		}
+		if s.cfg.MaxUploadConnsPerPeer > 0 && len(sp.serving) >= s.cfg.MaxUploadConnsPerPeer {
+			continue // the peer's global upload-connection limit (§3.4)
+		}
+		if s.rng.Float64() < s.cfg.ConnFailureProb {
+			continue // "if connections to some of these peers cannot be established..."
+		}
+		if s.cfg.PerObjectUploadCap > 0 && sp.perObjectUploads[d.obj.ID] >= s.cfg.PerObjectUploadCap {
+			// Upload cap reached: the peer stops serving this object
+			// (§3.9) and leaves the directory for it.
+			s.dirs[sp.region].Unregister(d.obj.ID, sp.spec.GUID)
+			continue
+		}
+		attached = append(attached, sp)
+	}
+	if len(attached) == 0 {
+		return
+	}
+	// Rates of everything these servers already serve will change.
+	affected := s.affectedBy(attached...)
+	affected[d] = true
+	s.accrueAll(affected)
+	for _, sp := range attached {
+		sp.serving[d] = true
+		sp.perObjectUploads[d.obj.ID]++
+		d.servers = append(d.servers, &srcLink{server: sp})
+	}
+	s.reschedule(affected)
+}
+
+// detachServer removes a serving peer from a download (server churn).
+func (s *Sim) detachServer(d *dl, sp *simPeer) {
+	if d.finished {
+		delete(sp.serving, d)
+		return
+	}
+	affected := s.affectedBy(sp)
+	s.accrueAll(affected)
+	delete(sp.serving, d)
+	for i, l := range d.servers {
+		if l.server == sp {
+			d.servers = append(d.servers[:i], d.servers[i+1:]...)
+			break
+		}
+	}
+	s.reschedule(affected)
+}
+
+// finishDownload moves a download to a terminal state, emits the log
+// record, and releases its server capacity.
+func (s *Sim) finishDownload(d *dl, outcome protocol.Outcome) {
+	if d.finished {
+		return
+	}
+	// Retrofit rare failures onto would-be completions: a constant
+	// per-download probability, truncating the transfer at a uniform
+	// point (§5.2's "other causes (e.g., the user's disk is full)").
+	endMs := s.eng.Now()
+	if outcome == protocol.OutcomeCompleted && (d.failOther || d.failSystem) {
+		u := 0.1 + 0.9*s.rng.Float64()
+		endMs = d.startMs + int64(u*float64(endMs-d.startMs))
+		d.bytesInfra *= u
+		for _, l := range d.servers {
+			l.bytes *= u
+		}
+		if d.failSystem {
+			outcome = protocol.OutcomeFailedSystem
+		} else {
+			outcome = protocol.OutcomeFailedOther
+		}
+	}
+	d.finished = true
+	d.epoch++
+
+	// Free server capacity; remaining downloads on those servers speed up.
+	servers := make([]*simPeer, 0, len(d.servers))
+	for _, l := range d.servers {
+		servers = append(servers, l.server)
+	}
+	affected := s.affectedBy(servers...)
+	delete(affected, d)
+	s.accrueAll(affected)
+	for _, sp := range servers {
+		delete(sp.serving, d)
+	}
+	s.reschedule(affected)
+	delete(d.peer.downloading, d)
+
+	rec := accounting.DownloadRecord{
+		GUID:          d.peer.spec.GUID,
+		IP:            d.peer.spec.Home.IP,
+		Object:        d.obj.ID,
+		URLHash:       d.obj.URL,
+		CP:            d.obj.CP,
+		Size:          d.obj.Size,
+		P2PEnabled:    d.obj.P2PEnabled,
+		StartMs:       d.startMs,
+		EndMs:         endMs,
+		BytesInfra:    int64(d.bytesInfra),
+		BytesPeers:    int64(d.bytesPeers()),
+		Outcome:       outcome,
+		PeersReturned: d.peersReturned,
+	}
+	for _, l := range d.servers {
+		if l.bytes <= 0 {
+			continue
+		}
+		rec.FromPeers = append(rec.FromPeers, accounting.PeerContribution{
+			GUID: l.server.spec.GUID, IP: l.server.spec.Home.IP, Bytes: int64(l.bytes),
+		})
+	}
+	s.collector.AddDownload(rec)
+
+	if outcome == protocol.OutcomeCompleted {
+		s.completeCache(d.peer, d.obj.ID)
+	}
+}
+
+// peerByGUID finds the simPeer for a GUID. Directories store GUIDs; the sim
+// keeps a lazily built index.
+func (s *Sim) peerByGUID(g id.GUID) *simPeer {
+	if s.guidIx == nil {
+		s.guidIx = make(map[id.GUID]*simPeer, len(s.peers))
+		for _, p := range s.peers {
+			s.guidIx[p.spec.GUID] = p
+		}
+	}
+	return s.guidIx[g]
+}

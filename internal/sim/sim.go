@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netsession/internal/accounting"
+	"netsession/internal/content"
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/protocol"
+	"netsession/internal/selection"
+	"netsession/internal/trace"
+)
+
+// Sim is one simulation run in progress.
+type Sim struct {
+	cfg ScenarioConfig
+	eng Engine
+	rng *rand.Rand
+
+	atlas *geo.Atlas
+	scape *geo.EdgeScape
+	pop   *trace.Population
+	cat   *trace.Catalog
+	reqs  []trace.Request
+
+	dirs      [geo.NumRegions]*selection.Directory
+	collector *accounting.Collector
+
+	peers  []*simPeer
+	guidIx map[id.GUID]*simPeer
+
+	// stats
+	p2pAttempted int
+}
+
+// simPeer is the simulator's view of one peer.
+type simPeer struct {
+	spec   *trace.PeerSpec
+	region geo.NetworkRegion
+	info   protocol.PeerInfo
+
+	online         bool
+	uploadsEnabled bool
+
+	// cache maps completed objects to their shareability expiry.
+	cache map[content.ObjectID]int64
+	// perObjectUploads counts serving sessions granted per object (§3.9).
+	perObjectUploads map[content.ObjectID]int
+
+	serving     map[*dl]bool
+	downloading map[*dl]bool
+}
+
+// Result is the output of a run: the same log schema the live control plane
+// produces, plus the generation artifacts analyses need.
+type Result struct {
+	Log      *accounting.Log
+	Pop      *trace.Population
+	Catalog  *trace.Catalog
+	Requests []trace.Request
+	Atlas    *geo.Atlas
+	Scape    *geo.EdgeScape
+	// Dirs is the final directory state per region (useful for inspection;
+	// most analyses use the cumulative registration log instead).
+	Dirs [geo.NumRegions]*selection.Directory
+	// Events is how many simulator events executed.
+	Events int
+}
+
+// Run executes a scenario to completion.
+func Run(cfg ScenarioConfig) (*Result, error) {
+	s := &Sim{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	s.atlas = geo.GenerateAtlas(cfg.Atlas)
+	s.scape = geo.NewEdgeScape(s.atlas)
+	var err error
+	s.pop, err = trace.GeneratePopulation(s.atlas, s.scape, cfg.NumPeers, cfg.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("sim: population: %w", err)
+	}
+	catCfg := cfg.Catalog
+	catCfg.Seed = cfg.Seed + 2
+	s.cat, err = trace.GenerateCatalog(catCfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: catalog: %w", err)
+	}
+	wl := cfg.Workload
+	wl.Seed = cfg.Seed + 3
+	wl.TotalDownloads = cfg.TotalDownloads
+	wl.Days = cfg.Days
+	s.reqs, err = trace.GenerateWorkload(s.pop, s.cat, wl)
+	if err != nil {
+		return nil, fmt.Errorf("sim: workload: %w", err)
+	}
+	for r := 0; r < geo.NumRegions; r++ {
+		s.dirs[r] = selection.NewDirectory(geo.NetworkRegion(r))
+	}
+	s.collector = accounting.NewCollector(nil)
+
+	s.setupPeers()
+	s.seedObjects()
+	s.scheduleRequests()
+	if cfg.DNFailureAtDay > 0 {
+		s.eng.At(int64(cfg.DNFailureAtDay)*86_400_000, func() {
+			// All DN databases are lost at once; directories repopulate
+			// from the peers' soft-state refreshes (§3.8).
+			for _, d := range s.dirs {
+				d.Clear()
+			}
+		})
+	}
+
+	horizon := int64(cfg.Days) * 86_400_000
+	events := s.eng.Run(horizon + 48*3_600_000) // drain stragglers past the month
+
+	// Login records come from the shared trace generator so the
+	// login-based analyses (Tables 1/3, Figure 12, mobility) see the same
+	// population.
+	logins := trace.GenerateLogins(s.pop, cfg.Days, cfg.Seed+4)
+	log := s.collector.Snapshot()
+	log.Logins = logins
+
+	return &Result{
+		Log: log, Pop: s.pop, Catalog: s.cat, Requests: s.reqs,
+		Atlas: s.atlas, Scape: s.scape, Dirs: s.dirs, Events: events,
+	}, nil
+}
+
+func (s *Sim) setupPeers() {
+	s.peers = make([]*simPeer, len(s.pop.Peers))
+	for i, spec := range s.pop.Peers {
+		p := &simPeer{
+			spec:   spec,
+			region: geo.RegionOf(spec.Home),
+			info: protocol.PeerInfo{
+				GUID:     spec.GUID,
+				Addr:     spec.Home.IP.String() + ":7000",
+				NAT:      spec.NAT,
+				ASN:      uint32(spec.Home.ASN),
+				Location: uint32(spec.Home.Location),
+			},
+			uploadsEnabled:   spec.UploadsEnabledAtInstall,
+			cache:            make(map[content.ObjectID]int64),
+			perObjectUploads: make(map[content.ObjectID]int),
+			serving:          make(map[*dl]bool),
+			downloading:      make(map[*dl]bool),
+		}
+		if s.cfg.UploadEnabledOverride >= 0 {
+			p.uploadsEnabled = s.rng.Float64() < s.cfg.UploadEnabledOverride
+		}
+		s.peers[i] = p
+		// Initial presence, the churn cycle, and the soft-state refresh
+		// cycle.
+		p.online = s.rng.Float64() < s.cfg.SessionOnHours/(s.cfg.SessionOnHours+s.cfg.SessionOffHours)
+		s.scheduleChurn(p)
+		if s.cfg.RefreshIntervalHours > 0 {
+			s.scheduleRefresh(p)
+		}
+		// Preference toggles at random points in the trace (Table 3).
+		for k := 0; k < spec.SettingChanges; k++ {
+			at := int64(s.rng.Float64() * float64(s.cfg.Days) * 86_400_000)
+			s.eng.At(at, func() { s.togglePeer(p) })
+		}
+	}
+}
+
+// seedObjects plants initial copies of p2p-enabled objects on random
+// upload-enabled peers — the "initial seeder" a pure peer-to-peer CDN needs
+// (§2.1). The hybrid configuration leaves this at zero: the edge is the
+// origin.
+func (s *Sim) seedObjects() {
+	if s.cfg.SeedCopiesPerObject <= 0 {
+		return
+	}
+	var enabled []*simPeer
+	for _, p := range s.peers {
+		if p.uploadsEnabled {
+			enabled = append(enabled, p)
+		}
+	}
+	if len(enabled) == 0 {
+		return
+	}
+	for _, f := range s.cat.P2PFiles() {
+		for k := 0; k < s.cfg.SeedCopiesPerObject; k++ {
+			s.completeCache(enabled[s.rng.Intn(len(enabled))], f.Object.ID)
+		}
+	}
+}
+
+func (s *Sim) scheduleChurn(p *simPeer) {
+	mean := s.cfg.SessionOffHours
+	if p.online {
+		mean = s.cfg.SessionOnHours
+	}
+	d := int64(s.rng.ExpFloat64() * mean * 3_600_000)
+	if d < 60_000 {
+		d = 60_000
+	}
+	s.eng.After(d, func() { s.churn(p) })
+}
+
+// scheduleRefresh keeps an online peer's directory entries fresh; the live
+// client re-announces periodically for the same reason (soft state, §3.8).
+func (s *Sim) scheduleRefresh(p *simPeer) {
+	jitter := int64(s.rng.Float64() * 600_000)
+	s.eng.After(int64(s.cfg.RefreshIntervalHours*3_600_000)+jitter, func() {
+		if p.online {
+			s.reregisterCache(p)
+		}
+		s.scheduleRefresh(p)
+	})
+}
+
+func (s *Sim) churn(p *simPeer) {
+	if p.online {
+		// Keep the machine on while the user's own downloads run.
+		if len(p.downloading) > 0 {
+			s.eng.After(30*60_000, func() { s.churn(p) })
+			return
+		}
+		s.setOffline(p)
+	} else {
+		s.setOnline(p)
+	}
+	s.scheduleChurn(p)
+}
+
+func (s *Sim) setOnline(p *simPeer) {
+	if p.online {
+		return
+	}
+	p.online = true
+	s.reregisterCache(p)
+}
+
+// reregisterCache announces unexpired cached objects after a (re)connect;
+// the directory is soft state (§3.8).
+func (s *Sim) reregisterCache(p *simPeer) {
+	if !p.uploadsEnabled {
+		return
+	}
+	now := s.eng.Now()
+	for oid, exp := range p.cache {
+		if exp <= now {
+			delete(p.cache, oid)
+			continue
+		}
+		s.dirs[p.region].Register(oid, selection.Entry{
+			Info: p.info, Rec: p.spec.Home, Complete: true, RegisteredMs: now,
+		})
+	}
+}
+
+func (s *Sim) setOffline(p *simPeer) {
+	if !p.online {
+		return
+	}
+	p.online = false
+	s.dirs[p.region].DropPeer(p.spec.GUID)
+	// Downloads this peer was serving lose one source.
+	for d := range p.serving {
+		s.detachServer(d, p)
+	}
+}
+
+// togglePeer flips the upload preference, with the directory consequences.
+func (s *Sim) togglePeer(p *simPeer) {
+	p.uploadsEnabled = !p.uploadsEnabled
+	if !p.uploadsEnabled {
+		s.dirs[p.region].DropPeer(p.spec.GUID)
+		for d := range p.serving {
+			s.detachServer(d, p)
+		}
+	} else if p.online {
+		s.reregisterCache(p)
+	}
+}
+
+func (s *Sim) scheduleRequests() {
+	for i := range s.reqs {
+		req := s.reqs[i]
+		s.eng.At(req.TimeMs, func() { s.startDownload(req) })
+	}
+}
+
+// completeCache registers a freshly completed object for sharing.
+func (s *Sim) completeCache(p *simPeer, oid content.ObjectID) {
+	now := s.eng.Now()
+	exp := now + int64(s.cfg.CacheTTLHours*3_600_000)
+	_, had := p.cache[oid]
+	p.cache[oid] = exp
+	if p.uploadsEnabled && p.online {
+		s.dirs[p.region].Register(oid, selection.Entry{
+			Info: p.info, Rec: p.spec.Home, Complete: true, RegisteredMs: now,
+		})
+	}
+	if !had {
+		// New copy in the system: one DN log entry (Figure 5 counts these).
+		s.collector.AddRegistration(accounting.RegistrationRecord{
+			TimeMs: now, GUID: p.spec.GUID, Object: oid,
+		})
+		s.eng.At(exp, func() { s.expireCache(p, oid) })
+	}
+}
+
+func (s *Sim) expireCache(p *simPeer, oid content.ObjectID) {
+	if exp, ok := p.cache[oid]; ok && exp <= s.eng.Now() {
+		delete(p.cache, oid)
+		s.dirs[p.region].Unregister(oid, p.spec.GUID)
+	}
+}
+
+// mbpsToBytesPerMs converts a link rate.
+func mbpsToBytesPerMs(mbps float64) float64 { return mbps * 1e6 / 8 / 1000 }
+
+// bpsToBytesPerMs converts bits/s to bytes/ms.
+func bpsToBytesPerMs(bps int64) float64 { return float64(bps) / 8 / 1000 }
+
+func expMs(r *rand.Rand, meanHours float64) int64 {
+	return int64(r.ExpFloat64() * meanHours * 3_600_000)
+}

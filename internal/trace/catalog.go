@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netsession/internal/content"
+)
+
+// FileSpec is one catalog entry: the object plus its popularity weight.
+type FileSpec struct {
+	Object *content.Object
+	// Popularity is the relative request weight of the file within its
+	// (customer, p2p-group) bucket.
+	Popularity float64
+}
+
+// Catalog is the set of files NetSession distributes, organized per
+// customer, with the per-file p2p policy bit assigned so that the fraction
+// of p2p-enabled files and the byte share they carry match §5.1 ("peer-to-
+// peer downloads were enabled for only 1.7% of the files, but these
+// downloads accounted for 57.4% of the downloaded bytes").
+type Catalog struct {
+	Files []*FileSpec
+	// ByCP groups file indices per content provider, split by policy.
+	byCP map[content.CPCode]*cpFiles
+}
+
+type cpFiles struct {
+	regular []int
+	p2p     []int
+	// Cumulative Zipf weights for sampling.
+	regCum []float64
+	p2pCum []float64
+	// p2pShare is the probability a request to this provider targets a
+	// p2p-enabled file. Providers that ship upload-enabled binaries are
+	// the ones paying for peer-assisted delivery, so the share scales with
+	// the Table 4 enable rate; the scale factor is calibrated so
+	// p2p-enabled files carry ≈57% of all bytes (§5.1).
+	p2pShare float64
+}
+
+// CatalogConfig controls catalog generation.
+type CatalogConfig struct {
+	// FilesPerCustomer is the total catalog size per provider.
+	FilesPerCustomer int
+	// P2PFileFraction is the share of files with peer delivery enabled
+	// (paper: 0.017).
+	P2PFileFraction float64
+	// P2PShareFactor scales each customer's Table 4 enable rate into its
+	// p2p request share.
+	P2PShareFactor float64
+	// ZipfAlpha is the popularity skew within each bucket (Figure 3b).
+	ZipfAlpha float64
+	// PieceSize for all objects.
+	PieceSize int
+	Seed      int64
+}
+
+// DefaultCatalogConfig returns the experiment defaults.
+func DefaultCatalogConfig() CatalogConfig {
+	return CatalogConfig{
+		FilesPerCustomer: 400,
+		P2PFileFraction:  0.017,
+		P2PShareFactor:   0.55,
+		ZipfAlpha:        0.9,
+		PieceSize:        content.DefaultPieceSize,
+		Seed:             2,
+	}
+}
+
+// GenerateCatalog builds the synthetic catalog. Object sizes are lognormal:
+// infrastructure-only files are typically tens of MB while p2p-enabled files
+// are the multi-GB installers whose peer-assisted requests are "strongly
+// biased towards large files; 82% of peer-assisted requests are for objects
+// larger than 500 MB" (Figure 3a).
+func GenerateCatalog(cfg CatalogConfig) (*Catalog, error) {
+	if cfg.FilesPerCustomer <= 0 {
+		return nil, fmt.Errorf("trace: FilesPerCustomer must be positive")
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cat := &Catalog{byCP: make(map[content.CPCode]*cpFiles)}
+	for _, cust := range Customers {
+		cf := &cpFiles{p2pShare: cfg.P2PShareFactor * cust.UploadDefaultEnabled}
+		if cf.p2pShare > 0.95 {
+			cf.p2pShare = 0.95
+		}
+		nP2P := int(math.Round(float64(cfg.FilesPerCustomer) * cfg.P2PFileFraction))
+		if nP2P < 1 {
+			nP2P = 1
+		}
+		for i := 0; i < cfg.FilesPerCustomer; i++ {
+			p2p := i < nP2P
+			var sizeMB float64
+			if p2p {
+				// Median ≈ 1.2 GB, σ=0.8: P(size > 500 MB) ≈ 0.86.
+				sizeMB = 1200 * math.Exp(r.NormFloat64()*0.8)
+			} else {
+				// Median scales with the customer's typical object size.
+				sizeMB = cust.MeanObjectMB * math.Exp(r.NormFloat64()*1.0)
+			}
+			if sizeMB < 0.5 {
+				sizeMB = 0.5
+			}
+			if sizeMB > 20000 {
+				sizeMB = 20000
+			}
+			url := fmt.Sprintf("%s/object-%04d", cust.Name, i)
+			obj, err := content.NewObject(cust.CP, url, 1, int64(sizeMB*1e6), cfg.PieceSize, p2p)
+			if err != nil {
+				return nil, err
+			}
+			ix := len(cat.Files)
+			cat.Files = append(cat.Files, &FileSpec{Object: obj})
+			if p2p {
+				cf.p2p = append(cf.p2p, ix)
+			} else {
+				cf.regular = append(cf.regular, ix)
+			}
+		}
+		// Zipf popularity within each bucket.
+		cf.regCum = zipfCum(cat, cf.regular, cfg.ZipfAlpha)
+		cf.p2pCum = zipfCum(cat, cf.p2p, cfg.ZipfAlpha)
+		cat.byCP[cust.CP] = cf
+	}
+	return cat, nil
+}
+
+func zipfCum(cat *Catalog, ixs []int, alpha float64) []float64 {
+	cum := make([]float64, len(ixs))
+	total := 0.0
+	for rank, ix := range ixs {
+		w := 1 / math.Pow(float64(rank+1), alpha)
+		cat.Files[ix].Popularity = w
+		total += w
+		cum[rank] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+// SampleFile draws a file for a request to the given provider.
+func (c *Catalog) SampleFile(r *rand.Rand, cp content.CPCode) (*FileSpec, error) {
+	cf := c.byCP[cp]
+	if cf == nil {
+		return nil, fmt.Errorf("trace: unknown CP code %d", cp)
+	}
+	ixs, cum := cf.regular, cf.regCum
+	if len(cf.p2p) > 0 && r.Float64() < cf.p2pShare {
+		ixs, cum = cf.p2p, cf.p2pCum
+	}
+	if len(ixs) == 0 {
+		return nil, fmt.Errorf("trace: CP %d has an empty bucket", cp)
+	}
+	x := r.Float64()
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return c.Files[ixs[lo]], nil
+}
+
+// ObjectByID finds a catalog object.
+func (c *Catalog) ObjectByID(oid content.ObjectID) (*content.Object, bool) {
+	for _, f := range c.Files {
+		if f.Object.ID == oid {
+			return f.Object, true
+		}
+	}
+	return nil, false
+}
+
+// P2PFiles returns all p2p-enabled catalog entries.
+func (c *Catalog) P2PFiles() []*FileSpec {
+	var out []*FileSpec
+	for _, f := range c.Files {
+		if f.Object.P2PEnabled {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+// Package trace generates the synthetic peer population and workload that
+// substitute for the proprietary Akamai production logs of October 2012.
+// Every distribution is calibrated to a quantity the paper reports, so the
+// analyses of Sections 4–6 run against inputs with the same shape:
+//
+//   - continental peer shares (§4.2, Figure 2) come from the geo atlas;
+//   - per-customer regional download mixes are the rows of Table 2;
+//   - per-customer upload-enable defaults are the row of Table 4;
+//   - setting-change rates are Table 3;
+//   - object sizes, popularity and diurnal arrivals follow Figure 3;
+//   - mobility matches §6.2 (80.6%/13.4%/6% of GUIDs in 1/2/>2 ASes,
+//     77% of GUIDs staying within 10 km);
+//   - cloning/re-imaging patterns match Figure 12.
+package trace
+
+import (
+	"netsession/internal/content"
+	"netsession/internal/geo"
+)
+
+// Customer models one of the ten largest content providers (Customers A–J
+// in the paper). The numbers in Customers below are transcribed from
+// Tables 2 and 4.
+type Customer struct {
+	CP   content.CPCode
+	Name string
+	// DownloadShare is the customer's share of all downloads.
+	DownloadShare float64
+	// InstallShare is the customer's share of NetSession installations
+	// (the binary is bundled by the provider the user first downloaded
+	// from, §5.1).
+	InstallShare float64
+	// RegionMix is the Table 2 row: share of this customer's downloads per
+	// report region. Rows are normalized at load.
+	RegionMix map[geo.ReportRegion]float64
+	// UploadDefaultEnabled is the Table 4 row: the fraction of this
+	// customer's installations whose binary shipped with uploads enabled.
+	UploadDefaultEnabled float64
+	// MeanObjectMB and large-file parameters shape the customer's catalog.
+	MeanObjectMB float64
+}
+
+func mix(usE, usW, amO, in, cn, asO, eu, af, oc float64) map[geo.ReportRegion]float64 {
+	return map[geo.ReportRegion]float64{
+		geo.RegionUSEast: usE, geo.RegionUSWest: usW, geo.RegionAmericasOther: amO,
+		geo.RegionIndia: in, geo.RegionChina: cn, geo.RegionAsiaOther: asO,
+		geo.RegionEurope: eu, geo.RegionAfrica: af, geo.RegionOceania: oc,
+	}
+}
+
+// Customers are the ten largest content providers. RegionMix values are the
+// Table 2 percentages; UploadDefaultEnabled the Table 4 percentages.
+// DownloadShare and InstallShare are free parameters chosen so that the
+// aggregate rows reproduce the paper's "All customers" mix (≈46% Europe) and
+// the ≈31% overall upload-enabled fraction of Table 3.
+var Customers = []Customer{
+	{CP: 101, Name: "Customer A", DownloadShare: 0.17, InstallShare: 0.10,
+		RegionMix: mix(0, 0, 12, 6, 6, 18, 51, 4, 3), UploadDefaultEnabled: 0.005, MeanObjectMB: 80},
+	{CP: 102, Name: "Customer B", DownloadShare: 0.07, InstallShare: 0.08,
+		RegionMix: mix(2, 1, 1, 11, 0, 61, 6, 17, 1), UploadDefaultEnabled: 0.20, MeanObjectMB: 50},
+	{CP: 103, Name: "Customer C", DownloadShare: 0.09, InstallShare: 0.06,
+		RegionMix: mix(13, 6, 15, 1, 0, 8, 55, 1, 2), UploadDefaultEnabled: 0.02, MeanObjectMB: 60},
+	{CP: 104, Name: "Customer D", DownloadShare: 0.07, InstallShare: 0.12,
+		RegionMix: mix(22, 21, 6, 0, 0, 3, 45, 0, 3), UploadDefaultEnabled: 0.94, MeanObjectMB: 300},
+	{CP: 105, Name: "Customer E", DownloadShare: 0.13, InstallShare: 0.08,
+		RegionMix: mix(5, 3, 8, 2, 1, 29, 48, 2, 3), UploadDefaultEnabled: 0.02, MeanObjectMB: 70},
+	{CP: 106, Name: "Customer F", DownloadShare: 0.03, InstallShare: 0.04,
+		RegionMix: mix(0, 0, 0, 0, 0, 0, 100, 0, 0), UploadDefaultEnabled: 0.45, MeanObjectMB: 150},
+	{CP: 107, Name: "Customer G", DownloadShare: 0.12, InstallShare: 0.16,
+		RegionMix: mix(8, 3, 12, 2, 8, 20, 45, 2, 2), UploadDefaultEnabled: 0.47, MeanObjectMB: 250},
+	{CP: 108, Name: "Customer H", DownloadShare: 0.17, InstallShare: 0.12,
+		RegionMix: mix(6, 4, 7, 4, 2, 20, 53, 2, 2), UploadDefaultEnabled: 0.005, MeanObjectMB: 60},
+	{CP: 109, Name: "Customer I", DownloadShare: 0.06, InstallShare: 0.10,
+		RegionMix: mix(5, 2, 18, 0, 0, 15, 57, 1, 1), UploadDefaultEnabled: 0.91, MeanObjectMB: 400},
+	{CP: 110, Name: "Customer J", DownloadShare: 0.09, InstallShare: 0.14,
+		RegionMix: mix(42, 24, 14, 0, 0, 5, 11, 1, 3), UploadDefaultEnabled: 0.005, MeanObjectMB: 90},
+}
+
+// CustomerByCP returns the customer with the given CP code.
+func CustomerByCP(cp content.CPCode) (*Customer, bool) {
+	for i := range Customers {
+		if Customers[i].CP == cp {
+			return &Customers[i], true
+		}
+	}
+	return nil, false
+}
+
+// Table 3 setting-change rates: how often users change the upload-enable
+// setting between logins, conditioned on the shipped default.
+const (
+	// Of peers whose binary shipped with uploads disabled:
+	disabledChangeOnce = 0.0003 // 0.03% flip it once
+	disabledChangeMore = 0.0001 // 0.01% flip it two or more times
+	// Of peers whose binary shipped with uploads enabled:
+	enabledChangeOnce = 0.0180 // 1.80%
+	enabledChangeMore = 0.0009 // 0.09%
+)

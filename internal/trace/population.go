@@ -1,0 +1,324 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netsession/internal/content"
+	"netsession/internal/geo"
+	"netsession/internal/id"
+	"netsession/internal/nat"
+	"netsession/internal/protocol"
+)
+
+// CloneClass classifies an installation for the secondary-GUID study of
+// §6.2/Figure 12.
+type CloneClass uint8
+
+// Clone classes and their observed shares among non-linear graphs.
+const (
+	// CloneNone: a normal installation; its secondary-GUID graph is a
+	// linear chain (99.4% of graphs).
+	CloneNone CloneClass = iota
+	// CloneShortBranch: one long branch plus a single one-vertex short
+	// branch — "a failed software update" (46.2% of non-linear graphs).
+	CloneShortBranch
+	// CloneTwoLong: two long branches — "a restored backup" (6.2%).
+	CloneTwoLong
+	// CloneManyBranches: several short or medium branches — re-imaging
+	// (Internet café) or workstation cloning (23.5%).
+	CloneManyBranches
+	// CloneIrregular: highly irregular patterns with no explanation
+	// (the remaining 24.1%).
+	CloneIrregular
+)
+
+func (c CloneClass) String() string {
+	switch c {
+	case CloneNone:
+		return "linear"
+	case CloneShortBranch:
+		return "short-branch"
+	case CloneTwoLong:
+		return "two-long"
+	case CloneManyBranches:
+		return "many-branches"
+	case CloneIrregular:
+		return "irregular"
+	}
+	return "unknown"
+}
+
+// nonLinearFraction is the share of secondary-GUID graphs that are trees
+// rather than chains (§6.2: 0.6%).
+const nonLinearFraction = 0.006
+
+// PeerSpec is the static description of one synthetic peer, from which both
+// the live system and the simulator can instantiate a NetSession client.
+type PeerSpec struct {
+	Index int
+	GUID  id.GUID
+	// Home is the peer's usual vantage point (IP, location, AS).
+	Home geo.Record
+	// Away lists alternative vantage points for mobile peers (laptop taken
+	// to work, VPN, travel); empty for stationary peers.
+	Away []geo.Record
+	// AwayProb is the chance any given login uses an Away record.
+	AwayProb float64
+
+	NAT protocol.NATClass
+	// Access-link capacity in bits per second.
+	DownBps int64
+	UpBps   int64
+
+	// InstallCP is the provider whose bundle installed the client; it
+	// determines the shipped upload default (Table 4).
+	InstallCP content.CPCode
+	// UploadsEnabledAtInstall is the shipped default.
+	UploadsEnabledAtInstall bool
+	// SettingChanges is how many times the user flips the setting during
+	// the trace (Table 3).
+	SettingChanges int
+
+	Clone CloneClass
+
+	// DailyLogins approximates how many control-plane connections the peer
+	// makes per day ("between 8.75 and 10.90 million of the GUIDs connect
+	// ... at least once" daily out of 26M, §4.2 — so peers are online on
+	// roughly a third of days).
+	DailyLogins float64
+}
+
+// UploadsEnabledAt returns the effective setting after the first n toggles
+// have happened; the trace applies toggles at random logins.
+func (p *PeerSpec) uploadsEnabledAfter(toggles int) bool {
+	if toggles%2 == 0 {
+		return p.UploadsEnabledAtInstall
+	}
+	return !p.UploadsEnabledAtInstall
+}
+
+// Population is the generated peer population plus indexes the workload
+// sampler needs.
+type Population struct {
+	Peers []*PeerSpec
+	// ByRegion indexes peer indices by Table 2 report region.
+	ByRegion map[geo.ReportRegion][]int
+	// ByRegionCP further indexes by the provider whose bundle installed
+	// the client; used to model install affinity (users mostly download
+	// from the provider whose application they installed).
+	ByRegionCP map[geo.ReportRegion]map[content.CPCode][]int
+	Atlas      *geo.Atlas
+	Scape      *geo.EdgeScape
+}
+
+// GeneratePopulation creates n synthetic peers over the given atlas.
+func GeneratePopulation(atlas *geo.Atlas, scape *geo.EdgeScape, n int, seed int64) (*Population, error) {
+	r := rand.New(rand.NewSource(seed))
+	natDist := nat.DefaultDistribution()
+	pop := &Population{
+		Peers:      make([]*PeerSpec, 0, n),
+		ByRegion:   make(map[geo.ReportRegion][]int),
+		ByRegionCP: make(map[geo.ReportRegion]map[content.CPCode][]int),
+		Atlas:      atlas,
+		Scape:      scape,
+	}
+	// Install-share sampler.
+	var cum []float64
+	total := 0.0
+	for _, c := range Customers {
+		total += c.InstallShare
+		cum = append(cum, total)
+	}
+	for i := 0; i < n; i++ {
+		home, err := scape.AllocateRandom(r)
+		if err != nil {
+			return nil, fmt.Errorf("trace: population: %w", err)
+		}
+		cust := &Customers[pick(cum, r.Float64()*total)]
+
+		p := &PeerSpec{
+			Index:       i,
+			GUID:        id.RandGUID(r),
+			Home:        home,
+			NAT:         natDist.Sample(r),
+			InstallCP:   cust.CP,
+			DailyLogins: 0.25 + r.Float64()*0.5,
+		}
+		p.UploadsEnabledAtInstall = r.Float64() < cust.UploadDefaultEnabled
+		p.SettingChanges = sampleSettingChanges(r, p.UploadsEnabledAtInstall)
+		p.Clone = sampleCloneClass(r)
+		assignBandwidth(r, atlas, p)
+		if err := assignMobility(r, atlas, scape, p); err != nil {
+			return nil, err
+		}
+		pop.Peers = append(pop.Peers, p)
+		region := geo.ReportRegionOf(atlas.Location(home.Location))
+		pop.ByRegion[region] = append(pop.ByRegion[region], i)
+		if pop.ByRegionCP[region] == nil {
+			pop.ByRegionCP[region] = make(map[content.CPCode][]int)
+		}
+		pop.ByRegionCP[region][cust.CP] = append(pop.ByRegionCP[region][cust.CP], i)
+	}
+	return pop, nil
+}
+
+func pick(cum []float64, x float64) int {
+	for i, c := range cum {
+		if x <= c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+func sampleSettingChanges(r *rand.Rand, enabledDefault bool) int {
+	x := r.Float64()
+	once, more := disabledChangeOnce, disabledChangeMore
+	if enabledDefault {
+		once, more = enabledChangeOnce, enabledChangeMore
+	}
+	switch {
+	case x < more:
+		return 2 + r.Intn(3)
+	case x < more+once:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func sampleCloneClass(r *rand.Rand) CloneClass {
+	if r.Float64() >= nonLinearFraction {
+		return CloneNone
+	}
+	// Shares among non-linear graphs, Figure 12.
+	x := r.Float64()
+	switch {
+	case x < 0.462:
+		return CloneShortBranch
+	case x < 0.462+0.062:
+		return CloneTwoLong
+	case x < 0.462+0.062+0.235:
+		return CloneManyBranches
+	default:
+		return CloneIrregular
+	}
+}
+
+// assignBandwidth draws access-link speeds from the peer's AS profile with
+// lognormal dispersion, keeping the strong down/up asymmetry of residential
+// broadband.
+func assignBandwidth(r *rand.Rand, atlas *geo.Atlas, p *PeerSpec) {
+	as, ok := atlas.AS(geo.ASN(p.Home.ASN))
+	down, up := 10.0, 2.0
+	if ok {
+		down, up = as.DownMbpsMean, as.UpMbpsMean
+	}
+	// Lognormal with σ≈0.6 around the AS mean.
+	factor := lognorm(r, 0.6)
+	p.DownBps = int64(down * factor * 1e6)
+	upFactor := lognorm(r, 0.6)
+	p.UpBps = int64(up * upFactor * 1e6)
+	if p.DownBps < 256_000 {
+		p.DownBps = 256_000
+	}
+	if p.UpBps < 64_000 {
+		p.UpBps = 64_000
+	}
+}
+
+func lognorm(r *rand.Rand, sigma float64) float64 {
+	// Mean-1 lognormal: exp(N(−σ²/2, σ)).
+	return math.Exp(r.NormFloat64()*sigma - sigma*sigma/2)
+}
+
+// assignMobility gives 13.4% of peers a second AS and 6% more than two ASes
+// (§6.2), and arranges that ≈77% of all peers stay within 10 km of home.
+func assignMobility(r *rand.Rand, atlas *geo.Atlas, scape *geo.EdgeScape, p *PeerSpec) error {
+	x := r.Float64()
+	var altCount int
+	switch {
+	case x < 0.806:
+		altCount = 0
+	case x < 0.806+0.134:
+		altCount = 1
+	default:
+		altCount = 2 + r.Intn(3)
+	}
+	if altCount == 0 {
+		// A slice of stationary peers still roam within their city (new
+		// DHCP lease, same AS+location): distance 0, same AS.
+		if r.Float64() < 0.3 {
+			ip, err := scape.AllocateIP(geo.ASN(p.Home.ASN), p.Home.Location)
+			if err != nil {
+				return err
+			}
+			p.Away = append(p.Away, scape.MustLookup(ip))
+			p.AwayProb = 0.2
+		}
+		return nil
+	}
+	p.AwayProb = 0.25
+	// Movers: most go far (another AS in the same or a different country);
+	// a minority of multi-AS peers stay local (e.g. home + office across
+	// town on different ISPs). Tuned so ~77% of all GUIDs stay within
+	// 10 km: stationary (80.6%) minus far-local adjustments keeps us there
+	// when ≈18% of movers are local.
+	for k := 0; k < altCount; k++ {
+		var rec geo.Record
+		var err error
+		if r.Float64() < 0.18 {
+			// Local move: same location, different AS.
+			as := atlas.SampleAS(r, p.Home.Country)
+			ip, e := scape.AllocateIP(as.Number, p.Home.Location)
+			if e != nil {
+				return e
+			}
+			rec = scape.MustLookup(ip)
+		} else {
+			// Far move: fresh draw from the world population.
+			rec, err = scape.AllocateRandom(r)
+			if err != nil {
+				return err
+			}
+		}
+		p.Away = append(p.Away, rec)
+	}
+	return nil
+}
+
+// VantageAt picks the record a given login uses.
+func (p *PeerSpec) VantageAt(r *rand.Rand) geo.Record {
+	if len(p.Away) > 0 && r.Float64() < p.AwayProb {
+		return p.Away[r.Intn(len(p.Away))]
+	}
+	return p.Home
+}
+
+// MaxRoamKm returns the farthest distance between any two vantage points of
+// the peer — the quantity behind the "77% remained within 10 km" statistic.
+func (p *PeerSpec) MaxRoamKm() float64 {
+	pts := append([]geo.Record{p.Home}, p.Away...)
+	max := 0.0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := geo.DistanceKm(pts[i].Coord, pts[j].Coord); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// UploadFractionTarget returns the population-wide expected fraction of
+// peers with uploads enabled at install, for calibration tests.
+func UploadFractionTarget() float64 {
+	total, en := 0.0, 0.0
+	for _, c := range Customers {
+		total += c.InstallShare
+		en += c.InstallShare * c.UploadDefaultEnabled
+	}
+	return en / total
+}
