@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the full pre-commit gate.
+
+GO ?= go
+
+.PHONY: check build test vet fmt race bench
+
+check: fmt vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -54,13 +54,15 @@ type Cluster struct {
 	atlas *geo.Atlas
 	scape *geo.EdgeScape
 
-	edgeSrv *edge.Server
-	monitor *controlplane.Monitor
-	stun    *nat.Server
-	cp      *controlplane.ControlPlane
-	cns     []*controlplane.CN
-	stopJan func()
-	rng     *rand.Rand
+	edgeSrv    *edge.Server
+	monitor    *controlplane.Monitor
+	stun       *nat.Server
+	cp         *controlplane.ControlPlane
+	cpStatus   *controlplane.StatusServer
+	cns        []*controlplane.CN
+	stopJan    func()
+	stopScrape func()
+	rng        *rand.Rand
 }
 
 // StartCluster launches the edge server, the monitoring node and the
@@ -128,6 +130,18 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.cns = append(c.cns, cn)
 	}
+	c.cpStatus, err = cp.StartStatusServer("127.0.0.1:0")
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	// The monitor aggregates the fleet's telemetry: "download and upload
+	// performance is constantly monitored" (§3.8).
+	mon.SetScrapeTargets(map[string]string{
+		"edge": c.EdgeURL(),
+		"cp":   c.ControlPlaneURL(),
+	})
+	c.stopScrape = mon.StartScraping(5 * time.Second)
 	c.stopJan = cp.StartJanitor(time.Minute, int64(cfg.Policy.SoftStateTTLMs))
 	return c, nil
 }
@@ -136,6 +150,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 func (c *Cluster) Close() {
 	if c.stopJan != nil {
 		c.stopJan()
+	}
+	if c.stopScrape != nil {
+		c.stopScrape()
+	}
+	if c.cpStatus != nil {
+		c.cpStatus.Close()
 	}
 	if c.cp != nil {
 		c.cp.Close()
@@ -165,6 +185,13 @@ func (c *Cluster) ControlAddrs() []string {
 
 // MonitorAddr returns the monitoring node's HTTP address.
 func (c *Cluster) MonitorAddr() string { return c.monitor.Addr() }
+
+// ControlPlaneURL returns the control plane's operator HTTP surface
+// (GET /v1/status, /metrics, /v1/telemetry).
+func (c *Cluster) ControlPlaneURL() string { return "http://" + c.cpStatus.Addr() }
+
+// ControlPlane exposes the control plane (metrics, status, DN failover).
+func (c *Cluster) ControlPlane() *controlplane.ControlPlane { return c.cp }
 
 // MonitorURL returns the base URL for PeerConfig.MonitorURL.
 func (c *Cluster) MonitorURL() string { return "http://" + c.monitor.Addr() }

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	netsession-cp [-cns N] [-key STRING] [-population N] [-identity-seed N]
-//	              [-max-sessions N]
+//	              [-max-sessions N] [-status ADDR] [-scrape name=URL,...]
 package main
 
 import (
@@ -20,7 +20,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"netsession/internal/accounting"
 	"netsession/internal/controlplane"
@@ -38,6 +40,9 @@ func main() {
 	population := flag.Int("population", 1000, "size of the deterministic identity plan")
 	identitySeed := flag.Int64("identity-seed", 7, "seed of the identity plan")
 	maxSessions := flag.Int("max-sessions", 0, "shed logins beyond this per CN (0 = unlimited)")
+	statusAddr := flag.String("status", "127.0.0.1:0", "operator HTTP address (/v1/status, /metrics, /v1/telemetry)")
+	scrape := flag.String("scrape", "", "comma-separated name=baseURL telemetry scrape targets for the monitor")
+	scrapeEvery := flag.Duration("scrape-interval", 10*time.Second, "monitor scrape interval")
 	flag.Parse()
 
 	atlas := geo.GenerateAtlas(geo.DefaultAtlasConfig())
@@ -66,12 +71,28 @@ func main() {
 		}
 		log.Printf("CN %d listening on %s", i, cn.Addr())
 	}
+	status, err := cp.StartStatusServer(*statusAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer status.Close()
+	log.Printf("status on http://%s (GET /v1/status, /metrics, /v1/telemetry)", status.Addr())
+
 	mon := controlplane.NewMonitor(0)
 	if err := mon.Start("127.0.0.1:0"); err != nil {
 		log.Fatal(err)
 	}
 	defer mon.Close()
-	log.Printf("monitor listening on http://%s (GET /v1/health)", mon.Addr())
+	log.Printf("monitor listening on http://%s (GET /v1/health, /metrics)", mon.Addr())
+
+	targets := map[string]string{"cp": "http://" + status.Addr()}
+	for _, t := range strings.Split(*scrape, ",") {
+		if name, url, ok := strings.Cut(strings.TrimSpace(t), "="); ok {
+			targets[name] = url
+		}
+	}
+	mon.SetScrapeTargets(targets)
+	mon.StartScraping(*scrapeEvery)
 	log.Printf("identity plan: %d identities, seed %d", *population, *identitySeed)
 
 	sig := make(chan os.Signal, 1)

@@ -67,7 +67,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	log.Printf("edge serving on http://%s", srv.Addr())
+	log.Printf("edge serving on http://%s (telemetry on GET /metrics, /v1/telemetry)", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -38,6 +38,8 @@ func main() {
 	uploads := flag.Bool("uploads", true, "enable content uploads to peers")
 	stateDir := flag.String("state", "", "directory persisting the installation state (GUID, prefs, secondary GUIDs)")
 	serve := flag.Bool("serve", false, "stay resident after the download, serving uploads")
+	monitorURL := flag.String("monitor", "", "monitoring node base URL receiving operational reports")
+	stunAddr := flag.String("stun", "", "STUN server address for reflexive-address discovery")
 	identity := flag.Int("identity", 0, "index into the deterministic identity plan")
 	identitySeed := flag.Int64("identity-seed", 7, "seed of the identity plan (must match netsession-cp)")
 	population := flag.Int("population", 1000, "size of the identity plan (must match netsession-cp)")
@@ -65,6 +67,8 @@ func main() {
 		DeclaredIP:     me.IP.String(),
 		ControlAddrs:   strings.Split(*control, ","),
 		EdgeURL:        *edgeURL,
+		MonitorURL:     *monitorURL,
+		STUNAddr:       *stunAddr,
 		UploadsEnabled: *uploads,
 		StateDir:       *stateDir,
 		Logf:           func(format string, args ...any) {},
@@ -102,6 +106,9 @@ func main() {
 		log.Printf("bytes: %d from infrastructure, %d from %d peers (peer efficiency %.1f%%)",
 			res.BytesInfra, res.BytesPeers, len(res.FromPeers), 100*res.PeerEfficiency())
 		log.Printf("duration: %s", res.Duration.Round(time.Millisecond))
+		for _, st := range dl.Trace().Stages() {
+			log.Printf("trace %-14s count=%-5d total=%s", st.Name, st.Count, st.Total.Round(time.Microsecond))
+		}
 	}
 
 	if *serve {

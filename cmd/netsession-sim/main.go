@@ -33,6 +33,7 @@ func main() {
 	days := flag.Int("days", 0, "trace length in days")
 	seed := flag.Int64("seed", 0, "random seed")
 	outDir := flag.String("out", "netsession-logs", "output directory")
+	telem := flag.Bool("telemetry", true, "log periodic telemetry snapshots (virtual time, events/sec, flows)")
 	flag.Parse()
 
 	cfg := netsession.DefaultScenario()
@@ -47,6 +48,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *telem {
+		cfg.Logf = log.Printf
 	}
 
 	start := time.Now()

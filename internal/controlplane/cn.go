@@ -124,9 +124,11 @@ func (cn *CN) serveConn(conn net.Conn) {
 	}
 	cn.mu.Unlock()
 	if over {
+		cn.cp.metrics.loginsShed.Inc()
 		s.send(&protocol.LoginAck{OK: false, RetryAfterMs: 5000})
 		return
 	}
+	cn.cp.metrics.logins.Inc()
 	defer func() {
 		cn.mu.Lock()
 		delete(cn.sessions, s)
@@ -189,8 +191,10 @@ func (cn *CN) handle(s *session, msg protocol.Message) {
 	case *protocol.Register:
 		cn.handleRegister(s, m)
 	case *protocol.Unregister:
+		cn.cp.metrics.unregisters.Inc()
 		cn.dn(s).Directory().Unregister(m.Object, s.guid)
 	case *protocol.ReAddReply:
+		cn.cp.metrics.readds.Inc()
 		for _, e := range m.Entries {
 			cn.handleRegister(s, &protocol.Register{
 				Object: e.Object, NumPieces: e.NumPieces,
@@ -209,13 +213,16 @@ func (cn *CN) handle(s *session, msg protocol.Message) {
 func (cn *CN) dn(s *session) *DN { return cn.cp.DN(s.region) }
 
 func (cn *CN) handleQuery(s *session, q *protocol.Query) {
+	cn.cp.metrics.queries.Inc()
 	// The search token was minted by an edge server at authorization time;
 	// an invalid or non-p2p token cannot search for peers (§3.5).
 	claims, err := cn.cp.cfg.Minter.Verify(q.Token, cn.cp.now())
 	if err != nil || claims.Object != q.Object || claims.GUID != s.guid || !claims.P2P {
+		cn.cp.metrics.queriesRejected.Inc()
 		s.send(&protocol.QueryResult{Object: q.Object, Err: "unauthorized"})
 		return
 	}
+	selectStart := time.Now()
 	dir := cn.dn(s).Directory()
 	peers := dir.Select(cn.cp.cfg.Policy, selection.Query{
 		Object:        q.Object,
@@ -226,6 +233,7 @@ func (cn *CN) handleQuery(s *session, q *protocol.Query) {
 		Max:           int(q.MaxPeers),
 		Rand:          newSelectionRand(s.guid, q.Object),
 	})
+	cn.cp.metrics.queryDurMs.Observe(float64(time.Since(selectStart)) / float64(time.Millisecond))
 	s.send(&protocol.QueryResult{Object: q.Object, Peers: peers})
 	// Instruct the chosen peers to initiate connections to the querier as
 	// well, which is what lets NAT hole punching succeed (§3.7).
@@ -240,6 +248,7 @@ func (cn *CN) handleRegister(s *session, m *protocol.Register) {
 	if !s.uploadsEnabled {
 		return // peers appear in the database only with uploads enabled (§3.6)
 	}
+	cn.cp.metrics.registers.Inc()
 	cn.dn(s).Register(m.Object, selection.Entry{
 		Info:         s.info,
 		Rec:          s.rec,
@@ -249,6 +258,7 @@ func (cn *CN) handleRegister(s *session, m *protocol.Register) {
 }
 
 func (cn *CN) handleStats(s *session, m *protocol.StatsReport) {
+	cn.cp.metrics.statsReports.Inc()
 	rec := accounting.DownloadRecord{
 		GUID:          s.guid,
 		IP:            s.rec.IP,

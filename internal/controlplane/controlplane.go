@@ -18,6 +18,7 @@ import (
 	"netsession/internal/id"
 	"netsession/internal/protocol"
 	"netsession/internal/selection"
+	"netsession/internal/telemetry"
 )
 
 // Config assembles a control plane.
@@ -40,6 +41,50 @@ type Config struct {
 	// NowMs supplies time; the simulator injects a virtual clock. Nil uses
 	// wall clock.
 	NowMs func() int64
+	// Telemetry is the metrics registry; nil creates a private one. It is
+	// served on the status server's GET /metrics and GET /v1/telemetry.
+	Telemetry *telemetry.Registry
+}
+
+// cpMetrics pre-resolves the control plane's metric handles; CN session
+// loops touch these on every message, so lookups must not happen there.
+type cpMetrics struct {
+	reg             *telemetry.Registry
+	logins          *telemetry.Counter
+	loginsShed      *telemetry.Counter
+	sessions        *telemetry.Gauge
+	queries         *telemetry.Counter
+	queriesRejected *telemetry.Counter
+	queryDurMs      *telemetry.Histogram
+	registers       *telemetry.Counter
+	unregisters     *telemetry.Counter
+	statsReports    *telemetry.Counter
+	readds          *telemetry.Counter
+}
+
+func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &cpMetrics{
+		reg:    reg,
+		logins: reg.Counter("cp_logins_total", "accepted peer logins", nil),
+		loginsShed: reg.Counter("cp_logins_shed_total",
+			"logins shed by per-CN session limits (rate-limited recovery)", nil),
+		sessions: reg.Gauge("cp_sessions", "live peer control sessions", nil),
+		queries:  reg.Counter("cp_queries_total", "peer-directory queries", nil),
+		queriesRejected: reg.Counter("cp_queries_rejected_total",
+			"queries rejected for invalid or non-p2p tokens", nil),
+		queryDurMs: reg.Histogram("cp_query_duration_ms",
+			"DN directory selection latency in milliseconds",
+			telemetry.DurationBucketsMs, nil),
+		registers:   reg.Counter("cp_registers_total", "directory registrations", nil),
+		unregisters: reg.Counter("cp_unregisters_total", "directory withdrawals", nil),
+		statsReports: reg.Counter("cp_stats_reports_total",
+			"download usage reports received", nil),
+		readds: reg.Counter("cp_readds_total",
+			"RE-ADD soft-state recovery replies processed", nil),
+	}
 }
 
 // ControlPlane is the assembled control plane: one DN (directory) per
@@ -47,7 +92,8 @@ type Config struct {
 // used to route connect-to instructions between peers on different CNs
 // ("The CN/DN system is interconnected across regions", §3.7).
 type ControlPlane struct {
-	cfg Config
+	cfg     Config
+	metrics *cpMetrics
 
 	dns [geo.NumRegions]*DN
 
@@ -68,12 +114,19 @@ func New(cfg Config) (*ControlPlane, error) {
 	if cfg.Policy.MaxPeers == 0 {
 		cfg.Policy = selection.DefaultPolicy()
 	}
-	cp := &ControlPlane{cfg: cfg, sessions: make(map[id.GUID]*session)}
+	cp := &ControlPlane{
+		cfg:      cfg,
+		metrics:  newCPMetrics(cfg.Telemetry),
+		sessions: make(map[id.GUID]*session),
+	}
 	for r := 0; r < geo.NumRegions; r++ {
 		cp.dns[r] = NewDN(geo.NetworkRegion(r), cfg.Collector)
 	}
 	return cp, nil
 }
+
+// Metrics exposes the control plane's telemetry registry.
+func (cp *ControlPlane) Metrics() *telemetry.Registry { return cp.metrics.reg }
 
 // DN returns the database node serving a region.
 func (cp *ControlPlane) DN(r geo.NetworkRegion) *DN { return cp.dns[int(r)] }
@@ -174,6 +227,7 @@ func (cp *ControlPlane) register(s *session) {
 	cp.mu.Lock()
 	old := cp.sessions[s.guid]
 	cp.sessions[s.guid] = s
+	cp.metrics.sessions.Set(float64(len(cp.sessions)))
 	cp.mu.Unlock()
 	if old != nil && old != s {
 		old.closeConn()
@@ -185,6 +239,7 @@ func (cp *ControlPlane) unregister(s *session) {
 	if cp.sessions[s.guid] == s {
 		delete(cp.sessions, s.guid)
 	}
+	cp.metrics.sessions.Set(float64(len(cp.sessions)))
 	cp.mu.Unlock()
 	// Departing peers leave the directory; their registrations are soft
 	// state that they will re-announce on reconnect.

@@ -4,17 +4,23 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"netsession/internal/telemetry"
 )
 
 // Monitor is a monitoring node: "peers upload information about their
 // operation and about problems, such as application crash reports, to these
 // nodes. Processing their logs helps to monitor the network in real-time"
 // (§3.6). It ingests reports over HTTP, keeps per-kind counters and a bounded
-// ring of recent reports, and exposes a health summary.
+// ring of recent reports, scrapes the telemetry endpoints of the other
+// components into a fleet-wide aggregate, and exposes a health summary.
 type Monitor struct {
 	mu         sync.Mutex
 	counts     map[string]int
@@ -22,6 +28,19 @@ type Monitor struct {
 	maxRing    int
 	thresholds map[string]int
 	alerts     []Alert
+
+	reg             *telemetry.Registry
+	reportsByKind   map[string]*telemetry.Counter
+	reportsRejected *telemetry.Counter
+	alertsRaised    *telemetry.Counter
+	scrapes         *telemetry.Counter
+	scrapeErrors    *telemetry.Counter
+
+	scrapeMu      sync.Mutex
+	scrapeTargets map[string]string // component name -> base URL
+	scraped       map[string]telemetry.Snapshot
+	scrapedAt     map[string]time.Time
+	scrapeStop    func()
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -43,23 +62,44 @@ type Report struct {
 	Detail string `json:"detail"`
 }
 
+// maxReportBody bounds POST /v1/report bodies; reports are small JSON
+// documents and anything larger is hostile or broken.
+const maxReportBody = 16 << 10
+
 // NewMonitor creates a monitoring node keeping up to ringSize recent
 // reports.
 func NewMonitor(ringSize int) *Monitor {
 	if ringSize <= 0 {
 		ringSize = 1024
 	}
+	reg := telemetry.NewRegistry()
 	m := &Monitor{
-		counts:     make(map[string]int),
-		maxRing:    ringSize,
-		thresholds: make(map[string]int),
+		counts:        make(map[string]int),
+		maxRing:       ringSize,
+		thresholds:    make(map[string]int),
+		reg:           reg,
+		reportsByKind: make(map[string]*telemetry.Counter),
+		reportsRejected: reg.Counter("monitor_reports_rejected_total",
+			"malformed or oversized report uploads rejected", nil),
+		alertsRaised: reg.Counter("monitor_alerts_total", "alerts raised", nil),
+		scrapes: reg.Counter("monitor_scrapes_total",
+			"successful component telemetry scrapes", nil),
+		scrapeErrors: reg.Counter("monitor_scrape_errors_total",
+			"failed component telemetry scrapes", nil),
+		scrapeTargets: make(map[string]string),
+		scraped:       make(map[string]telemetry.Snapshot),
+		scrapedAt:     make(map[string]time.Time),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/report", m.handleReport)
 	mux.HandleFunc("GET /v1/health", m.handleHealth)
+	telemetry.Mount(mux, reg)
 	m.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	return m
 }
+
+// Metrics exposes the monitor's own telemetry registry.
+func (m *Monitor) Metrics() *telemetry.Registry { return m.reg }
 
 // Start listens and serves in the background.
 func (m *Monitor) Start(addr string) error {
@@ -82,6 +122,13 @@ func (m *Monitor) Addr() string {
 
 // Close shuts the monitor down.
 func (m *Monitor) Close() error {
+	m.scrapeMu.Lock()
+	stop := m.scrapeStop
+	m.scrapeStop = nil
+	m.scrapeMu.Unlock()
+	if stop != nil {
+		stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	return m.httpSrv.Shutdown(ctx)
@@ -103,6 +150,7 @@ func (m *Monitor) Alerts() []Alert {
 
 // Ingest records a report directly (in-process peers and the simulator).
 func (m *Monitor) Ingest(r Report) {
+	m.kindCounter(r.Kind).Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.counts[r.Kind]++
@@ -112,7 +160,21 @@ func (m *Monitor) Ingest(r Report) {
 	}
 	if th, ok := m.thresholds[r.Kind]; ok && m.counts[r.Kind] == th {
 		m.alerts = append(m.alerts, Alert{Kind: r.Kind, Count: m.counts[r.Kind]})
+		m.alertsRaised.Inc()
 	}
+}
+
+// kindCounter caches the per-kind report counter series.
+func (m *Monitor) kindCounter(kind string) *telemetry.Counter {
+	m.mu.Lock()
+	c, ok := m.reportsByKind[kind]
+	if !ok {
+		c = m.reg.Counter("monitor_reports_total",
+			"operational reports received, by kind", telemetry.Labels{"kind": kind})
+		m.reportsByKind[kind] = c
+	}
+	m.mu.Unlock()
+	return c
 }
 
 // Count returns how many reports of a kind arrived.
@@ -129,23 +191,156 @@ func (m *Monitor) Recent() []Report {
 	return append([]Report(nil), m.recent...)
 }
 
+// handleReport ingests one peer report. The body is size-bounded and must be
+// a single well-formed JSON report with a non-empty kind; anything else is a
+// 400 that is counted but never lands in the ring.
 func (m *Monitor) handleReport(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReportBody))
 	var rep Report
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<10)).Decode(&rep); err != nil {
+	if err := dec.Decode(&rep); err != nil {
+		m.reportsRejected.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(rep.Kind) == "" {
+		m.reportsRejected.Inc()
+		http.Error(w, "report kind is required", http.StatusBadRequest)
 		return
 	}
 	m.Ingest(rep)
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// SetScrapeTargets configures the component telemetry endpoints this monitor
+// aggregates (name → base URL serving GET /v1/telemetry).
+func (m *Monitor) SetScrapeTargets(targets map[string]string) {
+	m.scrapeMu.Lock()
+	defer m.scrapeMu.Unlock()
+	m.scrapeTargets = make(map[string]string, len(targets))
+	for k, v := range targets {
+		m.scrapeTargets[k] = strings.TrimSuffix(v, "/")
+	}
+}
+
+// ScrapeOnce fetches every configured target's /v1/telemetry snapshot.
+// Failures are soft: the previous snapshot for a target is kept, and the
+// error counter advances.
+func (m *Monitor) ScrapeOnce() {
+	m.scrapeMu.Lock()
+	targets := make(map[string]string, len(m.scrapeTargets))
+	for k, v := range m.scrapeTargets {
+		targets[k] = v
+	}
+	m.scrapeMu.Unlock()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for name, base := range targets {
+		snap, err := fetchSnapshot(client, base+"/v1/telemetry")
+		if err != nil {
+			m.scrapeErrors.Inc()
+			continue
+		}
+		m.scrapes.Inc()
+		m.scrapeMu.Lock()
+		m.scraped[name] = snap
+		m.scrapedAt[name] = time.Now()
+		m.scrapeMu.Unlock()
+	}
+}
+
+func fetchSnapshot(client *http.Client, url string) (telemetry.Snapshot, error) {
+	var snap telemetry.Snapshot
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&snap)
+	return snap, err
+}
+
+// StartScraping scrapes all targets every interval until the monitor closes
+// or the returned stop function runs.
+func (m *Monitor) StartScraping(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	stop = func() { once.Do(func() { close(done) }) }
+	m.scrapeMu.Lock()
+	m.scrapeStop = stop
+	m.scrapeMu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m.ScrapeOnce()
+			}
+		}
+	}()
+	return stop
+}
+
+// Aggregate merges the latest scraped snapshot of every component into one
+// fleet view.
+func (m *Monitor) Aggregate() telemetry.Snapshot {
+	m.scrapeMu.Lock()
+	defer m.scrapeMu.Unlock()
+	agg := telemetry.Snapshot{}
+	names := make([]string, 0, len(m.scraped))
+	for name := range m.scraped {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		agg.Merge(m.scraped[name])
+	}
+	return agg
+}
+
+// componentHealth is one scraped component's entry in the health summary.
+type componentHealth struct {
+	LastScrape time.Time `json:"lastScrape"`
+	Counters   int       `json:"counters"`
+}
+
+// healthSummary is the GET /v1/health document: the report counters the
+// monitor ingested itself, plus the scraped fleet aggregate.
+type healthSummary struct {
+	Reports    map[string]int             `json:"reports"`
+	Alerts     []Alert                    `json:"alerts,omitempty"`
+	Components map[string]componentHealth `json:"components,omitempty"`
+	Fleet      telemetry.Snapshot         `json:"fleet,omitempty"`
+}
+
 func (m *Monitor) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	m.mu.Lock()
-	out := make(map[string]int, len(m.counts))
+	sum := healthSummary{Reports: make(map[string]int, len(m.counts))}
 	for k, v := range m.counts {
-		out[k] = v
+		sum.Reports[k] = v
 	}
+	sum.Alerts = append(sum.Alerts, m.alerts...)
 	m.mu.Unlock()
+	m.scrapeMu.Lock()
+	if len(m.scraped) > 0 {
+		sum.Components = make(map[string]componentHealth, len(m.scraped))
+		for name, snap := range m.scraped {
+			sum.Components[name] = componentHealth{
+				LastScrape: m.scrapedAt[name],
+				Counters:   len(snap.Counters),
+			}
+		}
+	}
+	m.scrapeMu.Unlock()
+	sum.Fleet = m.Aggregate()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
+	json.NewEncoder(w).Encode(sum)
 }

@@ -1,0 +1,121 @@
+package controlplane
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netsession/internal/telemetry"
+)
+
+func startMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	m := NewMonitor(16)
+	if err := m.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func postReport(t *testing.T, m *Monitor, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post("http://"+m.Addr()+"/v1/report", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestMonitorRejectsMalformedReports(t *testing.T) {
+	m := startMonitor(t)
+
+	if resp := postReport(t, m, []byte(`{"kind":"crash","guid":"g"}`)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("valid report: status %d", resp.StatusCode)
+	}
+	if resp := postReport(t, m, []byte(`{not json`)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postReport(t, m, []byte(`{"kind":"  ","guid":"g"}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("blank kind: status %d, want 400", resp.StatusCode)
+	}
+	// Oversized body: a detail string past maxReportBody.
+	big := `{"kind":"crash","detail":"` + strings.Repeat("x", maxReportBody+1) + `"}`
+	if resp := postReport(t, m, []byte(big)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+	if got := m.Count("crash"); got != 1 {
+		t.Errorf("crash count %d, want 1 (rejects must not land)", got)
+	}
+
+	snap := m.Metrics().Snapshot()
+	if got := snap.Counters["monitor_reports_rejected_total"]; got != 3 {
+		t.Errorf("rejected counter %d, want 3", got)
+	}
+}
+
+func TestMonitorScrapeAndAggregate(t *testing.T) {
+	m := startMonitor(t)
+
+	// Two fake components, each with its own registry.
+	mk := func(n int64) *httptest.Server {
+		reg := telemetry.NewRegistry()
+		reg.Counter("widget_total", "widgets", nil).Add(n)
+		mux := http.NewServeMux()
+		telemetry.Mount(mux, reg)
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	a, b := mk(3), mk(4)
+	m.SetScrapeTargets(map[string]string{"a": a.URL, "b": b.URL, "down": "http://127.0.0.1:1"})
+	m.ScrapeOnce()
+
+	agg := m.Aggregate()
+	if got := agg.Counters["widget_total"]; got != 7 {
+		t.Errorf("aggregate widget_total=%d, want 7", got)
+	}
+	snap := m.Metrics().Snapshot()
+	if snap.Counters["monitor_scrapes_total"] != 2 || snap.Counters["monitor_scrape_errors_total"] != 1 {
+		t.Errorf("scrape counters: %+v", snap.Counters)
+	}
+
+	// The health summary carries the fleet aggregate.
+	resp, err := http.Get("http://" + m.Addr() + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "widget_total") {
+		t.Errorf("health summary missing fleet aggregate: %s", buf.String())
+	}
+}
+
+func TestMonitorStartScrapingLoop(t *testing.T) {
+	m := startMonitor(t)
+	reg := telemetry.NewRegistry()
+	reg.Counter("tick_total", "ticks", nil).Inc()
+	mux := http.NewServeMux()
+	telemetry.Mount(mux, reg)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	m.SetScrapeTargets(map[string]string{"c": srv.URL})
+	stop := m.StartScraping(20 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Aggregate().Counters["tick_total"] == 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("periodic scrape never delivered a snapshot")
+}

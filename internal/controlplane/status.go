@@ -1,10 +1,15 @@
 package controlplane
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
+	"time"
 
 	"netsession/internal/geo"
+	"netsession/internal/telemetry"
 )
 
 // Status is an operator snapshot of the control plane: "download and upload
@@ -49,4 +54,41 @@ func (cp *ControlPlane) StatusHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(cp.Status())
 	})
+}
+
+// StatusServer is the control plane's operator HTTP surface: the status
+// snapshot plus the standard telemetry endpoints (GET /metrics in Prometheus
+// text format, GET /v1/telemetry as JSON). The CNs themselves speak only the
+// binary control protocol, so this is where the control plane's metrics are
+// scraped from.
+type StatusServer struct {
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// StartStatusServer serves the operator surface on addr.
+func (cp *ControlPlane) StartStatusServer(addr string) (*StatusServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/status", cp.StatusHandler())
+	telemetry.Mount(mux, cp.metrics.reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: status listen: %w", err)
+	}
+	s := &StatusServer{
+		httpSrv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		ln:      ln,
+	}
+	go s.httpSrv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the status server down.
+func (s *StatusServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.httpSrv.Shutdown(ctx)
 }

@@ -13,6 +13,7 @@ import (
 
 	"netsession/internal/content"
 	"netsession/internal/id"
+	"netsession/internal/telemetry"
 )
 
 // ClientConfig is the policy configuration edge servers distribute to peers
@@ -52,24 +53,77 @@ type Server struct {
 	minter  *TokenMinter
 	ledger  *Ledger
 	cfg     ClientConfig
+	metrics *serverMetrics
 
 	httpSrv *http.Server
 	ln      net.Listener
 }
 
+// serverMetrics holds the edge server's pre-resolved metric handles so hot
+// request paths never touch the registry map.
+type serverMetrics struct {
+	reg         *telemetry.Registry
+	bytesServed *telemetry.Counter
+	authRejects *telemetry.Counter
+	requests    map[string]*telemetry.Counter
+	latency     map[string]*telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &serverMetrics{
+		reg: reg,
+		bytesServed: reg.Counter("edge_bytes_served_total",
+			"content bytes written to clients", nil),
+		authRejects: reg.Counter("edge_auth_rejects_total",
+			"requests rejected for invalid or missing authorization", nil),
+		requests: make(map[string]*telemetry.Counter),
+		latency:  make(map[string]*telemetry.Histogram),
+	}
+	for _, ep := range []string{"manifest", "data", "authorize", "config", "verify"} {
+		m.requests[ep] = reg.Counter("edge_requests_total",
+			"HTTP requests served, by endpoint", telemetry.Labels{"endpoint": ep})
+		m.latency[ep] = reg.Histogram("edge_request_duration_ms",
+			"request latency in milliseconds, by endpoint",
+			telemetry.DurationBucketsMs, telemetry.Labels{"endpoint": ep})
+	}
+	return m
+}
+
+// instrument wraps a handler with request counting and latency observation.
+func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	c, lat := m.requests[endpoint], m.latency[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		c.Inc()
+		h(w, r)
+		lat.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+}
+
 // NewServer assembles an edge server. The catalog, minter and ledger may be
 // shared across several servers to model one edge tier.
 func NewServer(catalog *Catalog, minter *TokenMinter, ledger *Ledger, cfg ClientConfig) *Server {
-	s := &Server{catalog: catalog, minter: minter, ledger: ledger, cfg: cfg}
+	s := &Server{
+		catalog: catalog, minter: minter, ledger: ledger, cfg: cfg,
+		metrics: newServerMetrics(nil),
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/objects/{oid}/manifest", s.handleManifest)
-	mux.HandleFunc("GET /v1/objects/{oid}/data", s.handleData)
-	mux.HandleFunc("POST /v1/authorize", s.handleAuthorize)
-	mux.HandleFunc("GET /v1/config", s.handleConfig)
-	mux.HandleFunc("GET /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/objects/{oid}/manifest", s.metrics.instrument("manifest", s.handleManifest))
+	mux.HandleFunc("GET /v1/objects/{oid}/data", s.metrics.instrument("data", s.handleData))
+	mux.HandleFunc("POST /v1/authorize", s.metrics.instrument("authorize", s.handleAuthorize))
+	mux.HandleFunc("GET /v1/config", s.metrics.instrument("config", s.handleConfig))
+	mux.HandleFunc("GET /v1/verify", s.metrics.instrument("verify", s.handleVerify))
+	telemetry.Mount(mux, s.metrics.reg)
 	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	return s
 }
+
+// Metrics exposes the server's telemetry registry (also served on
+// GET /metrics and GET /v1/telemetry).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
 
 // Start listens on addr ("127.0.0.1:0" for tests) and serves in the
 // background.
@@ -190,11 +244,13 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 	if tok := r.URL.Query().Get("token"); tok != "" {
 		raw, err := DecodeToken(tok)
 		if err != nil {
+			s.metrics.authRejects.Inc()
 			http.Error(w, err.Error(), http.StatusUnauthorized)
 			return
 		}
 		claims, err := s.minter.Verify(raw, time.Now().UnixMilli())
 		if err != nil || claims.Object != oid {
+			s.metrics.authRejects.Inc()
 			http.Error(w, "invalid token", http.StatusUnauthorized)
 			return
 		}
@@ -227,6 +283,7 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	s.metrics.bytesServed.Add(sent)
 	if haveClaim {
 		s.ledger.RecordServed(claimGUID, oid, sent)
 	}

@@ -19,6 +19,7 @@ import (
 	"netsession/internal/edge"
 	"netsession/internal/id"
 	"netsession/internal/protocol"
+	"netsession/internal/telemetry"
 )
 
 // Config configures a NetSession Interface instance.
@@ -60,15 +61,20 @@ type Config struct {
 	// RequeryInterval is how often an unsatisfied download re-queries the
 	// control plane for more peers; zero selects the 2s default.
 	RequeryInterval time.Duration
+	// Telemetry is the metrics registry; nil creates a private one
+	// (retrievable via Client.Metrics).
+	Telemetry *telemetry.Registry
 	// Logf receives debug logging; nil discards.
 	Logf func(format string, args ...any)
 }
 
 // Client is one running NetSession Interface.
 type Client struct {
-	cfg   Config
-	store content.Store
-	edge  *edgePool
+	cfg     Config
+	store   content.Store
+	edge    *edgePool
+	metrics *clientMetrics
+	traces  *telemetry.TraceLog
 
 	secMu       sync.Mutex
 	secondaries id.History
@@ -132,6 +138,8 @@ func New(cfg Config) (*Client, error) {
 		cfg:       cfg,
 		store:     cfg.Store,
 		edge:      pool,
+		metrics:   newClientMetrics(cfg.Telemetry),
+		traces:    telemetry.NewTraceLog(0),
 		prefs:     NewPreferences(cfg.UploadsEnabled),
 		manifests: make(map[content.ObjectID]*content.Manifest),
 		downloads: make(map[content.ObjectID]*Download),

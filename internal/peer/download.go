@@ -10,6 +10,7 @@ import (
 	"netsession/internal/content"
 	"netsession/internal/id"
 	"netsession/internal/protocol"
+	"netsession/internal/telemetry"
 )
 
 // downloadState is the lifecycle of a Download.
@@ -64,11 +65,13 @@ type Download struct {
 	opts     DownloadOpts
 	start    time.Time
 	rng      *rand.Rand // guarded by mu
+	trace    *telemetry.Trace
 
 	mu            sync.Mutex
 	have          *content.Bitfield
 	inflight      map[int]int
 	pendingReq    map[*swarmConn]int
+	pendingAt     map[*swarmConn]time.Time
 	conns         map[*swarmConn]bool
 	candidates    []protocol.PeerInfo
 	dialed        map[id.GUID]bool
@@ -102,11 +105,16 @@ func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Downloa
 	}
 	c.mu.Unlock()
 
+	trace := telemetry.NewTrace("download", oid.String())
+	endAuth := trace.StartStage(telemetry.StageAuthorize)
 	auth, err := c.edge.Authorize(c.cfg.GUID, oid)
+	endAuth()
 	if err != nil {
 		return nil, fmt.Errorf("peer: authorize: %w", err)
 	}
+	endManifest := trace.StartStage(telemetry.StageManifest)
 	m, err := c.manifest(oid)
+	endManifest()
 	if err != nil {
 		return nil, fmt.Errorf("peer: manifest: %w", err)
 	}
@@ -119,8 +127,10 @@ func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Downloa
 		opts:       opts,
 		start:      time.Now(),
 		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		trace:      trace,
 		inflight:   make(map[int]int),
 		pendingReq: make(map[*swarmConn]int),
+		pendingAt:  make(map[*swarmConn]time.Time),
 		conns:      make(map[*swarmConn]bool),
 		dialed:     make(map[id.GUID]bool),
 		fromPeers:  make(map[id.GUID]int64),
@@ -162,6 +172,9 @@ func closedChan() chan struct{} {
 
 // Object returns the object being downloaded.
 func (d *Download) Object() content.Object { return d.manifest.Object }
+
+// Trace returns the download's lifecycle trace.
+func (d *Download) Trace() *telemetry.Trace { return d.trace }
 
 // Wait blocks until the download reaches a terminal state or the context is
 // cancelled; cancellation aborts the download.
@@ -310,8 +323,14 @@ func (d *Download) edgeLoop() {
 			continue
 		}
 		stall = 0
+		fetchStart := time.Now()
 		data, err := d.c.edge.FetchPiece(d.manifest, d.token, idx)
 		d.releaseInflight(idx)
+		if err == nil {
+			el := time.Since(fetchStart)
+			d.c.metrics.edgeFetchMs.Observe(float64(el) / float64(time.Millisecond))
+			d.trace.Observe(telemetry.StageEdgeFetch, el)
+		}
 		if err != nil {
 			d.c.logf("edge fetch piece %d: %v", idx, err)
 			select {
@@ -361,6 +380,9 @@ func (d *Download) peerLoop() {
 				d.c.logf("peer query: %v", err)
 				break
 			}
+			el := time.Since(lastQuery)
+			d.c.metrics.peerLookupMs.Observe(float64(el) / float64(time.Millisecond))
+			d.trace.Observe(telemetry.StagePeerLookup, el)
 			d.mu.Lock()
 			if !d.queried {
 				d.queried = true
@@ -391,9 +413,14 @@ func (d *Download) dialCandidate(p protocol.PeerInfo) {
 	d.mu.Unlock()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	d.c.metrics.swarmDials.Inc()
+	dialStart := time.Now()
 	if _, err := d.c.dialSwarm(ctx, d, p); err != nil {
+		d.c.metrics.swarmDialErrors.Inc()
 		d.c.logf("swarm dial %s: %v", p.Addr, err)
+		return
 	}
+	d.trace.Observe(telemetry.StageSwarmConnect, time.Since(dialStart))
 }
 
 // addCandidate feeds a control-plane-suggested peer into the dial queue.
@@ -422,6 +449,7 @@ func (d *Download) removeConn(sc *swarmConn) {
 		}
 	}
 	delete(d.pendingReq, sc)
+	delete(d.pendingAt, sc)
 	delete(d.conns, sc)
 	d.mu.Unlock()
 }
@@ -485,6 +513,7 @@ func (d *Download) kickScheduler(sc *swarmConn) {
 	}
 	d.inflight[pick]++
 	d.pendingReq[sc] = pick
+	d.pendingAt[sc] = time.Now()
 	d.mu.Unlock()
 	if err := sc.send(&protocol.Request{Index: uint32(pick)}); err != nil {
 		d.releaseInflight(pick)
@@ -499,6 +528,12 @@ func (d *Download) onPiece(sc *swarmConn, idx int, data []byte) {
 	d.mu.Lock()
 	if cur, ok := d.pendingReq[sc]; ok && cur == idx {
 		d.pendingReq[sc] = -1
+		if at, ok := d.pendingAt[sc]; ok {
+			el := time.Since(at)
+			delete(d.pendingAt, sc)
+			d.c.metrics.peerPieceMs.Observe(float64(el) / float64(time.Millisecond))
+			d.trace.Observe(telemetry.StagePieceTransfer, el)
+		}
 		if d.inflight[idx] > 1 {
 			d.inflight[idx]--
 		} else {
@@ -517,6 +552,7 @@ func (d *Download) onPiece(sc *swarmConn, idx int, data []byte) {
 		sc.corrupt++
 		badPeer := sc.corrupt >= 3
 		sc.mu.Unlock()
+		d.c.metrics.corruptPieces.Inc()
 		d.c.logf("corrupt piece %d from %s", idx, sc.remote.Short())
 		d.c.reportProblem("piece-corrupt",
 			fmt.Sprintf("object %v piece %d from peer %s", d.oid, idx, sc.remote.Short()))
@@ -580,6 +616,13 @@ func (d *Download) storeVerified(idx int, data []byte, from id.GUID, infra bool)
 		conns = append(conns, sc)
 	}
 	d.mu.Unlock()
+	if infra {
+		d.c.metrics.piecesEdge.Inc()
+		d.c.metrics.bytesDownEdge.Add(int64(len(data)))
+	} else {
+		d.c.metrics.piecesPeers.Inc()
+		d.c.metrics.bytesDownPeers.Add(int64(len(data)))
+	}
 	for _, sc := range conns {
 		sc.send(&protocol.Have{Index: uint32(idx)})
 	}
@@ -635,6 +678,11 @@ func (d *Download) finish(outcome protocol.Outcome) {
 		delete(d.c.downloads, d.oid)
 	}
 	d.c.mu.Unlock()
+
+	d.c.metrics.downloadOutcome(outcome.String()).Inc()
+	d.trace.Event("outcome", outcome.String())
+	d.trace.End()
+	d.c.traces.Add(d.trace)
 
 	d.report()
 	if outcome == protocol.OutcomeCompleted {

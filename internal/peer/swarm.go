@@ -10,6 +10,7 @@ import (
 	"netsession/internal/id"
 	"netsession/internal/nat"
 	"netsession/internal/protocol"
+	"netsession/internal/telemetry"
 )
 
 // swarmConn is one established swarm connection, scoped to one object as in
@@ -83,6 +84,7 @@ func (c *Client) acceptSwarmLoop() {
 // handleInbound processes one inbound swarm connection from handshake to
 // close.
 func (c *Client) handleInbound(conn net.Conn) {
+	accepted := time.Now()
 	conn.SetReadDeadline(time.Now().Add(20 * time.Second))
 	msg, err := protocol.ReadMessage(conn)
 	if err != nil {
@@ -108,6 +110,10 @@ func (c *Client) handleInbound(conn net.Conn) {
 		}
 		sc.sendLocalBitfield()
 		d.attachConn(sc)
+		// An uploader dialing back on the control plane's instruction is
+		// the NAT-traversal half of swarm establishment (§3.7); it counts
+		// toward the download's swarm-connect stage like an outbound dial.
+		d.trace.Observe(telemetry.StageSwarmConnect, time.Since(accepted))
 		sc.loop()
 		return
 	}
@@ -270,6 +276,7 @@ func (sc *swarmConn) serveRequest(index int) bool {
 		return false
 	}
 	sc.c.uploads.countBytes(len(data))
+	sc.c.metrics.bytesUp.Add(int64(len(data)))
 	return true
 }
 

@@ -1,3 +1,8 @@
+// Telemetry wiring for the NetSession Interface: the client's metric
+// handles, the download-lifecycle trace log, STUN reflexive-address
+// discovery, and the best-effort operational report uploads to the
+// monitoring node ("peers upload information about their operation and about
+// problems ... to these nodes", §3.6).
 package peer
 
 import (
@@ -6,10 +11,125 @@ import (
 	"net"
 	"net/http"
 	"net/netip"
+	"sync"
 	"time"
 
 	"netsession/internal/nat"
+	"netsession/internal/telemetry"
 )
+
+// clientMetrics pre-resolves every metric the client's hot paths touch
+// (piece arrivals, swarm dials, uploads); registry lookups happen once.
+type clientMetrics struct {
+	reg *telemetry.Registry
+
+	piecesEdge     *telemetry.Counter
+	piecesPeers    *telemetry.Counter
+	bytesDownEdge  *telemetry.Counter
+	bytesDownPeers *telemetry.Counter
+	bytesUp        *telemetry.Counter
+
+	swarmDials      *telemetry.Counter
+	swarmDialErrors *telemetry.Counter
+	corruptPieces   *telemetry.Counter
+
+	edgeFetchMs  *telemetry.Histogram
+	peerPieceMs  *telemetry.Histogram
+	peerLookupMs *telemetry.Histogram
+
+	downloadsByOutcome map[string]*telemetry.Counter
+	stunOK             *telemetry.Counter
+	stunFail           *telemetry.Counter
+
+	mu            sync.Mutex
+	reportsByKind map[string]*telemetry.Counter
+}
+
+func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &clientMetrics{
+		reg: reg,
+		piecesEdge: reg.Counter("peer_pieces_total",
+			"verified pieces received, by source", telemetry.Labels{"source": "edge"}),
+		piecesPeers: reg.Counter("peer_pieces_total",
+			"verified pieces received, by source", telemetry.Labels{"source": "peer"}),
+		bytesDownEdge: reg.Counter("peer_bytes_down_total",
+			"bytes downloaded, by source", telemetry.Labels{"source": "edge"}),
+		bytesDownPeers: reg.Counter("peer_bytes_down_total",
+			"bytes downloaded, by source", telemetry.Labels{"source": "peer"}),
+		bytesUp: reg.Counter("peer_bytes_up_total",
+			"bytes uploaded to other peers", nil),
+		swarmDials: reg.Counter("peer_swarm_dials_total",
+			"outbound swarm connection attempts", nil),
+		swarmDialErrors: reg.Counter("peer_swarm_dial_errors_total",
+			"failed outbound swarm connection attempts", nil),
+		corruptPieces: reg.Counter("peer_corrupt_pieces_total",
+			"pieces that failed hash verification", nil),
+		edgeFetchMs: reg.Histogram("peer_edge_fetch_ms",
+			"edge HTTP piece fetch latency in milliseconds",
+			telemetry.DurationBucketsMs, nil),
+		peerPieceMs: reg.Histogram("peer_piece_transfer_ms",
+			"swarm piece request-to-arrival latency in milliseconds",
+			telemetry.DurationBucketsMs, nil),
+		peerLookupMs: reg.Histogram("peer_lookup_ms",
+			"control-plane peer query latency in milliseconds",
+			telemetry.DurationBucketsMs, nil),
+		downloadsByOutcome: make(map[string]*telemetry.Counter),
+		stunOK: reg.Counter("peer_stun_discoveries_total",
+			"STUN reflexive-address discoveries, by outcome", telemetry.Labels{"outcome": "ok"}),
+		stunFail: reg.Counter("peer_stun_discoveries_total",
+			"STUN reflexive-address discoveries, by outcome", telemetry.Labels{"outcome": "fail"}),
+		reportsByKind: make(map[string]*telemetry.Counter),
+	}
+	return m
+}
+
+func (m *clientMetrics) downloadOutcome(outcome string) *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.downloadsByOutcome[outcome]
+	if !ok {
+		c = m.reg.Counter("peer_downloads_total",
+			"finished downloads, by outcome", telemetry.Labels{"outcome": outcome})
+		m.downloadsByOutcome[outcome] = c
+	}
+	return c
+}
+
+func (m *clientMetrics) reportKind(kind string) *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.reportsByKind[kind]
+	if !ok {
+		c = m.reg.Counter("peer_reports_total",
+			"operational reports uploaded to the monitor, by kind",
+			telemetry.Labels{"kind": kind})
+		m.reportsByKind[kind] = c
+	}
+	return c
+}
+
+// Metrics exposes the client's telemetry registry.
+func (c *Client) Metrics() *telemetry.Registry { return c.metrics.reg }
+
+// Traces returns the client's recent completed download traces, oldest
+// first.
+func (c *Client) Traces() []*telemetry.Trace { return c.traces.Recent() }
+
+// stunLocalAddr derives the local bind address for the STUN socket from the
+// configured server so discovery works off-loopback: a loopback STUN server
+// (tests) gets a loopback socket, anything else binds the wildcard address.
+func stunLocalAddr(stunAddr string) string {
+	host, _, err := net.SplitHostPort(stunAddr)
+	if err == nil {
+		if ip, perr := netip.ParseAddr(host); perr == nil && ip.IsLoopback() {
+			return "127.0.0.1:0"
+		}
+	}
+	return "0.0.0.0:0"
+}
 
 // discoverReflexive queries the configured STUN server for the client's
 // reflexive transport address — the connectivity detail the control plane's
@@ -20,18 +140,21 @@ func (c *Client) discoverReflexive() {
 	if c.cfg.STUNAddr == "" {
 		return
 	}
-	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	pc, err := net.ListenPacket("udp", stunLocalAddr(c.cfg.STUNAddr))
 	if err != nil {
 		c.logf("stun socket: %v", err)
+		c.metrics.stunFail.Inc()
 		return
 	}
 	defer pc.Close()
 	addr, err := nat.Discover(pc, c.cfg.STUNAddr, uint64(time.Now().UnixNano()), 3*time.Second)
 	if err != nil {
 		c.logf("stun discover: %v", err)
+		c.metrics.stunFail.Inc()
 		c.reportProblem("nat-fail", err.Error())
 		return
 	}
+	c.metrics.stunOK.Inc()
 	c.mu.Lock()
 	c.reflexive = addr
 	c.mu.Unlock()
@@ -48,17 +171,20 @@ func (c *Client) ReflexiveAddr() netip.AddrPort {
 
 // reportProblem uploads an operational report to the monitoring node,
 // best-effort and asynchronous ("peers upload information about their
-// operation and about problems ... to these nodes", §3.6).
+// operation and about problems ... to these nodes", §3.6). Every report is
+// also counted in the client's own registry, so fleet problem rates show up
+// both at the monitor and on the peer's /v1/telemetry surface.
 func (c *Client) reportProblem(kind, detail string) {
+	c.metrics.reportKind(kind).Inc()
 	url := c.cfg.MonitorURL
 	if url == "" {
 		return
 	}
-	body, err := json.Marshal(map[string]any{
-		"timeMs": time.Now().UnixMilli(),
-		"guid":   c.cfg.GUID.String(),
-		"kind":   kind,
-		"detail": detail,
+	body, err := json.Marshal(Report{
+		TimeMs: time.Now().UnixMilli(),
+		GUID:   c.cfg.GUID.String(),
+		Kind:   kind,
+		Detail: detail,
 	})
 	if err != nil {
 		return
@@ -71,4 +197,13 @@ func (c *Client) reportProblem(kind, detail string) {
 		}
 		resp.Body.Close()
 	}()
+}
+
+// Report mirrors the monitor's report schema (controlplane.Report); declared
+// here so the peer package does not import the control plane.
+type Report struct {
+	TimeMs int64  `json:"timeMs"`
+	GUID   string `json:"guid"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
 }

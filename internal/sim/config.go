@@ -3,6 +3,7 @@ package sim
 import (
 	"netsession/internal/geo"
 	"netsession/internal/selection"
+	"netsession/internal/telemetry"
 	"netsession/internal/trace"
 )
 
@@ -76,6 +77,16 @@ type ScenarioConfig struct {
 	FailOtherProb      float64
 	FailSystemInfra    float64
 	FailSystemP2P      float64
+
+	// Telemetry is the metrics registry; nil creates a private one,
+	// returned in Result.Telemetry either way.
+	Telemetry *telemetry.Registry
+	// SnapshotIntervalHours is how often (in virtual time) the telemetry
+	// gauges refresh and a snapshot line goes to Logf; zero selects 24h.
+	SnapshotIntervalHours float64
+	// Logf receives the snapshot lines; nil discards them (the gauges still
+	// update).
+	Logf func(format string, args ...any)
 }
 
 // DefaultScenario returns the scale used by the experiment harness: large

@@ -17,9 +17,10 @@ import (
 // clock. It is single-goroutine by design: determinism beats parallelism
 // for reproducing figures.
 type Engine struct {
-	now int64
-	seq uint64
-	pq  eventQueue
+	now      int64
+	seq      uint64
+	executed int
+	pq       eventQueue
 }
 
 type event struct {
@@ -51,6 +52,10 @@ func (q *eventQueue) Pop() any {
 // Now returns the current virtual time in milliseconds.
 func (e *Engine) Now() int64 { return e.now }
 
+// Executed returns the cumulative number of events run so far; the periodic
+// telemetry snapshots read it mid-run to compute events/sec.
+func (e *Engine) Executed() int { return e.executed }
+
 // At schedules fn at virtual time tMs; times in the past run "now".
 func (e *Engine) At(tMs int64, fn func()) {
 	if tMs < e.now {
@@ -76,6 +81,7 @@ func (e *Engine) Run(untilMs int64) int {
 		e.now = ev.t
 		ev.fn()
 		n++
+		e.executed++
 	}
 	if e.now < untilMs {
 		e.now = untilMs

@@ -193,6 +193,9 @@ func (s *Sim) startDownload(req trace.Request) {
 	d.failSystem = s.rng.Float64() < sysProb
 
 	p.downloading[d] = true
+	s.metrics.started.Inc()
+	s.activeFlows++
+	s.metrics.activeFlows.Set(float64(s.activeFlows))
 	if d.p2p {
 		s.p2pAttempted++
 		s.attachInitialServers(d)
@@ -372,6 +375,10 @@ func (s *Sim) finishDownload(d *dl, outcome protocol.Outcome) {
 	}
 	s.reschedule(affected)
 	delete(d.peer.downloading, d)
+	s.activeFlows--
+	s.finishedFlows++
+	s.metrics.activeFlows.Set(float64(s.activeFlows))
+	s.metrics.byOutcome[outcome].Inc()
 
 	rec := accounting.DownloadRecord{
 		GUID:          d.peer.spec.GUID,

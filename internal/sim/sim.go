@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"netsession/internal/accounting"
 	"netsession/internal/content"
@@ -10,6 +11,7 @@ import (
 	"netsession/internal/id"
 	"netsession/internal/protocol"
 	"netsession/internal/selection"
+	"netsession/internal/telemetry"
 	"netsession/internal/trace"
 )
 
@@ -31,8 +33,13 @@ type Sim struct {
 	peers  []*simPeer
 	guidIx map[id.GUID]*simPeer
 
+	metrics   *simMetrics
+	wallStart time.Time
+
 	// stats
-	p2pAttempted int
+	p2pAttempted  int
+	activeFlows   int
+	finishedFlows int
 }
 
 // simPeer is the simulator's view of one peer.
@@ -67,11 +74,21 @@ type Result struct {
 	Dirs [geo.NumRegions]*selection.Directory
 	// Events is how many simulator events executed.
 	Events int
+	// Telemetry is the final metrics snapshot of the run.
+	Telemetry telemetry.Snapshot
 }
 
 // Run executes a scenario to completion.
 func Run(cfg ScenarioConfig) (*Result, error) {
-	s := &Sim{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Sim{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		metrics:   newSimMetrics(cfg.Telemetry),
+		wallStart: time.Now(),
+	}
 
 	s.atlas = geo.GenerateAtlas(cfg.Atlas)
 	s.scape = geo.NewEdgeScape(s.atlas)
@@ -102,6 +119,11 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 	s.setupPeers()
 	s.seedObjects()
 	s.scheduleRequests()
+	snapMs := int64(cfg.SnapshotIntervalHours * 3_600_000)
+	if snapMs <= 0 {
+		snapMs = 24 * 3_600_000
+	}
+	s.snapshotLoop(snapMs)
 	if cfg.DNFailureAtDay > 0 {
 		s.eng.At(int64(cfg.DNFailureAtDay)*86_400_000, func() {
 			// All DN databases are lost at once; directories repopulate
@@ -114,6 +136,7 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 
 	horizon := int64(cfg.Days) * 86_400_000
 	events := s.eng.Run(horizon + 48*3_600_000) // drain stragglers past the month
+	s.logSnapshot()                             // final totals
 
 	// Login records come from the shared trace generator so the
 	// login-based analyses (Tables 1/3, Figure 12, mobility) see the same
@@ -125,6 +148,7 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 	return &Result{
 		Log: log, Pop: s.pop, Catalog: s.cat, Requests: s.reqs,
 		Atlas: s.atlas, Scape: s.scape, Dirs: s.dirs, Events: events,
+		Telemetry: s.metrics.reg.Snapshot(),
 	}, nil
 }
 

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"time"
+
+	"netsession/internal/protocol"
+	"netsession/internal/telemetry"
+)
+
+// simMetrics pre-resolves the simulator's metric handles. The engine is
+// single-goroutine, so these are cheap even inside the event loop.
+type simMetrics struct {
+	reg *telemetry.Registry
+
+	started     *telemetry.Counter
+	byOutcome   [protocol.OutcomeAborted + 1]*telemetry.Counter
+	activeFlows *telemetry.Gauge
+
+	virtualMs    *telemetry.Gauge
+	events       *telemetry.Gauge
+	eventsPerSec *telemetry.Gauge
+	virtWallX    *telemetry.Gauge
+}
+
+func newSimMetrics(reg *telemetry.Registry) *simMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &simMetrics{
+		reg: reg,
+		started: reg.Counter("sim_downloads_started_total",
+			"workload requests started", nil),
+		activeFlows: reg.Gauge("sim_active_flows",
+			"downloads currently in flight", nil),
+		virtualMs: reg.Gauge("sim_virtual_ms",
+			"virtual clock position in milliseconds", nil),
+		events: reg.Gauge("sim_events_executed",
+			"cumulative simulator events executed", nil),
+		eventsPerSec: reg.Gauge("sim_events_per_sec",
+			"simulator event throughput (events per wall-clock second)", nil),
+		virtWallX: reg.Gauge("sim_virtual_wall_ratio",
+			"virtual seconds simulated per wall-clock second", nil),
+	}
+	for o := protocol.OutcomeCompleted; o <= protocol.OutcomeAborted; o++ {
+		m.byOutcome[o] = reg.Counter("sim_downloads_finished_total",
+			"finished downloads, by outcome", telemetry.Labels{"outcome": o.String()})
+	}
+	return m
+}
+
+// snapshotLoop emits a progress line every intervalMs of virtual time: the
+// virtual clock, event throughput, the virtual-vs-wall speedup, and flow
+// counts. It reschedules itself until the engine's horizon cuts it off.
+func (s *Sim) snapshotLoop(intervalMs int64) {
+	s.eng.After(intervalMs, func() {
+		s.logSnapshot()
+		s.snapshotLoop(intervalMs)
+	})
+}
+
+func (s *Sim) logSnapshot() {
+	wall := time.Since(s.wallStart).Seconds()
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	events := s.eng.Executed()
+	eps := float64(events) / wall
+	virtSec := float64(s.eng.Now()) / 1000
+	ratio := virtSec / wall
+	s.metrics.virtualMs.Set(float64(s.eng.Now()))
+	s.metrics.events.Set(float64(events))
+	s.metrics.eventsPerSec.Set(eps)
+	s.metrics.virtWallX.Set(ratio)
+	s.cfg.Logf("sim t=%.2fd events=%d events/sec=%.0f virt/wall=%.0fx flows=%d finished=%d",
+		float64(s.eng.Now())/86_400_000, events, eps, ratio, s.activeFlows, s.finishedFlows)
+}

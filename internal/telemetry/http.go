@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves a registry in Prometheus text exposition format; mount it
+// at GET /metrics on each HTTP-serving component.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves a registry snapshot as JSON; mount it at
+// GET /v1/telemetry. This is the form the Monitor scrapes.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Snapshot())
+	})
+}
+
+// Mount registers both standard telemetry endpoints on a mux.
+func Mount(mux *http.ServeMux, r *Registry) {
+	mux.Handle("GET /metrics", Handler(r))
+	mux.Handle("GET /v1/telemetry", JSONHandler(r))
+}

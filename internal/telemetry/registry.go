@@ -1,0 +1,421 @@
+// Package telemetry is the system-wide observability layer: a
+// dependency-free metrics registry (atomic counters, gauges and fixed-bucket
+// histograms, safe on hot paths) plus a lightweight span tracer that records
+// the lifecycle of a download. The paper's operational story rests on this
+// kind of instrumentation: peers "upload information about their operation
+// and about problems" to monitoring nodes, and "processing their logs helps
+// to monitor the network in real-time" (§3.6, §3.8). Every component — edge
+// servers, the control plane, the monitoring node, peers and the simulator —
+// registers its metrics here and exposes them in Prometheus text format on
+// GET /metrics and as JSON on GET /v1/telemetry.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is an optional set of label key/values attached to a metric. The
+// (name, labels) pair identifies one time series; series with the same name
+// form a family sharing HELP and TYPE in the exposition.
+type Labels map[string]string
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (float64, atomic).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d (CAS loop; safe under contention).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Buckets are cumulative upper bounds
+// in ascending order; observations above the last bound land only in the
+// implicit +Inf bucket. Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-updated
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBucketsMs are default latency buckets in milliseconds, spanning
+// sub-millisecond piece fetches to multi-minute stalls.
+var DurationBucketsMs = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// SizeBuckets are default byte-size buckets (1 KiB … 1 GiB).
+var SizeBuckets = []float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one registered time series.
+type series struct {
+	name   string
+	help   string
+	kind   kind
+	labels string // rendered {k="v",...} or ""
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// Registry holds the metrics of one component. The zero value is not usable;
+// call NewRegistry. Lookup/registration takes a mutex, so callers on hot
+// paths should resolve their metric pointers once and keep them.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series // keyed by name+labels
+	order  []string           // registration order, for stable family grouping
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// renderLabels produces a canonical `{k="v",...}` string with sorted keys.
+func renderLabels(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(ls[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) lookup(name string, ls Labels, k kind) *series {
+	key := name + renderLabels(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		if s.kind != k {
+			panic(fmt.Sprintf("telemetry: %s re-registered with a different type", key))
+		}
+		return s
+	}
+	s := &series{name: name, kind: k, labels: renderLabels(ls)}
+	r.series[key] = s
+	r.order = append(r.order, key)
+	return s
+}
+
+// Counter returns (registering on first use) the counter time series
+// identified by name and labels. Help text is set by the first caller that
+// provides one.
+func (r *Registry) Counter(name, help string, ls Labels) *Counter {
+	s := r.lookup(name, ls, kindCounter)
+	r.mu.Lock()
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	if s.help == "" {
+		s.help = help
+	}
+	c := s.counter
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge time series.
+func (r *Registry) Gauge(name, help string, ls Labels) *Gauge {
+	s := r.lookup(name, ls, kindGauge)
+	r.mu.Lock()
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	if s.help == "" {
+		s.help = help
+	}
+	g := s.gauge
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram time series
+// with the given cumulative upper bounds; nil bounds select
+// DurationBucketsMs. Bounds are fixed at first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, ls Labels) *Histogram {
+	s := r.lookup(name, ls, kindHistogram)
+	r.mu.Lock()
+	if s.histogram == nil {
+		if bounds == nil {
+			bounds = DurationBucketsMs
+		}
+		b := append([]float64(nil), bounds...)
+		s.histogram = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	}
+	if s.help == "" {
+		s.help = help
+	}
+	h := s.histogram
+	r.mu.Unlock()
+	return h
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Families are sorted by name; series within a
+// family by label string, so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.order))
+	for _, key := range r.order {
+		all = append(all, r.series[key])
+	}
+	r.mu.Unlock()
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].labels < all[j].labels
+	})
+	lastFamily := ""
+	for _, s := range all {
+		if s.name != lastFamily {
+			lastFamily = s.name
+			if s.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, typeString(s.kind)); err != nil {
+				return err
+			}
+		}
+		switch s.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", s.name, s.labels, s.counter.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, formatFloat(s.gauge.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := writeHistogram(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, s *series) error {
+	h := s.histogram
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.name, withLabel(s.labels, "le", formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, s.labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, s.labels, h.Count())
+	return err
+}
+
+// withLabel splices one more label pair into a rendered label string.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func typeString(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// HistogramSnapshot is a histogram's state in a Snapshot.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"` // per-bucket (non-cumulative); last is +Inf
+}
+
+// Snapshot is a point-in-time copy of a registry, the JSON form served on
+// /v1/telemetry and the unit the Monitor scrapes and aggregates.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every series. Keys include rendered labels, e.g.
+// `edge_requests_total{endpoint="data"}`.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	all := make(map[string]*series, len(r.series))
+	for k, s := range r.series {
+		all[k] = s
+	}
+	r.mu.Unlock()
+	snap := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for key, s := range all {
+		switch s.kind {
+		case kindCounter:
+			snap.Counters[key] = s.counter.Value()
+		case kindGauge:
+			snap.Gauges[key] = s.gauge.Value()
+		case kindHistogram:
+			h := s.histogram
+			hs := HistogramSnapshot{
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+				Bounds: append([]float64(nil), h.bounds...),
+			}
+			for i := range h.counts {
+				hs.Buckets = append(hs.Buckets, h.counts[i].Load())
+			}
+			snap.Histograms[key] = hs
+		}
+	}
+	return snap
+}
+
+// Merge adds another snapshot into this one: counters and gauges sum,
+// histograms sum bucket-wise when bounds match (and are kept from the first
+// snapshot seen otherwise). The Monitor uses it to aggregate scraped
+// component metrics into a fleet view.
+func (s *Snapshot) Merge(other Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		s.Gauges[k] += v
+	}
+	for k, v := range other.Histograms {
+		cur, ok := s.Histograms[k]
+		if !ok || len(cur.Bounds) != len(v.Bounds) {
+			s.Histograms[k] = v
+			continue
+		}
+		cur.Count += v.Count
+		cur.Sum += v.Sum
+		for i := range cur.Buckets {
+			if i < len(v.Buckets) {
+				cur.Buckets[i] += v.Buckets[i]
+			}
+		}
+		s.Histograms[k] = cur
+	}
+}

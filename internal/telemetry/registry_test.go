@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines; run under -race this is the hot-path safety proof.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops", nil)
+	g := r.Gauge("depth", "queue depth", nil)
+	h := r.Histogram("latency_ms", "latency", DurationBucketsMs, nil)
+
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 100))
+				// Concurrent re-lookup of the same series must return the
+				// same instance.
+				if r.Counter("ops_total", "", nil) != c {
+					t.Error("counter identity changed under concurrency")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	wantSum := float64(workers) * float64(perWorker/100) * (99 * 100 / 2)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+}
+
+// TestPrometheusGolden locks the exposition format: HELP/TYPE once per
+// family, sorted families, label rendering, cumulative histogram buckets
+// with +Inf, _sum and _count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_requests_total", "requests served", Labels{"endpoint": "data"}).Add(7)
+	r.Counter("zz_requests_total", "requests served", Labels{"endpoint": "authorize"}).Add(2)
+	r.Counter("aa_bytes_total", "bytes out", nil).Add(1024)
+	r.Gauge("mid_sessions", "live sessions", nil).Set(3)
+	h := r.Histogram("mid_latency_ms", "request latency", []float64{1, 5, 25}, nil)
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_bytes_total bytes out
+# TYPE aa_bytes_total counter
+aa_bytes_total 1024
+# HELP mid_latency_ms request latency
+# TYPE mid_latency_ms histogram
+mid_latency_ms_bucket{le="1"} 1
+mid_latency_ms_bucket{le="5"} 3
+mid_latency_ms_bucket{le="25"} 3
+mid_latency_ms_bucket{le="+Inf"} 4
+mid_latency_ms_sum 106.5
+mid_latency_ms_count 4
+# HELP mid_sessions live sessions
+# TYPE mid_sessions gauge
+mid_sessions 3
+# HELP zz_requests_total requests served
+# TYPE zz_requests_total counter
+zz_requests_total{endpoint="authorize"} 2
+zz_requests_total{endpoint="data"} 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "", Labels{"path": `a\b"c` + "\n"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `m_total{path="a\\b\"c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition %q does not contain %q", b.String(), want)
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x", nil).Add(9)
+	mux := http.NewServeMux()
+	Mount(mux, r)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+
+	resp2, err := http.Get(srv.URL + "/v1/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/telemetry status = %d", resp2.StatusCode)
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/v1/telemetry content-type = %q", ct)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("c_total", "", nil).Add(3)
+	r1.Gauge("g", "", nil).Set(1)
+	r1.Histogram("h_ms", "", []float64{10}, nil).Observe(5)
+	r2 := NewRegistry()
+	r2.Counter("c_total", "", nil).Add(4)
+	r2.Gauge("g", "", nil).Set(2)
+	r2.Histogram("h_ms", "", []float64{10}, nil).Observe(50)
+
+	agg := Snapshot{}
+	agg.Merge(r1.Snapshot())
+	agg.Merge(r2.Snapshot())
+	if agg.Counters["c_total"] != 7 {
+		t.Errorf("merged counter = %d, want 7", agg.Counters["c_total"])
+	}
+	if agg.Gauges["g"] != 3 {
+		t.Errorf("merged gauge = %v, want 3", agg.Gauges["g"])
+	}
+	h := agg.Histograms["h_ms"]
+	if h.Count != 2 || h.Sum != 55 {
+		t.Errorf("merged histogram = %+v, want count 2 sum 55", h)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[1] != 1 {
+		t.Errorf("merged buckets = %v, want [1 1]", h.Buckets)
+	}
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Lifecycle stage names for a download trace. A stage may occur many times
+// (each edge piece fetch is one edge-fetch span); the trace aggregates
+// occurrences per stage, which keeps tracing allocation-light on multi-
+// thousand-piece transfers while still giving per-stage counts and
+// durations.
+const (
+	StageAuthorize     = "authorize"      // edge token mint (§3.5)
+	StageManifest      = "manifest"       // piece-hash manifest fetch
+	StageEdgeFetch     = "edge-fetch"     // HTTP piece download from the edge
+	StagePeerLookup    = "peer-lookup"    // control-plane query for peers (§3.7)
+	StageSwarmConnect  = "swarm-connect"  // dial + handshake with a peer
+	StagePieceTransfer = "piece-transfer" // piece received from a peer
+	StageComplete      = "complete"       // whole-download wall time
+)
+
+// StageSummary is one stage's aggregate within a trace.
+type StageSummary struct {
+	Name  string        `json:"name"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"totalNs"`
+	// First and Last are offsets from the trace start to the first
+	// occurrence's start and the last occurrence's end.
+	First time.Duration `json:"firstNs"`
+	Last  time.Duration `json:"lastNs"`
+}
+
+// Event is a point-in-time annotation on a trace.
+type Event struct {
+	At     time.Duration `json:"atNs"` // offset from trace start
+	Name   string        `json:"name"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Trace records the lifecycle of one operation (a download: edge fetch →
+// peer lookup → swarm connect → piece transfer → completion) as per-stage
+// aggregated spans plus discrete events. All methods are safe for concurrent
+// use and safe on a nil receiver, so instrumented code never needs nil
+// checks when tracing is disabled.
+type Trace struct {
+	Name  string
+	ID    string
+	start time.Time
+
+	mu     sync.Mutex
+	stages map[string]*StageSummary
+	order  []string
+	events []Event
+	ended  time.Duration
+}
+
+// NewTrace starts a trace now.
+func NewTrace(name, id string) *Trace {
+	return &Trace{
+		Name:   name,
+		ID:     id,
+		start:  time.Now(),
+		stages: make(map[string]*StageSummary),
+	}
+}
+
+// StartStage opens one occurrence of a stage and returns the function that
+// closes it. Typical use: `defer tr.StartStage(StageEdgeFetch)()`.
+func (t *Trace) StartStage(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() { t.observe(name, begin, time.Since(begin)) }
+}
+
+// Observe records one completed occurrence of a stage that ends now.
+func (t *Trace) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.observe(name, time.Now().Add(-d), d)
+}
+
+func (t *Trace) observe(name string, begin time.Time, d time.Duration) {
+	if d <= 0 {
+		d = time.Nanosecond // zero-duration stages still count as occurred
+	}
+	startOff := begin.Sub(t.start)
+	t.mu.Lock()
+	s := t.stages[name]
+	if s == nil {
+		s = &StageSummary{Name: name, First: startOff}
+		t.stages[name] = s
+		t.order = append(t.order, name)
+	}
+	s.Count++
+	s.Total += d
+	if end := startOff + d; end > s.Last {
+		s.Last = end
+	}
+	t.mu.Unlock()
+}
+
+// Event annotates the trace at the current instant.
+func (t *Trace) Event(name, detail string) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.start)
+	t.mu.Lock()
+	t.events = append(t.events, Event{At: at, Name: name, Detail: detail})
+	t.mu.Unlock()
+}
+
+// End closes the trace, recording the complete stage spanning the whole
+// lifetime. Multiple calls keep the first end time.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	d := time.Since(t.start)
+	t.mu.Lock()
+	already := t.ended != 0
+	if !already {
+		t.ended = d
+	}
+	t.mu.Unlock()
+	if !already {
+		t.observe(StageComplete, t.start, d)
+	}
+}
+
+// Duration returns the trace length: end-to-end if ended, elapsed so far
+// otherwise.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ended != 0 {
+		return t.ended
+	}
+	return time.Since(t.start)
+}
+
+// Stage returns one stage's aggregate.
+func (t *Trace) Stage(name string) (StageSummary, bool) {
+	if t == nil {
+		return StageSummary{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.stages[name]
+	if !ok {
+		return StageSummary{}, false
+	}
+	return *s, true
+}
+
+// Stages returns stage aggregates ordered by first occurrence.
+func (t *Trace) Stages() []StageSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageSummary, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, *t.stages[name])
+	}
+	return out
+}
+
+// TraceSnapshot is the JSON form of a trace.
+type TraceSnapshot struct {
+	Name     string         `json:"name"`
+	ID       string         `json:"id"`
+	Start    time.Time      `json:"start"`
+	Duration time.Duration  `json:"durationNs"`
+	Stages   []StageSummary `json:"stages"`
+	Events   []Event        `json:"events,omitempty"`
+}
+
+// Snapshot copies the trace for serialization.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	snap := TraceSnapshot{
+		Name: t.Name, ID: t.ID, Start: t.start,
+		Duration: t.Duration(), Stages: t.Stages(),
+	}
+	t.mu.Lock()
+	snap.Events = append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	return snap
+}
+
+// TraceLog is a bounded ring of completed traces; components keep one so
+// operators (and tests) can inspect recent lifecycles.
+type TraceLog struct {
+	mu     sync.Mutex
+	max    int
+	traces []*Trace
+}
+
+// NewTraceLog creates a ring keeping up to max traces (default 64).
+func NewTraceLog(max int) *TraceLog {
+	if max <= 0 {
+		max = 64
+	}
+	return &TraceLog{max: max}
+}
+
+// Add appends a trace, evicting the oldest past capacity.
+func (l *TraceLog) Add(t *Trace) {
+	if l == nil || t == nil {
+		return
+	}
+	l.mu.Lock()
+	l.traces = append(l.traces, t)
+	if len(l.traces) > l.max {
+		l.traces = l.traces[len(l.traces)-l.max:]
+	}
+	l.mu.Unlock()
+}
+
+// Recent returns a copy of the ring, oldest first.
+func (l *TraceLog) Recent() []*Trace {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Trace(nil), l.traces...)
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceStages(t *testing.T) {
+	tr := NewTrace("download", "abc")
+	end := tr.StartStage(StageAuthorize)
+	time.Sleep(time.Millisecond)
+	end()
+	tr.Observe(StageEdgeFetch, 2*time.Millisecond)
+	tr.Observe(StageEdgeFetch, 3*time.Millisecond)
+	tr.Event("swarm-stalled", "no candidates")
+	tr.End()
+	tr.End() // idempotent
+
+	s, ok := tr.Stage(StageAuthorize)
+	if !ok || s.Count != 1 || s.Total <= 0 {
+		t.Errorf("authorize stage = %+v, ok=%v", s, ok)
+	}
+	s, ok = tr.Stage(StageEdgeFetch)
+	if !ok || s.Count != 2 || s.Total != 5*time.Millisecond {
+		t.Errorf("edge-fetch stage = %+v, ok=%v", s, ok)
+	}
+	s, ok = tr.Stage(StageComplete)
+	if !ok || s.Count != 1 || s.Total <= 0 {
+		t.Errorf("complete stage = %+v, ok=%v", s, ok)
+	}
+	if d := tr.Duration(); d <= 0 {
+		t.Errorf("trace duration = %v", d)
+	}
+
+	stages := tr.Stages()
+	if len(stages) != 3 || stages[0].Name != StageAuthorize || stages[2].Name != StageComplete {
+		t.Errorf("stage order = %+v", stages)
+	}
+	snap := tr.Snapshot()
+	if snap.ID != "abc" || len(snap.Stages) != 3 || len(snap.Events) != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.StartStage(StageEdgeFetch)()
+	tr.Observe(StagePieceTransfer, time.Millisecond)
+	tr.Event("x", "")
+	tr.End()
+	if tr.Duration() != 0 || tr.Stages() != nil {
+		t.Error("nil trace should be inert")
+	}
+	if _, ok := tr.Stage(StageComplete); ok {
+		t.Error("nil trace has no stages")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("download", "xyz")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Observe(StagePieceTransfer, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s, _ := tr.Stage(StagePieceTransfer)
+	if s.Count != 4000 {
+		t.Errorf("count = %d, want 4000", s.Count)
+	}
+}
+
+func TestTraceLogRing(t *testing.T) {
+	l := NewTraceLog(2)
+	a, b, c := NewTrace("t", "a"), NewTrace("t", "b"), NewTrace("t", "c")
+	l.Add(a)
+	l.Add(b)
+	l.Add(c)
+	got := l.Recent()
+	if len(got) != 2 || got[0] != b || got[1] != c {
+		t.Errorf("ring = %v", got)
+	}
+	var nilLog *TraceLog
+	nilLog.Add(a)
+	if nilLog.Recent() != nil {
+		t.Error("nil log should be inert")
+	}
+}

@@ -1,0 +1,168 @@
+package netsession
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"netsession/internal/protocol"
+	"netsession/internal/telemetry"
+)
+
+// TestClusterTelemetry drives a peer-assisted download and verifies the
+// observability surface end to end: every HTTP-serving component exposes
+// Prometheus metrics, the download trace covers the full lifecycle, and the
+// monitor's scrape loop aggregates the fleet.
+func TestClusterTelemetry(t *testing.T) {
+	c, err := StartCluster(DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := NewObject(1001, "game/telemetry.bin", 1, 400_000, 16<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+
+	spawn := func() *Peer {
+		ip, err := c.AllocateIdentity("JP")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPeer(PeerConfig{
+			DeclaredIP:     ip,
+			ControlAddrs:   c.ControlAddrs(),
+			EdgeURL:        c.EdgeURL(),
+			MonitorURL:     c.MonitorURL(),
+			UploadsEnabled: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		return p
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	seed := spawn()
+	dl, err := seed.Download(obj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := dl.Wait(ctx); err != nil || res.Outcome != protocol.OutcomeCompleted {
+		t.Fatalf("seed download: res=%+v err=%v", res, err)
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	leech := spawn()
+	dl2, err := leech.Download(obj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := dl2.Wait(ctx)
+	if err != nil || res2.Outcome != protocol.OutcomeCompleted {
+		t.Fatalf("leech download: res=%+v err=%v", res2, err)
+	}
+	if res2.BytesPeers == 0 {
+		t.Fatal("leech got no peer bytes; trace assertions below would be vacuous")
+	}
+
+	// The peer-assisted download's trace covers the full lifecycle with
+	// real (non-zero) durations.
+	tr := dl2.Trace()
+	for _, stage := range []string{
+		telemetry.StageAuthorize,
+		telemetry.StageManifest,
+		telemetry.StageEdgeFetch,
+		telemetry.StagePeerLookup,
+		telemetry.StageSwarmConnect,
+		telemetry.StagePieceTransfer,
+		telemetry.StageComplete,
+	} {
+		st, ok := tr.Stage(stage)
+		if !ok {
+			t.Errorf("trace missing stage %q", stage)
+			continue
+		}
+		if st.Count <= 0 || st.Total <= 0 {
+			t.Errorf("stage %q: count=%d total=%v, want both positive", stage, st.Count, st.Total)
+		}
+	}
+	if tr.Duration() <= 0 {
+		t.Error("trace duration not positive")
+	}
+	if got := leech.Traces(); len(got) == 0 || got[len(got)-1] != tr {
+		t.Errorf("client trace log does not end with the download's trace (%d entries)", len(got))
+	}
+
+	// Every HTTP-serving component exposes Prometheus text metrics.
+	for name, base := range map[string]struct{ url, want string }{
+		"edge":    {c.EdgeURL(), `edge_requests_total{endpoint="data"}`},
+		"cp":      {c.ControlPlaneURL(), "cp_logins_total"},
+		"monitor": {c.MonitorURL(), "monitor_scrapes_total"},
+	} {
+		body, ctype := get(t, base.url+"/metrics")
+		if !strings.HasPrefix(ctype, "text/plain") {
+			t.Errorf("%s /metrics content-type %q", name, ctype)
+		}
+		if !strings.Contains(body, base.want) {
+			t.Errorf("%s /metrics missing %q:\n%s", name, base.want, body)
+		}
+		if jsonBody, jctype := get(t, base.url+"/v1/telemetry"); !strings.HasPrefix(jctype, "application/json") || len(jsonBody) == 0 {
+			t.Errorf("%s /v1/telemetry content-type %q len %d", name, jctype, len(jsonBody))
+		}
+	}
+
+	// Component counters moved: the edge served bytes, the CP logged peers
+	// in and answered queries, the clients moved pieces both ways.
+	edgeSnap := c.edgeSrv.Metrics().Snapshot()
+	if edgeSnap.Counters["edge_bytes_served_total"] == 0 {
+		t.Error("edge served no bytes according to telemetry")
+	}
+	cpSnap := c.ControlPlane().Metrics().Snapshot()
+	if cpSnap.Counters["cp_logins_total"] < 2 || cpSnap.Counters["cp_queries_total"] == 0 {
+		t.Errorf("cp counters: %+v", cpSnap.Counters)
+	}
+	leechSnap := leech.Metrics().Snapshot()
+	if leechSnap.Counters[`peer_pieces_total{source="peer"}`] == 0 {
+		t.Errorf("leech counters show no peer pieces: %+v", leechSnap.Counters)
+	}
+	seedSnap := seed.Metrics().Snapshot()
+	if seedSnap.Counters["peer_bytes_up_total"] == 0 {
+		t.Errorf("seed counters show no uploaded bytes: %+v", seedSnap.Counters)
+	}
+
+	// The monitor aggregates the fleet: after one scrape pass its fleet
+	// view contains both the edge's and the control plane's series.
+	c.Monitor().ScrapeOnce()
+	agg := c.Monitor().Aggregate()
+	if agg.Counters["edge_bytes_served_total"] == 0 || agg.Counters["cp_logins_total"] == 0 {
+		t.Errorf("monitor aggregate incomplete: %+v", agg.Counters)
+	}
+}
+
+func get(t *testing.T, url string) (body, contentType string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.Header.Get("Content-Type")
+}
