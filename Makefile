@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench
+.PHONY: check build test vet fmt race bench chaos
 
-check: fmt vet build race
+check: fmt vet build race chaos
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,9 @@ fmt:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Fault-injection end-to-end: a live cluster with a flapping edge, a dying
+# CN and a poisoned swarm; every download must still complete verified.
+chaos:
+	$(GO) test -race -run 'Chaos|Faults' -v . ./internal/sim
+

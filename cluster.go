@@ -9,8 +9,10 @@ import (
 	"netsession/internal/accounting"
 	"netsession/internal/controlplane"
 	"netsession/internal/edge"
+	"netsession/internal/faults"
 	"netsession/internal/geo"
 	"netsession/internal/nat"
+	"netsession/internal/telemetry"
 )
 
 // ClusterConfig configures an in-process NetSession deployment: the edge
@@ -33,6 +35,15 @@ type ClusterConfig struct {
 	VerifyAccounting bool
 	// MaxSessionsPerCN sheds logins beyond this; zero means unlimited.
 	MaxSessionsPerCN int
+	// EdgeFaults injects faults into the edge HTTP tier (latency, errors,
+	// severed connections, availability flapping) — the chaos knob that
+	// exercises the client's edge failover and retry paths (§3.3). The zero
+	// value injects nothing.
+	EdgeFaults faults.Config
+	// CNFaults wraps every accepted CN control connection with the fault
+	// model, exercising the client's reconnect-with-backoff path (§3.8).
+	// The zero value injects nothing.
+	CNFaults faults.Config
 }
 
 // DefaultClusterConfig returns a single-CN deployment with accounting
@@ -86,6 +97,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	ledger := edge.NewLedger()
 
 	es := edge.NewServer(edge.NewCatalog(), minter, ledger, cfg.ClientConfig)
+	// Fault middleware must be installed before the listener starts; a nil
+	// injector (the zero config) is a no-op.
+	es.UseFaults(faults.New(cfg.EdgeFaults, es.Metrics()))
 	if err := es.Start("127.0.0.1:0"); err != nil {
 		return nil, err
 	}
@@ -104,6 +118,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.VerifyAccounting {
 		verifier = &accounting.LedgerVerifier{Edge: ledger}
 	}
+	// The CN fault injector shares the control plane's registry so its
+	// faults_injected_total counters surface on the same /metrics page.
+	cpReg := telemetry.NewRegistry()
+	cnInj := faults.New(cfg.CNFaults, cpReg)
 	cp, err := controlplane.New(controlplane.Config{
 		Scape:            scape,
 		Minter:           minter,
@@ -111,6 +129,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		Policy:           cfg.Policy,
 		ClientConfig:     cfg.ClientConfig,
 		MaxSessionsPerCN: cfg.MaxSessionsPerCN,
+		Telemetry:        cpReg,
+		ConnWrap:         cnInj.WrapConn,
 	})
 	if err != nil {
 		es.Close()

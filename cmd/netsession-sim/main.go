@@ -34,6 +34,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "random seed")
 	outDir := flag.String("out", "netsession-logs", "output directory")
 	telem := flag.Bool("telemetry", true, "log periodic telemetry snapshots (virtual time, events/sec, flows)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault-injection RNG (0: fixed default)")
+	faultServerFail := flag.Float64("fault-server-fail", 0,
+		"probability a serving peer is killed mid-download (0 disables fault injection)")
 	flag.Parse()
 
 	cfg := netsession.DefaultScenario()
@@ -52,6 +55,7 @@ func main() {
 	if *telem {
 		cfg.Logf = log.Printf
 	}
+	cfg.Faults = netsession.SimFaults{Seed: *faultSeed, ServerFailProb: *faultServerFail}
 
 	start := time.Now()
 	res, err := netsession.RunScenario(cfg)

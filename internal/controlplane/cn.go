@@ -89,6 +89,9 @@ func (cn *CN) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if wrap := cn.cp.cfg.ConnWrap; wrap != nil {
+			conn = wrap(conn)
+		}
 		go cn.serveConn(conn)
 	}
 }

@@ -8,6 +8,7 @@ package controlplane
 
 import (
 	"fmt"
+	"net"
 	"net/netip"
 	"sync"
 	"time"
@@ -44,6 +45,10 @@ type Config struct {
 	// Telemetry is the metrics registry; nil creates a private one. It is
 	// served on the status server's GET /metrics and GET /v1/telemetry.
 	Telemetry *telemetry.Registry
+	// ConnWrap, when set, wraps every accepted CN connection — the hook
+	// fault-injection harnesses use to make control sessions drop or lag
+	// (chaos testing the §3.8 reconnect path). Nil leaves conns untouched.
+	ConnWrap func(net.Conn) net.Conn
 }
 
 // cpMetrics pre-resolves the control plane's metric handles; CN session

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"netsession/internal/content"
+	"netsession/internal/faults"
 	"netsession/internal/id"
 	"netsession/internal/telemetry"
 )
@@ -125,6 +126,13 @@ func NewServer(catalog *Catalog, minter *TokenMinter, ledger *Ledger, cfg Client
 // GET /metrics and GET /v1/telemetry).
 func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
 
+// UseFaults wraps the server's handler with a fault-injection middleware
+// (chaos testing: a flapping or erroring edge that clients must ride out,
+// §3.3). Call before Start; a nil injector is a no-op.
+func (s *Server) UseFaults(inj *faults.Injector) {
+	s.httpSrv.Handler = inj.Middleware(s.httpSrv.Handler)
+}
+
 // Start listens on addr ("127.0.0.1:0" for tests) and serves in the
 // background.
 func (s *Server) Start(addr string) error {
@@ -145,11 +153,17 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close shuts the server down.
+// Close shuts the server down: a short graceful drain for in-flight
+// requests, then a forced close. The forced close matters — a keep-alive
+// connection that never went idle (e.g. one a client dialed and parked)
+// stalls Shutdown past its deadline and would otherwise keep being served
+// after Close returns.
 func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	return s.httpSrv.Shutdown(ctx)
+	err := s.httpSrv.Shutdown(ctx)
+	s.httpSrv.Close()
+	return err
 }
 
 // Ledger exposes the served-bytes ledger for in-process control planes.

@@ -1,0 +1,47 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// ErrInjected is the error surfaced by a faulted connection operation.
+var ErrInjected = errors.New("faults: injected connection failure")
+
+// WrapConn wraps a net.Conn with the injector's fault model: reads and
+// writes may be delayed, fail, or sever the connection according to the
+// seeded schedule. A nil injector returns c unchanged.
+func (i *Injector) WrapConn(c net.Conn) net.Conn {
+	if i == nil {
+		return c
+	}
+	return &faultConn{Conn: c, inj: i}
+}
+
+type faultConn struct {
+	net.Conn
+	inj *Injector
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	if fc.inj.DropNext() {
+		fc.Conn.Close()
+		return 0, ErrInjected
+	}
+	if d := fc.inj.Latency(); d > 0 {
+		time.Sleep(d)
+	}
+	return fc.Conn.Read(p)
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	if fc.inj.DropNext() {
+		fc.Conn.Close()
+		return 0, ErrInjected
+	}
+	if fc.inj.FailNext() {
+		return 0, ErrInjected
+	}
+	return fc.Conn.Write(p)
+}

@@ -1,0 +1,177 @@
+// Package faults is the deterministic fault-injection harness. A seeded
+// Injector wraps the system's trust boundaries — edge HTTP handlers
+// (middleware), CN and swarm net.Conns (WrapConn), and simulated peers
+// (SimConfig) — and injects the failure modes the paper's reliability story
+// is built around: flapping or erroring edge servers that the client must
+// ride out via its CDN fallback (§3.3), dying control-plane nodes that
+// force CN failover (§3.8), and unreliable or lying peers whose pieces fail
+// hash verification (§3.5). All randomness flows from one seeded generator,
+// so a fault schedule is reproducible: same seed, same decision sequence.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"netsession/internal/telemetry"
+)
+
+// Config describes the faults to inject. The zero value injects nothing.
+type Config struct {
+	// Seed makes the fault schedule reproducible; 0 selects a fixed
+	// default seed (still deterministic).
+	Seed int64
+	// LatencyMin/LatencyMax delay each request or read by a uniform
+	// duration in [min, max]. Zero max disables latency injection.
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+	// ErrorRate is the probability in [0,1] that a request fails with an
+	// injected error (HTTP 503 for middleware, write error for conns).
+	ErrorRate float64
+	// DropRate is the probability in [0,1] that a connection is severed
+	// mid-flight (hijack+close for HTTP, forced close for conns).
+	DropRate float64
+	// FlapPeriod/FlapDownFor model a flapping server: within every
+	// FlapPeriod window the target is up first, then hard-down for the
+	// trailing FlapDownFor. Zero period disables flapping.
+	FlapPeriod  time.Duration
+	FlapDownFor time.Duration
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.LatencyMax > 0 || c.ErrorRate > 0 || c.DropRate > 0 ||
+		(c.FlapPeriod > 0 && c.FlapDownFor > 0)
+}
+
+// Injector draws fault decisions from a single seeded stream. Decisions are
+// serialized under a mutex, so the sequence of outcomes is a deterministic
+// function of the seed and the order in which call sites consult the
+// injector. All methods are safe for concurrent use; a nil *Injector
+// injects nothing, so call sites need no guards.
+type Injector struct {
+	cfg   Config
+	epoch time.Time // flap phase reference: created "up"
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	latencies *telemetry.Counter
+	errors    *telemetry.Counter
+	drops     *telemetry.Counter
+	flaps     *telemetry.Counter
+}
+
+// New creates an injector for cfg, eagerly registering its
+// faults_injected_total counters in reg (nil reg skips telemetry) so the
+// series appear in /metrics even before the first fault fires.
+func New(cfg Config, reg *telemetry.Registry) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	inj := &Injector{
+		cfg:   cfg,
+		epoch: time.Now(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	if reg != nil {
+		const name = "faults_injected_total"
+		const help = "Injected faults by kind."
+		inj.latencies = reg.Counter(name, help, telemetry.Labels{"kind": "latency"})
+		inj.errors = reg.Counter(name, help, telemetry.Labels{"kind": "error"})
+		inj.drops = reg.Counter(name, help, telemetry.Labels{"kind": "drop"})
+		inj.flaps = reg.Counter(name, help, telemetry.Labels{"kind": "flap"})
+	}
+	return inj
+}
+
+func inc(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Down reports whether the flap schedule currently has the target hard-down.
+// The target starts up: within each FlapPeriod window the trailing
+// FlapDownFor is the outage.
+func (i *Injector) Down() bool {
+	if i == nil || i.cfg.FlapPeriod <= 0 || i.cfg.FlapDownFor <= 0 {
+		return false
+	}
+	phase := time.Since(i.epoch) % i.cfg.FlapPeriod
+	if phase >= i.cfg.FlapPeriod-i.cfg.FlapDownFor {
+		inc(i.flaps)
+		return true
+	}
+	return false
+}
+
+// Latency returns the injected delay for one operation (zero when latency
+// injection is off). Callers sleep it themselves.
+func (i *Injector) Latency() time.Duration {
+	if i == nil || i.cfg.LatencyMax <= 0 {
+		return 0
+	}
+	span := i.cfg.LatencyMax - i.cfg.LatencyMin
+	d := i.cfg.LatencyMin
+	if span > 0 {
+		i.mu.Lock()
+		d += time.Duration(i.rng.Int63n(int64(span)))
+		i.mu.Unlock()
+	}
+	if d > 0 {
+		inc(i.latencies)
+	}
+	return d
+}
+
+// FailNext draws the error-rate coin for one operation.
+func (i *Injector) FailNext() bool {
+	if i == nil || i.cfg.ErrorRate <= 0 {
+		return false
+	}
+	i.mu.Lock()
+	hit := i.rng.Float64() < i.cfg.ErrorRate
+	i.mu.Unlock()
+	if hit {
+		inc(i.errors)
+	}
+	return hit
+}
+
+// DropNext draws the connection-drop coin for one operation.
+func (i *Injector) DropNext() bool {
+	if i == nil || i.cfg.DropRate <= 0 {
+		return false
+	}
+	i.mu.Lock()
+	hit := i.rng.Float64() < i.cfg.DropRate
+	i.mu.Unlock()
+	if hit {
+		inc(i.drops)
+	}
+	return hit
+}
+
+// SimConfig configures fault injection inside the discrete-event simulator,
+// which has its own clock and failure model (peer churn): here faults are
+// extra mid-download server-failure events, reproducing the churn-heavy
+// peer populations real deployments see. A separate seed keeps the fault
+// stream independent of the scenario stream, so disabling faults leaves the
+// base simulation byte-identical.
+type SimConfig struct {
+	// Seed seeds the dedicated fault RNG; 0 selects a fixed default.
+	Seed int64
+	// ServerFailProb is the probability in [0,1] that a serving peer
+	// chosen for a flow is killed mid-download, forcing the client onto
+	// its remaining peers and the edge.
+	ServerFailProb float64
+}
+
+// Enabled reports whether the sim fault layer injects anything.
+func (c SimConfig) Enabled() bool { return c.ServerFailProb > 0 }

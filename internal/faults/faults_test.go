@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netsession/internal/telemetry"
+)
+
+// decisions records the injector's decision stream for determinism checks.
+func decisions(inj *Injector, n int) []bool {
+	out := make([]bool, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, inj.FailNext(), inj.DropNext())
+	}
+	return out
+}
+
+func TestSameSeedSameFaultSequence(t *testing.T) {
+	cfg := Config{Seed: 7, ErrorRate: 0.3, DropRate: 0.2}
+	a := decisions(New(cfg, nil), 200)
+	b := decisions(New(cfg, nil), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := decisions(New(Config{Seed: 8, ErrorRate: 0.3, DropRate: 0.2}, nil), 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 400-decision streams")
+	}
+}
+
+func TestDisabledInjectsNothing(t *testing.T) {
+	inj := New(Config{}, nil)
+	if inj != nil {
+		t.Fatal("disabled config must yield a nil injector")
+	}
+	// The nil injector is a no-op at every call site.
+	if inj.Down() || inj.FailNext() || inj.DropNext() || inj.Latency() != 0 {
+		t.Fatal("nil injector must inject nothing")
+	}
+	base := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if h := inj.Middleware(base); h == nil {
+		t.Fatal("nil injector Middleware must pass handler through")
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if got := inj.WrapConn(c1); got != c1 {
+		t.Fatal("nil injector WrapConn must return the conn unchanged")
+	}
+}
+
+func TestMiddlewareErrorRate(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	inj := New(Config{Seed: 3, ErrorRate: 1}, reg)
+	srv := httptest.NewServer(inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ErrorRate=1: got status %d, want 503", resp.StatusCode)
+	}
+
+	// Exempt observability paths must never be faulted.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics must be exempt: got status %d", resp.StatusCode)
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `faults_injected_total{kind="error"} 1`) {
+		t.Fatalf("injected error not counted:\n%s", buf.String())
+	}
+}
+
+func TestMiddlewareDropSeversConnection(t *testing.T) {
+	inj := New(Config{Seed: 3, DropRate: 1}, nil)
+	srv := httptest.NewServer(inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/data")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("DropRate=1: want transport error, got status %d", resp.StatusCode)
+	}
+}
+
+func TestFlapSchedule(t *testing.T) {
+	inj := New(Config{Seed: 1, FlapPeriod: 200 * time.Millisecond, FlapDownFor: 100 * time.Millisecond}, nil)
+	if inj.Down() {
+		t.Fatal("flap target must start up")
+	}
+	time.Sleep(150 * time.Millisecond)
+	if !inj.Down() {
+		t.Fatal("flap target must be down in the trailing window")
+	}
+	time.Sleep(100 * time.Millisecond) // into the next period's up phase
+	if inj.Down() {
+		t.Fatal("flap target must come back up next period")
+	}
+}
+
+func TestWrapConnDrops(t *testing.T) {
+	inj := New(Config{Seed: 5, DropRate: 1}, nil)
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	fc := inj.WrapConn(c1)
+	if _, err := fc.Write([]byte("x")); err != ErrInjected {
+		t.Fatalf("want ErrInjected on write, got %v", err)
+	}
+	// The underlying conn was closed by the drop.
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("underlying conn must be closed after injected drop")
+	}
+}
+
+func TestCountersEagerlyRegistered(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	New(Config{Seed: 1, ErrorRate: 0.1}, reg)
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"latency", "error", "drop", "flap"} {
+		want := `faults_injected_total{kind="` + kind + `"} 0`
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing eager series %q in:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package faults
+
+import (
+	"net/http"
+	"time"
+)
+
+// exemptPaths are never faulted: observability must stay reachable while
+// the data path burns, or the harness blinds the very telemetry the chaos
+// tests assert on.
+var exemptPaths = map[string]bool{
+	"/metrics":      true,
+	"/v1/telemetry": true,
+	"/healthz":      true,
+}
+
+// Middleware wraps an HTTP handler with the injector's fault model: flap
+// outages and connection drops sever the TCP connection without a response
+// (what a crashed edge looks like from the client), injected errors return
+// 503, and latency is added before the handler runs. A nil injector returns
+// next unchanged.
+func (i *Injector) Middleware(next http.Handler) http.Handler {
+	if i == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptPaths[r.URL.Path] {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if i.Down() || i.DropNext() {
+			abortConn(w)
+			return
+		}
+		if d := i.Latency(); d > 0 {
+			time.Sleep(d)
+		}
+		if i.FailNext() {
+			http.Error(w, "fault injected", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// abortConn kills the underlying TCP connection so the client sees a
+// transport error, not an HTTP status. Falls back to 503 when the
+// ResponseWriter cannot be hijacked.
+func abortConn(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "fault injected", http.StatusServiceUnavailable)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	conn.Close()
+}

@@ -61,6 +61,16 @@ type Config struct {
 	// RequeryInterval is how often an unsatisfied download re-queries the
 	// control plane for more peers; zero selects the 2s default.
 	RequeryInterval time.Duration
+	// StallWindow is how long a download tolerates zero peer piece progress
+	// before declaring the swarm dead and degrading to edge-only (§3.3
+	// fallback). Zero selects 15s; negative disables the watchdog.
+	StallWindow time.Duration
+	// CorruptPieceLimit is how many corrupt pieces (across all peers) a
+	// download tolerates before degrading to edge-only. Zero selects 25.
+	CorruptPieceLimit int
+	// BlacklistFor is how long a peer stays blacklisted after a failed
+	// swarm dial before it may be retried. Zero selects 30s.
+	BlacklistFor time.Duration
 	// Telemetry is the metrics registry; nil creates a private one
 	// (retrievable via Client.Metrics).
 	Telemetry *telemetry.Registry
@@ -83,6 +93,12 @@ type Client struct {
 
 	control *controlConn
 	uploads *uploadManager
+
+	// blacklist holds peers whose swarm dials failed recently, with the
+	// time each entry expires; entries decay so churned peers that come
+	// back get retried.
+	blMu      sync.Mutex
+	blacklist map[id.GUID]time.Time
 
 	swarmLn net.Listener
 
@@ -124,13 +140,23 @@ func New(cfg Config) (*Client, error) {
 	if cfg.RequeryInterval <= 0 {
 		cfg.RequeryInterval = 2 * time.Second
 	}
+	if cfg.StallWindow == 0 {
+		cfg.StallWindow = 15 * time.Second
+	}
+	if cfg.CorruptPieceLimit <= 0 {
+		cfg.CorruptPieceLimit = 25
+	}
+	if cfg.BlacklistFor <= 0 {
+		cfg.BlacklistFor = 30 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	if len(cfg.ControlAddrs) == 0 {
 		return nil, fmt.Errorf("peer: no control plane addresses configured")
 	}
-	pool, err := newEdgePool(append([]string{cfg.EdgeURL}, cfg.EdgeURLs...))
+	metrics := newClientMetrics(cfg.Telemetry)
+	pool, err := newEdgePool(append([]string{cfg.EdgeURL}, cfg.EdgeURLs...), metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -138,12 +164,13 @@ func New(cfg Config) (*Client, error) {
 		cfg:       cfg,
 		store:     cfg.Store,
 		edge:      pool,
-		metrics:   newClientMetrics(cfg.Telemetry),
+		metrics:   metrics,
 		traces:    telemetry.NewTraceLog(0),
 		prefs:     NewPreferences(cfg.UploadsEnabled),
 		manifests: make(map[content.ObjectID]*content.Manifest),
 		downloads: make(map[content.ObjectID]*Download),
 		cachedAt:  make(map[content.ObjectID]time.Time),
+		blacklist: make(map[id.GUID]time.Time),
 		clientCfg: edge.DefaultClientConfig(),
 		evictStop: make(chan struct{}),
 	}
@@ -302,6 +329,31 @@ func (c *Client) cachedManifest(oid content.ObjectID) *content.Manifest {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.manifests[oid]
+}
+
+// blacklistPeer quarantines a peer after a failed swarm dial; the entry
+// decays after BlacklistFor so peers that come back from churn get retried.
+func (c *Client) blacklistPeer(g id.GUID) {
+	c.blMu.Lock()
+	c.blacklist[g] = time.Now().Add(c.cfg.BlacklistFor)
+	c.blMu.Unlock()
+	c.metrics.swarmBlacklist.Inc()
+}
+
+// peerBlacklisted reports whether a peer is currently quarantined, dropping
+// expired entries as it sees them.
+func (c *Client) peerBlacklisted(g id.GUID) bool {
+	c.blMu.Lock()
+	defer c.blMu.Unlock()
+	until, ok := c.blacklist[g]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(c.blacklist, g)
+		return false
+	}
+	return true
 }
 
 // activeDownload returns the running download of an object, if any.

@@ -3,7 +3,6 @@ package peer
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -11,6 +10,7 @@ import (
 	"netsession/internal/content"
 	"netsession/internal/id"
 	"netsession/internal/protocol"
+	"netsession/internal/retry"
 )
 
 // controlConn maintains the persistent TCP connection to the control plane:
@@ -21,12 +21,15 @@ import (
 type controlConn struct {
 	c *Client
 
-	mu        sync.Mutex
-	conn      net.Conn
-	connUp    bool
-	stopped   bool
-	waiters   map[content.ObjectID][]chan *protocol.QueryResult
-	retryAfer time.Duration
+	mu      sync.Mutex
+	conn    net.Conn
+	connUp  bool
+	sawUp   bool // the current session reached connUp at least once
+	stopped bool
+	waiters map[content.ObjectID][]chan *protocol.QueryResult
+	// retryAfter is the server-directed minimum reconnect delay from a
+	// rejected login ("reconnections can be rate-limited", §3.8).
+	retryAfter time.Duration
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -113,44 +116,52 @@ func (cc *controlConn) dialAndLogin() (net.Conn, error) {
 }
 
 // run services one session at a time, reconnecting until stopped. A peer
-// whose CN goes down "simply reconnects to another one" (§3.8).
+// whose CN goes down "simply reconnects to another one" (§3.8); reconnect
+// delays grow with jittered exponential backoff — so mass disconnections
+// decorrelate instead of stampeding the CNs — and honour the server's
+// retry-after, resetting after any session that logged in successfully.
 func (cc *controlConn) run(conn net.Conn) {
 	defer cc.wg.Done()
 	stopPing := cc.startKeepalive()
 	defer stopPing()
+	bo := &retry.Backoff{Base: 200 * time.Millisecond, Max: 15 * time.Second}
 	for {
 		cc.readLoop(conn)
 		cc.mu.Lock()
 		cc.connUp = false
 		cc.conn = nil
+		sawUp := cc.sawUp
+		cc.sawUp = false
 		stopped := cc.stopped
-		wait := cc.retryAfer
-		cc.retryAfer = 0
+		retryAfter := cc.retryAfter
+		cc.retryAfter = 0
 		cc.mu.Unlock()
 		cc.failWaiters()
 		if stopped {
 			return
 		}
-		if wait == 0 {
-			wait = time.Duration(200+rand.Intn(300)) * time.Millisecond
+		if sawUp {
+			// A healthy session existed; this is a fresh outage, not a
+			// continuation of the last one.
+			bo.Reset()
+		}
+		wait := bo.Next()
+		if retryAfter > wait {
+			wait = retryAfter
 		}
 		select {
 		case <-cc.stopCh:
 			return
 		case <-time.After(wait):
 		}
+		cc.c.metrics.retriesControl.Inc()
 		var err error
 		conn, err = cc.dialAndLogin()
 		if err != nil {
 			cc.c.logf("control reconnect failed: %v", err)
+			// A nil conn makes readLoop return immediately, so the loop
+			// comes straight back here with a longer backoff.
 			conn = nil
-			// Try again after backoff.
-			select {
-			case <-cc.stopCh:
-				return
-			case <-time.After(time.Second):
-			}
-			continue
 		}
 	}
 }
@@ -195,13 +206,14 @@ func (cc *controlConn) readLoop(conn net.Conn) {
 		case *protocol.LoginAck:
 			if !m.OK {
 				cc.mu.Lock()
-				cc.retryAfer = time.Duration(m.RetryAfterMs) * time.Millisecond
+				cc.retryAfter = time.Duration(m.RetryAfterMs) * time.Millisecond
 				cc.mu.Unlock()
 				conn.Close()
 				return
 			}
 			cc.mu.Lock()
 			cc.connUp = true
+			cc.sawUp = true
 			cc.mu.Unlock()
 			// Re-announce local content after every (re)login; the
 			// directory is soft state.

@@ -10,6 +10,7 @@ import (
 	"netsession/internal/content"
 	"netsession/internal/id"
 	"netsession/internal/protocol"
+	"netsession/internal/retry"
 	"netsession/internal/telemetry"
 )
 
@@ -84,6 +85,12 @@ type Download struct {
 	state         downloadState
 	outcome       protocol.Outcome
 	pauseCh       chan struct{} // closed while running; replaced when paused
+	// p2pOff is set when the download degrades to edge-only: the stall
+	// watchdog declared the swarm dead, or corruption crossed the limit.
+	p2pOff bool
+	// lastPeerPiece is when a peer last delivered a verified piece; the
+	// stall watchdog measures swarm liveness against it.
+	lastPeerPiece time.Time
 
 	doneCh   chan struct{}
 	reported bool
@@ -158,7 +165,11 @@ func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Downloa
 	} else {
 		go d.edgeLoop()
 		if d.p2p {
+			d.lastPeerPiece = time.Now()
 			go d.peerLoop()
+			if c.cfg.StallWindow > 0 {
+				go d.watchdog()
+			}
 		}
 	}
 	return d, nil
@@ -226,7 +237,18 @@ func (d *Download) Resume() {
 		return
 	}
 	d.state = stateRunning
+	// The swarm was idle on purpose while paused; give it a fresh stall
+	// window instead of degrading immediately.
+	d.lastPeerPiece = time.Now()
 	close(d.pauseCh)
+}
+
+// Degraded reports whether the download disabled p2p and fell back to
+// edge-only delivery.
+func (d *Download) Degraded() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.p2pOff
 }
 
 // Abort terminates the download; the log will show it as aborted/paused and
@@ -304,7 +326,7 @@ func (d *Download) releaseInflight(i int) {
 // download ends.
 func (d *Download) edgeLoop() {
 	stall := 0
-	backoff := 200 * time.Millisecond
+	bo := &retry.Backoff{Base: 200 * time.Millisecond, Max: 5 * time.Second}
 	for d.running() {
 		idx := d.takeEdgePiece(stall > 5)
 		if idx < 0 {
@@ -333,17 +355,15 @@ func (d *Download) edgeLoop() {
 		}
 		if err != nil {
 			d.c.logf("edge fetch piece %d: %v", idx, err)
+			d.c.metrics.retriesEdge.Inc()
 			select {
 			case <-d.doneCh:
 				return
-			case <-time.After(backoff):
-			}
-			if backoff < 5*time.Second {
-				backoff *= 2
+			case <-time.After(bo.Next()):
 			}
 			continue
 		}
-		backoff = 200 * time.Millisecond
+		bo.Reset()
 		d.storeVerified(idx, data, id.GUID{}, true)
 	}
 }
@@ -356,6 +376,7 @@ func (d *Download) peerLoop() {
 	for d.running() {
 		d.mu.Lock()
 		complete := d.have.Complete()
+		off := d.p2pOff
 		nConns := len(d.conns)
 		var cand protocol.PeerInfo
 		haveCand := false
@@ -367,7 +388,7 @@ func (d *Download) peerLoop() {
 		needQuery := !haveCand && nConns < d.c.cfg.MaxPeerConnsPerDownload &&
 			time.Since(lastQuery) > d.c.cfg.RequeryInterval
 		d.mu.Unlock()
-		if complete {
+		if complete || off {
 			return
 		}
 		switch {
@@ -389,7 +410,8 @@ func (d *Download) peerLoop() {
 				d.peersReturned = len(qr.Peers)
 			}
 			for _, p := range qr.Peers {
-				if !d.dialed[p.GUID] && p.GUID != d.c.cfg.GUID {
+				if !d.dialed[p.GUID] && p.GUID != d.c.cfg.GUID &&
+					!d.c.peerBlacklisted(p.GUID) {
 					d.candidates = append(d.candidates, p)
 				}
 			}
@@ -404,6 +426,9 @@ func (d *Download) peerLoop() {
 }
 
 func (d *Download) dialCandidate(p protocol.PeerInfo) {
+	if d.c.peerBlacklisted(p.GUID) {
+		return
+	}
 	d.mu.Lock()
 	if d.dialed[p.GUID] || len(d.conns) >= d.c.cfg.MaxPeerConnsPerDownload {
 		d.mu.Unlock()
@@ -418,6 +443,13 @@ func (d *Download) dialCandidate(p protocol.PeerInfo) {
 	if _, err := d.c.dialSwarm(ctx, d, p); err != nil {
 		d.c.metrics.swarmDialErrors.Inc()
 		d.c.logf("swarm dial %s: %v", p.Addr, err)
+		// Quarantine the peer, but un-mark it as dialed so that once the
+		// blacklist entry decays a later query may retry it (§3.7: keep
+		// trying "until a sufficient number of peer connections succeed").
+		d.c.blacklistPeer(p.GUID)
+		d.mu.Lock()
+		delete(d.dialed, p.GUID)
+		d.mu.Unlock()
 		return
 	}
 	d.trace.Observe(telemetry.StageSwarmConnect, time.Since(dialStart))
@@ -427,16 +459,27 @@ func (d *Download) dialCandidate(p protocol.PeerInfo) {
 func (d *Download) addCandidate(p protocol.PeerInfo) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.p2pOff {
+		return
+	}
 	if !d.dialed[p.GUID] && p.GUID != d.c.cfg.GUID {
 		d.candidates = append(d.candidates, p)
 	}
 }
 
-func (d *Download) attachConn(sc *swarmConn) {
+// attachConn adds an established swarm connection to the download; it
+// reports false when the download no longer takes peers (degraded to
+// edge-only or done), in which case the caller must close the connection.
+func (d *Download) attachConn(sc *swarmConn) bool {
 	d.mu.Lock()
+	if d.p2pOff || d.state == stateDone {
+		d.mu.Unlock()
+		return false
+	}
 	d.conns[sc] = true
 	d.pendingReq[sc] = -1
 	d.mu.Unlock()
+	return true
 }
 
 func (d *Download) removeConn(sc *swarmConn) {
@@ -466,7 +509,7 @@ func (d *Download) kickScheduler(sc *swarmConn) {
 		return
 	}
 	d.mu.Lock()
-	if d.state != stateRunning || !d.conns[sc] {
+	if d.state != stateRunning || d.p2pOff || !d.conns[sc] {
 		d.mu.Unlock()
 		return
 	}
@@ -546,7 +589,7 @@ func (d *Download) onPiece(sc *swarmConn, idx int, data []byte) {
 		// and does not upload it to other peers" (§3.5).
 		d.mu.Lock()
 		d.corrupt++
-		tooMany := d.corrupt > 25
+		tooMany := d.corrupt > d.c.cfg.CorruptPieceLimit
 		d.mu.Unlock()
 		sc.mu.Lock()
 		sc.corrupt++
@@ -564,9 +607,12 @@ func (d *Download) onPiece(sc *swarmConn, idx int, data []byte) {
 			return
 		}
 		if tooMany {
-			// Corruption across many sources: give up with the §5.2
-			// "system-related" failure cause.
-			d.finish(protocol.OutcomeFailedSystem)
+			// Corruption across many sources: the swarm as a whole cannot
+			// be trusted for this object. Rather than failing the
+			// download, fall back to the edge, which always serves
+			// verified content — "the infrastructure can cover the
+			// difference" (§3.3).
+			d.disableP2P("corruption")
 			return
 		}
 		d.kickScheduler(sc)
@@ -574,6 +620,68 @@ func (d *Download) onPiece(sc *swarmConn, idx int, data []byte) {
 	}
 	d.storeVerified(idx, data, sc.remote, false)
 	d.kickScheduler(sc)
+}
+
+// watchdog watches for a dead swarm: a download that is running with p2p
+// enabled but has received no verified peer piece for a full StallWindow is
+// being strung along by stalled, slow or lying peers; it degrades to
+// edge-only so the edge backstop finishes the job (§3.3).
+func (d *Download) watchdog() {
+	window := d.c.cfg.StallWindow
+	t := time.NewTicker(window / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.doneCh:
+			return
+		case <-t.C:
+		}
+		d.mu.Lock()
+		stalled := d.state == stateRunning && !d.p2pOff &&
+			time.Since(d.lastPeerPiece) > window
+		off := d.p2pOff
+		d.mu.Unlock()
+		if off {
+			return
+		}
+		if stalled {
+			d.disableP2P("stall")
+			return
+		}
+	}
+}
+
+// disableP2P degrades the download to edge-only: no new peers are dialed or
+// accepted, existing swarm connections close, and the edge loop finishes
+// the object alone. This is the bottom rung of the degradation ladder — the
+// paper's guarantee that peer trouble costs efficiency, never the download.
+func (d *Download) disableP2P(reason string) {
+	d.mu.Lock()
+	if d.p2pOff || d.state == stateDone {
+		d.mu.Unlock()
+		return
+	}
+	d.p2pOff = true
+	d.candidates = nil
+	conns := make([]*swarmConn, 0, len(d.conns))
+	for sc := range d.conns {
+		conns = append(conns, sc)
+	}
+	d.mu.Unlock()
+	for _, sc := range conns {
+		sc.send(&protocol.Goodbye{Reason: "p2p disabled: " + reason})
+		sc.close()
+	}
+	switch reason {
+	case "stall":
+		d.c.metrics.degradeStall.Inc()
+	case "corruption":
+		d.c.metrics.degradeCorrupt.Inc()
+	}
+	d.trace.Event("p2p-degraded", reason)
+	d.c.logf("download %v degraded to edge-only (%s)", d.oid, reason)
+	d.c.reportProblem("p2p-degraded",
+		fmt.Sprintf("object %v reason %s", d.oid, reason))
 }
 
 // storeVerified persists a verified piece, updates accounting, announces it
@@ -607,6 +715,7 @@ func (d *Download) storeVerified(idx int, data []byte, from id.GUID, infra bool)
 	} else {
 		d.bytesPeers += int64(len(data))
 		d.fromPeers[from] += int64(len(data))
+		d.lastPeerPiece = time.Now()
 	}
 	haveCount := d.have.Count()
 	total := d.have.Len()

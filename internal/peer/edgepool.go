@@ -4,55 +4,96 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"netsession/internal/content"
 	"netsession/internal/edge"
 	"netsession/internal/id"
+	"netsession/internal/retry"
 )
 
 // edgePool fronts one or more edge servers with failover. Akamai's edge is
 // a fleet; the client's DNS-selected server can fail mid-download, and the
-// DLM simply continues against another one. The pool prefers the server
-// that last succeeded and rotates on error.
+// DLM simply continues against another one (§3.3). Each server carries a
+// circuit breaker for per-server health: a server that keeps failing is
+// quarantined for a cooldown instead of being retried blindly, then
+// half-open-probed for recovery. The pool stays sticky to the server that
+// last succeeded.
+type edgeServer struct {
+	client  *edge.Client
+	breaker *retry.Breaker
+}
+
 type edgePool struct {
-	mu      sync.Mutex
-	clients []*edge.Client
+	servers []*edgeServer
+
+	mu sync.Mutex
 	// current is the preferred index.
 	current int
 }
 
-func newEdgePool(urls []string) (*edgePool, error) {
+func newEdgePool(urls []string, m *clientMetrics) (*edgePool, error) {
 	p := &edgePool{}
 	for _, u := range urls {
 		if u == "" {
 			continue
 		}
-		p.clients = append(p.clients, &edge.Client{BaseURL: u})
+		p.servers = append(p.servers, &edgeServer{
+			client: &edge.Client{BaseURL: u},
+			breaker: retry.NewBreaker(retry.BreakerConfig{
+				Threshold:   3,
+				Cooldown:    time.Second,
+				MaxCooldown: 15 * time.Second,
+				OnTrip:      func() { m.breakerTripsEdge.Inc() },
+			}),
+		})
 	}
-	if len(p.clients) == 0 {
+	if len(p.servers) == 0 {
 		return nil, errors.New("peer: no edge URLs configured")
 	}
 	return p, nil
 }
 
-// do runs op against edge servers starting from the preferred one, rotating
-// until one succeeds or all have failed.
+// breakerTrips sums the trips across the pool's per-server breakers.
+func (p *edgePool) breakerTrips() int64 {
+	var n int64
+	for _, s := range p.servers {
+		n += s.breaker.Trips()
+	}
+	return n
+}
+
+// do runs op against edge servers starting from the preferred one, skipping
+// quarantined servers, until one succeeds or every server has failed or is
+// quarantined. Outcomes feed each server's breaker, so repeated failures
+// open it and recovery is detected by the half-open probe.
 func (p *edgePool) do(op func(*edge.Client) error) error {
 	p.mu.Lock()
 	start := p.current
-	n := len(p.clients)
 	p.mu.Unlock()
+	n := len(p.servers)
 	var lastErr error
+	tried := 0
 	for k := 0; k < n; k++ {
 		ix := (start + k) % n
-		err := op(p.clients[ix])
+		s := p.servers[ix]
+		if !s.breaker.Allow() {
+			continue // quarantined; its cooldown has not elapsed
+		}
+		tried++
+		err := op(s.client)
 		if err == nil {
+			s.breaker.Success()
 			p.mu.Lock()
 			p.current = ix
 			p.mu.Unlock()
 			return nil
 		}
+		s.breaker.Failure()
 		lastErr = err
+	}
+	if tried == 0 {
+		return fmt.Errorf("peer: all %d edge servers quarantined", n)
 	}
 	return fmt.Errorf("peer: all %d edge servers failed: %w", n, lastErr)
 }

@@ -119,14 +119,9 @@ func registerRaw(t *testing.T, d *deployment, g id.GUID, country geo.CountryCode
 	}()
 	loc := d.atlas.Location(c.Locations[0])
 	region := geo.RegionOf(geo.Record{Country: country, Continent: loc.Continent, Coord: loc.Coord})
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if d.cp.DN(region).Copies(oid) >= 1 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatal("raw registration never landed")
+	waitUntil(t, 5*time.Second, func() bool {
+		return d.cp.DN(region).Copies(oid) >= 1
+	}, "raw registration never landed")
 }
 
 // TestMaliciousUploaderDiscarded: a peer serving corrupt pieces cannot harm
@@ -180,11 +175,7 @@ func TestMaliciousUploaderDiscarded(t *testing.T) {
 	}
 	verifyStored(t, cl, obj)
 	// The client reported the corruption to the monitoring node.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) && mon.Count("piece-corrupt") == 0 {
-		time.Sleep(20 * time.Millisecond)
-	}
-	if mon.Count("piece-corrupt") == 0 {
+	if !eventually(5*time.Second, func() bool { return mon.Count("piece-corrupt") > 0 }) {
 		t.Error("no corrupt-piece report reached the monitor")
 	}
 }
@@ -228,13 +219,10 @@ func TestEdgeFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Kill the first edge server once a few pieces have arrived.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if have, _ := dl.Progress(); have >= 2 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitUntil(t, 10*time.Second, func() bool {
+		have, _ := dl.Progress()
+		return have >= 2
+	}, "no progress before killing the edge server")
 	d.edgeSrv.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -380,20 +368,11 @@ func TestSelfUpgrade(t *testing.T) {
 	}
 	defer cl.Close()
 
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if cl.SoftwareVersion() == "ns-9.9" && cl.control.connected() {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	if got := cl.SoftwareVersion(); got != "ns-9.9" {
-		t.Fatalf("client still at %s", got)
-	}
+	waitUntil(t, 10*time.Second, func() bool {
+		return cl.SoftwareVersion() == "ns-9.9" && cl.control.connected()
+	}, "client never upgraded past %s", cl.SoftwareVersion())
 	// The control plane observed logins at both versions.
-	var sawOld, sawNew bool
-	deadline = time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) && !(sawOld && sawNew) {
+	versions := func() (sawOld, sawNew bool) {
 		for _, l := range cp.Collector().Snapshot().Logins {
 			switch l.SoftwareVersion {
 			case "ns-1.0":
@@ -402,9 +381,10 @@ func TestSelfUpgrade(t *testing.T) {
 				sawNew = true
 			}
 		}
-		time.Sleep(20 * time.Millisecond)
+		return
 	}
-	if !sawOld || !sawNew {
-		t.Fatalf("login versions old=%v new=%v", sawOld, sawNew)
-	}
+	waitUntil(t, 5*time.Second, func() bool {
+		sawOld, sawNew := versions()
+		return sawOld && sawNew
+	}, "control plane never observed logins at both versions")
 }

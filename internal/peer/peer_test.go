@@ -144,14 +144,9 @@ func (d *deployment) waitCopies(country geo.CountryCode, oid content.ObjectID, w
 	c, _ := d.atlas.Country(country)
 	loc := d.atlas.Location(c.Locations[0])
 	region := geo.RegionOf(geo.Record{Country: country, Continent: loc.Continent, Coord: loc.Coord})
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if d.cp.DN(region).Copies(oid) >= want {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	d.t.Fatalf("directory never reached %d copies", want)
+	waitUntil(d.t, 5*time.Second, func() bool {
+		return d.cp.DN(region).Copies(oid) >= want
+	}, "directory never reached %d copies", want)
 }
 
 func verifyStored(t *testing.T, c *Client, obj *content.Object) {
@@ -237,17 +232,10 @@ func TestPeerAssistedDownload(t *testing.T) {
 
 	// Accounting: the CN accepted verified download records for both the
 	// seed and this download.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if len(d.cp.Collector().Snapshot().Downloads) >= 2 {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	waitUntil(t, 5*time.Second, func() bool {
+		return len(d.cp.Collector().Snapshot().Downloads) >= 2
+	}, "collector never reached 2 download records")
 	log := d.cp.Collector().Snapshot()
-	if len(log.Downloads) < 2 {
-		t.Fatalf("collector has %d download records, want 2", len(log.Downloads))
-	}
 	var assisted *accounting.DownloadRecord
 	for i := range log.Downloads {
 		if log.Downloads[i].BytesPeers > 0 {
@@ -399,13 +387,10 @@ func TestAbortReportsAborted(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Abort as soon as the first piece lands (well before 20 MB completes).
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if have, _ := dl.Progress(); have >= 1 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	waitUntil(t, 10*time.Second, func() bool {
+		have, _ := dl.Progress()
+		return have >= 1
+	}, "no piece arrived before abort")
 	dl.Abort()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -417,17 +402,14 @@ func TestAbortReportsAborted(t *testing.T) {
 		t.Fatalf("outcome %v, want aborted", res.Outcome)
 	}
 	// The aborted outcome reaches the accounting log.
-	deadline = time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		log := d.cp.Collector().Snapshot()
-		for _, rec := range log.Downloads {
+	waitUntil(t, 5*time.Second, func() bool {
+		for _, rec := range d.cp.Collector().Snapshot().Downloads {
 			if rec.Outcome == protocol.OutcomeAborted {
-				return
+				return true
 			}
 		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	t.Fatal("aborted record never collected")
+		return false
+	}, "aborted record never collected")
 }
 
 func TestResumeAfterAbortReusesStore(t *testing.T) {
@@ -439,13 +421,10 @@ func TestResumeAfterAbortReusesStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Let some pieces land, then abort.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if have, _ := dl.Progress(); have > 3 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	eventually(10*time.Second, func() bool {
+		have, _ := dl.Progress()
+		return have > 3
+	})
 	dl.Abort()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -479,16 +458,9 @@ func TestCNFailover(t *testing.T) {
 
 	// Kill the CN the peer is connected to; it must re-login to the other.
 	d.cns[0].Close()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if d.cp.Connected(c.GUID()) && c.control.connected() {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	if !d.cp.Connected(c.GUID()) {
-		t.Fatal("peer did not fail over to the surviving CN")
-	}
+	waitUntil(t, 10*time.Second, func() bool {
+		return d.cp.Connected(c.GUID()) && c.control.connected()
+	}, "peer did not fail over to the surviving CN")
 	// And the peer still works end to end.
 	dl, err := c.Download(obj.ID)
 	if err != nil {

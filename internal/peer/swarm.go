@@ -109,7 +109,13 @@ func (c *Client) handleInbound(conn net.Conn) {
 			return
 		}
 		sc.sendLocalBitfield()
-		d.attachConn(sc)
+		if !d.attachConn(sc) {
+			// The download degraded to edge-only while this uploader was
+			// dialing back; it takes no new peers.
+			sc.send(&protocol.Goodbye{Reason: "p2p disabled"})
+			conn.Close()
+			return
+		}
 		// An uploader dialing back on the control plane's instruction is
 		// the NAT-traversal half of swarm establishment (§3.7); it counts
 		// toward the download's swarm-connect stage like an outbound dial.
@@ -176,7 +182,11 @@ func (c *Client) dialSwarm(ctx context.Context, d *Download, remote protocol.Pee
 		return nil, errHandshakeRejected
 	}
 	sc.sendLocalBitfield()
-	d.attachConn(sc)
+	if !d.attachConn(sc) {
+		sc.send(&protocol.Goodbye{Reason: "p2p disabled"})
+		conn.Close()
+		return nil, errHandshakeRejected
+	}
 	go sc.loop()
 	return sc, nil
 }

@@ -37,6 +37,17 @@ type clientMetrics struct {
 	peerPieceMs  *telemetry.Histogram
 	peerLookupMs *telemetry.Histogram
 
+	// Resilience counters, registered eagerly so the series are present in
+	// /metrics even before the first fault: retries by operation, breaker
+	// trips by target, blacklisted swarm peers, and p2p degradations by
+	// reason.
+	retriesEdge      *telemetry.Counter
+	retriesControl   *telemetry.Counter
+	breakerTripsEdge *telemetry.Counter
+	swarmBlacklist   *telemetry.Counter
+	degradeStall     *telemetry.Counter
+	degradeCorrupt   *telemetry.Counter
+
 	downloadsByOutcome map[string]*telemetry.Counter
 	stunOK             *telemetry.Counter
 	stunFail           *telemetry.Counter
@@ -76,6 +87,20 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 		peerLookupMs: reg.Histogram("peer_lookup_ms",
 			"control-plane peer query latency in milliseconds",
 			telemetry.DurationBucketsMs, nil),
+		retriesEdge: reg.Counter("peer_retries_total",
+			"retried operations, by operation", telemetry.Labels{"op": "edge_fetch"}),
+		retriesControl: reg.Counter("peer_retries_total",
+			"retried operations, by operation", telemetry.Labels{"op": "control_reconnect"}),
+		breakerTripsEdge: reg.Counter("peer_breaker_trips_total",
+			"circuit-breaker trips, by target", telemetry.Labels{"target": "edge"}),
+		swarmBlacklist: reg.Counter("peer_swarm_blacklist_total",
+			"peers temporarily blacklisted after failed swarm dials", nil),
+		degradeStall: reg.Counter("peer_p2p_degradations_total",
+			"downloads that disabled p2p and fell back to edge-only, by reason",
+			telemetry.Labels{"reason": "stall"}),
+		degradeCorrupt: reg.Counter("peer_p2p_degradations_total",
+			"downloads that disabled p2p and fell back to edge-only, by reason",
+			telemetry.Labels{"reason": "corruption"}),
 		downloadsByOutcome: make(map[string]*telemetry.Counter),
 		stunOK: reg.Counter("peer_stun_discoveries_total",
 			"STUN reflexive-address discoveries, by outcome", telemetry.Labels{"outcome": "ok"}),

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"netsession/internal/faults"
 	"netsession/internal/geo"
 	"netsession/internal/selection"
 	"netsession/internal/telemetry"
@@ -77,6 +78,12 @@ type ScenarioConfig struct {
 	FailOtherProb      float64
 	FailSystemInfra    float64
 	FailSystemP2P      float64
+
+	// Faults configures the extra mid-download server-failure events of the
+	// chaos harness. It draws from its own seeded RNG, so the zero value
+	// (disabled) leaves every base-scenario draw — and therefore the whole
+	// result — byte-identical.
+	Faults faults.SimConfig
 
 	// Telemetry is the metrics registry; nil creates a private one,
 	// returned in Result.Telemetry either way.

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"netsession/internal/faults"
+)
+
+func tinyScenario(c *ScenarioConfig) {
+	c.NumPeers = 1500
+	c.TotalDownloads = 2000
+	c.Days = 5
+}
+
+// logBytes serializes the parts of a result that the fault layer could
+// disturb, for byte-level comparison between runs.
+func logBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFaultsDisabledByteIdentical locks in the determinism contract: the
+// fault layer draws from its own RNG, so a disabled layer — regardless of
+// its seed — leaves the base scenario byte-identical.
+func TestFaultsDisabledByteIdentical(t *testing.T) {
+	a := runSmall(t, tinyScenario)
+	b := runSmall(t, func(c *ScenarioConfig) {
+		tinyScenario(c)
+		c.Faults.Seed = 999 // seed without probability: still disabled
+	})
+	if !bytes.Equal(logBytes(t, a), logBytes(t, b)) {
+		t.Fatal("disabled fault layer perturbed the base scenario")
+	}
+	if got := a.Telemetry.Counters["sim_faults_injected_total"]; got != 0 {
+		t.Fatalf("disabled fault layer injected %d faults", got)
+	}
+}
+
+// TestFaultsDeterministicAndEffective: same fault seed ⇒ same fault
+// schedule ⇒ identical results; and the faults actually kill servers.
+func TestFaultsDeterministicAndEffective(t *testing.T) {
+	chaotic := func(c *ScenarioConfig) {
+		tinyScenario(c)
+		c.Faults = faults.SimConfig{Seed: 7, ServerFailProb: 0.5}
+	}
+	a := runSmall(t, chaotic)
+	b := runSmall(t, chaotic)
+	if !bytes.Equal(logBytes(t, a), logBytes(t, b)) {
+		t.Fatal("same fault seed produced different results")
+	}
+	injected := a.Telemetry.Counters["sim_faults_injected_total"]
+	if injected == 0 {
+		t.Fatal("fault layer enabled but no server kills injected")
+	}
+	base := runSmall(t, tinyScenario)
+	if bytes.Equal(logBytes(t, a), logBytes(t, base)) {
+		t.Fatal("injected faults left the result unchanged")
+	}
+}

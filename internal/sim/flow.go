@@ -314,8 +314,31 @@ func (s *Sim) connectCandidates(d *dl, cands []protocol.PeerInfo) {
 		sp.serving[d] = true
 		sp.perObjectUploads[d.obj.ID]++
 		d.servers = append(d.servers, &srcLink{server: sp})
+		s.maybeKillServer(d, sp)
 	}
 	s.reschedule(affected)
+}
+
+// maybeKillServer is the simulator's fault layer: with probability
+// ServerFailProb a freshly attached serving peer is scheduled to crash at a
+// uniform point in the next ten minutes, forcing the download onto its
+// remaining peers and the edge backstop (§3.3). All draws come from the
+// dedicated fault RNG so the base scenario stream is untouched.
+func (s *Sim) maybeKillServer(d *dl, sp *simPeer) {
+	if !s.cfg.Faults.Enabled() {
+		return
+	}
+	if s.faultRng.Float64() >= s.cfg.Faults.ServerFailProb {
+		return
+	}
+	delay := int64(s.faultRng.Float64()*600_000) + 1
+	s.eng.After(delay, func() {
+		if d.finished || !sp.serving[d] || !sp.online {
+			return
+		}
+		s.metrics.faultsInjected.Inc()
+		s.setOffline(sp)
+	})
 }
 
 // detachServer removes a serving peer from a download (server churn).

@@ -20,6 +20,10 @@ type Sim struct {
 	cfg ScenarioConfig
 	eng Engine
 	rng *rand.Rand
+	// faultRng feeds the fault-injection layer only. Keeping it separate
+	// from the scenario stream means a disabled fault layer makes zero
+	// draws, so base results stay byte-identical.
+	faultRng *rand.Rand
 
 	atlas *geo.Atlas
 	scape *geo.EdgeScape
@@ -83,9 +87,14 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	faultSeed := cfg.Faults.Seed
+	if faultSeed == 0 {
+		faultSeed = 1
+	}
 	s := &Sim{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		faultRng:  rand.New(rand.NewSource(faultSeed)),
 		metrics:   newSimMetrics(cfg.Telemetry),
 		wallStart: time.Now(),
 	}

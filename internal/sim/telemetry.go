@@ -12,9 +12,10 @@ import (
 type simMetrics struct {
 	reg *telemetry.Registry
 
-	started     *telemetry.Counter
-	byOutcome   [protocol.OutcomeAborted + 1]*telemetry.Counter
-	activeFlows *telemetry.Gauge
+	started        *telemetry.Counter
+	byOutcome      [protocol.OutcomeAborted + 1]*telemetry.Counter
+	activeFlows    *telemetry.Gauge
+	faultsInjected *telemetry.Counter
 
 	virtualMs    *telemetry.Gauge
 	events       *telemetry.Gauge
@@ -32,6 +33,8 @@ func newSimMetrics(reg *telemetry.Registry) *simMetrics {
 			"workload requests started", nil),
 		activeFlows: reg.Gauge("sim_active_flows",
 			"downloads currently in flight", nil),
+		faultsInjected: reg.Counter("sim_faults_injected_total",
+			"serving peers killed mid-download by the fault layer", nil),
 		virtualMs: reg.Gauge("sim_virtual_ms",
 			"virtual clock position in milliseconds", nil),
 		events: reg.Gauge("sim_events_executed",

@@ -26,6 +26,7 @@ import (
 	"netsession/internal/accounting"
 	"netsession/internal/analysis"
 	"netsession/internal/content"
+	"netsession/internal/faults"
 	"netsession/internal/geo"
 	"netsession/internal/id"
 	"netsession/internal/peer"
@@ -63,6 +64,12 @@ type (
 	ScenarioResult = sim.Result
 	// Log is the accounting log set (downloads, logins, registrations).
 	Log = accounting.Log
+	// FaultProfile configures deterministic fault injection for the live
+	// cluster (ClusterConfig.EdgeFaults / CNFaults).
+	FaultProfile = faults.Config
+	// SimFaults configures fault injection inside the simulator
+	// (Scenario.Faults).
+	SimFaults = faults.SimConfig
 )
 
 // NAT classes, re-exported for PeerConfig.

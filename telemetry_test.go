@@ -141,6 +141,26 @@ func TestClusterTelemetry(t *testing.T) {
 		t.Errorf("seed counters show no uploaded bytes: %+v", seedSnap.Counters)
 	}
 
+	// The resilience series are registered eagerly, so a healthy run still
+	// exposes them (at zero) — dashboards can alert on them without waiting
+	// for a first fault.
+	var expo strings.Builder
+	if err := leech.Metrics().WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		`peer_retries_total{op="control_reconnect"}`,
+		`peer_retries_total{op="edge_fetch"}`,
+		`peer_breaker_trips_total{target="edge"}`,
+		`peer_swarm_blacklist_total`,
+		`peer_p2p_degradations_total{reason="corruption"}`,
+		`peer_p2p_degradations_total{reason="stall"}`,
+	} {
+		if !strings.Contains(expo.String(), series) {
+			t.Errorf("peer exposition missing resilience series %q", series)
+		}
+	}
+
 	// The monitor aggregates the fleet: after one scrape pass its fleet
 	// view contains both the edge's and the control plane's series.
 	c.Monitor().ScrapeOnce()
