@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench chaos
+.PHONY: check build test vet fmt race bench bench-smoke chaos
 
-check: fmt vet build race chaos
+check: fmt vet build race chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ fmt:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Quick allocation/throughput canary on the two hot paths (engine event loop,
+# whole-sim small scale, DN selection); part of `make check` so a hot-path
+# regression fails the pre-commit gate, not just the nightly bench.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineEvents$$|BenchmarkSimSmall$$|BenchmarkSelect40$$' \
+		-benchtime 2x -benchmem ./internal/sim ./internal/selection
 
 # Fault-injection end-to-end: a live cluster with a flapping edge, a dying
 # CN and a poisoned swarm; every download must still complete verified.

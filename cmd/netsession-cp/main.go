@@ -13,6 +13,7 @@
 //
 //	netsession-cp [-cns N] [-key STRING] [-population N] [-identity-seed N]
 //	              [-max-sessions N] [-status ADDR] [-scrape name=URL,...]
+//	              [-debug-addr ADDR]
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"netsession/internal/edge"
 	"netsession/internal/geo"
 	"netsession/internal/selection"
+	"netsession/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 	statusAddr := flag.String("status", "127.0.0.1:0", "operator HTTP address (/v1/status, /metrics, /v1/telemetry)")
 	scrape := flag.String("scrape", "", "comma-separated name=baseURL telemetry scrape targets for the monitor")
 	scrapeEvery := flag.Duration("scrape-interval", 10*time.Second, "monitor scrape interval")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and the monitor's /metrics on this address")
 	flag.Parse()
 
 	atlas := geo.GenerateAtlas(geo.DefaultAtlasConfig())
@@ -84,6 +87,15 @@ func main() {
 	}
 	defer mon.Close()
 	log.Printf("monitor listening on http://%s (GET /v1/health, /metrics)", mon.Addr())
+
+	if *debugAddr != "" {
+		dbg, err := telemetry.StartDebug(*debugAddr, mon.Metrics())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server on http://%s (GET /debug/pprof/, /metrics)", dbg.Addr())
+	}
 
 	targets := map[string]string{"cp": "http://" + status.Addr()}
 	for _, t := range strings.Split(*scrape, ",") {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	netsession-report [-scale small|default] [-peers N] [-downloads N]
-//	                  [-days N] [-seed N] [-o file]
+//	                  [-days N] [-seed N] [-workers N] [-o file]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 	downloads := flag.Int("downloads", 0, "override total downloads")
 	days := flag.Int("days", 0, "override trace length in days")
 	seed := flag.Int64("seed", 0, "override random seed")
+	workers := flag.Int("workers", 0, "region-shard workers (0: one per CPU, 1: sequential; report is identical either way)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	start := time.Now()
 	exp, err := netsession.RunExperiment(cfg)

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	netsession-sim [-peers N] [-downloads N] [-days N] [-seed N] -out DIR
+//	netsession-sim [-peers N] [-downloads N] [-days N] [-seed N]
+//	               [-workers N] [-debug-addr ADDR] -out DIR
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"netsession"
 	"netsession/internal/accounting"
 	"netsession/internal/analysis"
+	"netsession/internal/telemetry"
 )
 
 func main() {
@@ -32,8 +34,10 @@ func main() {
 	downloads := flag.Int("downloads", 0, "total downloads")
 	days := flag.Int("days", 0, "trace length in days")
 	seed := flag.Int64("seed", 0, "random seed")
+	workers := flag.Int("workers", 0, "region-shard workers (0: one per CPU, 1: sequential reference mode; output is identical either way)")
 	outDir := flag.String("out", "netsession-logs", "output directory")
 	telem := flag.Bool("telemetry", true, "log periodic telemetry snapshots (virtual time, events/sec, flows)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and live /metrics on this address during the run")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault-injection RNG (0: fixed default)")
 	faultServerFail := flag.Float64("fault-server-fail", 0,
 		"probability a serving peer is killed mid-download (0 disables fault injection)")
@@ -52,8 +56,18 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 	if *telem {
 		cfg.Logf = log.Printf
+	}
+	if *debugAddr != "" {
+		cfg.Telemetry = telemetry.NewRegistry()
+		dbg, err := telemetry.StartDebug(*debugAddr, cfg.Telemetry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server on http://%s (GET /debug/pprof/, /metrics)", dbg.Addr())
 	}
 	cfg.Faults = netsession.SimFaults{Seed: *faultSeed, ServerFailProb: *faultServerFail}
 

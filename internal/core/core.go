@@ -25,16 +25,25 @@ type Allocation struct {
 // stream concurrently into one access link. Negative inputs are treated as
 // zero.
 func Allocate(edge float64, offers []float64, downlink float64) Allocation {
+	return AllocateInto(nil, edge, offers, downlink)
+}
+
+// AllocateInto is Allocate with a caller-provided backing slice for
+// PerSource: dst is truncated and appended to, so a caller that reuses the
+// returned slice across calls allocates nothing in steady state. The
+// simulator's flow hot path recomputes allocations on every swarm-membership
+// change; this variant keeps that loop allocation-free.
+func AllocateInto(dst []float64, edge float64, offers []float64, downlink float64) Allocation {
 	if edge < 0 {
 		edge = 0
 	}
-	a := Allocation{Edge: edge, PerSource: make([]float64, len(offers))}
+	a := Allocation{Edge: edge, PerSource: append(dst[:0], offers...)}
 	sum := edge
-	for i, o := range offers {
+	for i, o := range a.PerSource {
 		if o < 0 {
+			a.PerSource[i] = 0
 			o = 0
 		}
-		a.PerSource[i] = o
 		sum += o
 	}
 	if sum <= 0 {

@@ -1,6 +1,10 @@
 package geo
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
 
 // SetLevel is the specificity level of a locality set, from most specific
 // (the peer's own AS) to least specific (the universal World set). The
@@ -61,13 +65,26 @@ type SetKey struct {
 
 func (k SetKey) String() string { return k.Level.String() + ":" + k.Value }
 
+// asKeys interns the "AS<n>" strings; the AS population is small and
+// static, and SetsFor sits on the directory's register/select hot path, so
+// formatting the number on every call would dominate its cost.
+var asKeys sync.Map // ASN -> string
+
+func asKey(asn ASN) string {
+	if v, ok := asKeys.Load(asn); ok {
+		return v.(string)
+	}
+	v, _ := asKeys.LoadOrStore(asn, "AS"+strconv.FormatUint(uint64(asn), 10))
+	return v.(string)
+}
+
 // SetsFor returns the locality sets a peer with the given record belongs to,
 // most specific first. A peer is "simultaneously in a universal World set, a
 // subset for a large geographical region, a subset for a smaller region, and
 // a subset for its specific AS" (§3.7).
 func SetsFor(rec Record) [4]SetKey {
 	return [4]SetKey{
-		{LevelAS, fmt.Sprintf("AS%d", rec.ASN)},
+		{LevelAS, asKey(rec.ASN)},
 		{LevelCountry, string(rec.Country)},
 		{LevelContinent, string(rec.Continent)},
 		{LevelWorld, "world"},

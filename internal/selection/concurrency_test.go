@@ -14,7 +14,9 @@ import (
 // TestDirectoryConcurrency hammers one directory from many goroutines; run
 // with -race. The live CN serves thousands of concurrent sessions against
 // shared DN state, so the directory must be safe under arbitrary
-// interleavings of register/select/unregister/expire.
+// interleavings of register/select/unregister/expire — including geo-moving
+// re-registrations (which rewrite locality lists under selections in flight)
+// and the tombstone compactions triggered by unregister storms.
 func TestDirectoryConcurrency(t *testing.T) {
 	acfg := geo.DefaultAtlasConfig()
 	acfg.TailCountries = 2
@@ -40,9 +42,11 @@ func TestDirectoryConcurrency(t *testing.T) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(seed))
 			us, _ := atlas.Country("US")
+			de, _ := atlas.Country("DE")
+			countries := []*geo.Country{us, de}
 			var mine []Entry
 			for i := 0; i < iters; i++ {
-				switch r.Intn(5) {
+				switch r.Intn(7) {
 				case 0, 1: // register a fresh peer
 					ip, err := scape.AllocateIP(us.ASNs[r.Intn(len(us.ASNs))], us.Locations[0])
 					if err != nil {
@@ -85,6 +89,27 @@ func TestDirectoryConcurrency(t *testing.T) {
 					}
 				case 4: // expire aggressively
 					dir.Expire(int64(i), 50)
+				case 5: // geo-move: re-register one of ours from another network
+					if len(mine) > 0 {
+						ix := r.Intn(len(mine))
+						c := countries[r.Intn(len(countries))]
+						ip, err := scape.AllocateIP(c.ASNs[r.Intn(len(c.ASNs))], c.Locations[0])
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						rec := scape.MustLookup(ip)
+						e := mine[ix]
+						e.Rec = rec
+						e.Info.ASN = uint32(rec.ASN)
+						e.RegisteredMs = int64(i)
+						dir.Register(oids[r.Intn(objects)], e)
+						mine[ix] = e
+					}
+				case 6: // unregister one of ours from one object (tombstone path)
+					if len(mine) > 0 {
+						dir.Unregister(oids[r.Intn(objects)], mine[r.Intn(len(mine))].Info.GUID)
+					}
 				}
 			}
 		}(int64(w + 1))

@@ -46,13 +46,56 @@ type Directory struct {
 	peerObjects map[id.GUID]map[content.ObjectID]bool
 }
 
+// dirEntry is one peer's registration plus the directory's bookkeeping for
+// it: which locality lists currently carry its GUID, and whether it has been
+// tombstoned. Unregistering only sets the tombstone — the GUID stays in the
+// fairness lists until a lazy compaction sweeps it out — so churn-heavy
+// workloads don't pay an O(set size) list removal per departure.
+type dirEntry struct {
+	e Entry
+	// listed are the locality sets whose bySet lists contain this GUID —
+	// derived from the geo record at (re-)registration time.
+	listed [4]geo.SetKey
+	dead   bool
+}
+
 type objectEntry struct {
-	// entries holds the registration per peer.
-	entries map[id.GUID]*Entry
+	// entries holds the registration per peer, including tombstones.
+	entries map[id.GUID]*dirEntry
 	// bySet keeps a fairness-ordered list of GUIDs per locality set: a
 	// selected peer moves to the tail ("when a peer is selected, it is
-	// placed at the end of a peer selection list for fairness").
+	// placed at the end of a peer selection list for fairness"). Lists may
+	// carry tombstoned GUIDs; readers must check the entry's dead flag.
 	bySet map[geo.SetKey][]id.GUID
+	// dead counts tombstoned entries still present in entries/bySet.
+	dead int
+}
+
+func (oe *objectEntry) live() int { return len(oe.entries) - oe.dead }
+
+// compact removes every tombstoned GUID from the fairness lists and the
+// entry map. Relative order of surviving GUIDs is preserved, so fairness
+// rotation state carries across compactions.
+func (oe *objectEntry) compact() {
+	for key, list := range oe.bySet {
+		keep := list[:0]
+		for _, g := range list {
+			if de := oe.entries[g]; de != nil && !de.dead {
+				keep = append(keep, g)
+			}
+		}
+		if len(keep) == 0 {
+			delete(oe.bySet, key)
+		} else {
+			oe.bySet[key] = keep
+		}
+	}
+	for g, de := range oe.entries {
+		if de.dead {
+			delete(oe.entries, g)
+		}
+	}
+	oe.dead = 0
 }
 
 // NewDirectory creates an empty directory for a region.
@@ -70,25 +113,49 @@ func (d *Directory) Region() geo.NetworkRegion { return d.region }
 // Register adds or refreshes a peer's registration for an object. Peers
 // appear here only when uploads are enabled and they hold content (§3.6);
 // enforcing that is the caller's (CN's) job.
+//
+// A re-registration with a changed geo record — a mobile peer that logged in
+// from a different network (§6) — moves the peer's locality membership:
+// its GUID leaves the lists of the old sets and joins the new ones.
 func (d *Directory) Register(obj content.ObjectID, e Entry) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	oe := d.objects[obj]
 	if oe == nil {
 		oe = &objectEntry{
-			entries: make(map[id.GUID]*Entry),
+			entries: make(map[id.GUID]*dirEntry),
 			bySet:   make(map[geo.SetKey][]id.GUID),
 		}
 		d.objects[obj] = oe
 	}
 	g := e.Info.GUID
-	if _, known := oe.entries[g]; !known {
-		for _, key := range geo.SetsFor(e.Rec) {
+	sets := geo.SetsFor(e.Rec)
+	de := oe.entries[g]
+	switch {
+	case de == nil:
+		de = &dirEntry{listed: sets}
+		oe.entries[g] = de
+		for _, key := range sets {
 			oe.bySet[key] = append(oe.bySet[key], g)
 		}
+	default:
+		if de.dead {
+			de.dead = false
+			oe.dead--
+		}
+		if de.listed != sets {
+			// The peer moved: re-home its GUID eagerly so selection from
+			// the old locality never offers it again.
+			for _, key := range de.listed {
+				oe.bySet[key] = removeGUID(oe.bySet[key], g)
+			}
+			for _, key := range sets {
+				oe.bySet[key] = append(oe.bySet[key], g)
+			}
+			de.listed = sets
+		}
 	}
-	cp := e
-	oe.entries[g] = &cp
+	de.e = e
 	if d.peerObjects[g] == nil {
 		d.peerObjects[g] = make(map[content.ObjectID]bool)
 	}
@@ -102,27 +169,32 @@ func (d *Directory) Unregister(obj content.ObjectID, g id.GUID) {
 	d.unregisterLocked(obj, g)
 }
 
+// unregisterLocked tombstones a registration. The GUID is left in the
+// fairness lists (selection skips tombstones); once tombstones outnumber
+// live entries the object is compacted in one linear sweep, keeping the
+// amortized cost of a departure O(1) instead of O(set size).
 func (d *Directory) unregisterLocked(obj content.ObjectID, g id.GUID) {
 	oe := d.objects[obj]
 	if oe == nil {
 		return
 	}
-	e := oe.entries[g]
-	if e == nil {
+	de := oe.entries[g]
+	if de == nil || de.dead {
 		return
 	}
-	delete(oe.entries, g)
-	for _, key := range geo.SetsFor(e.Rec) {
-		oe.bySet[key] = removeGUID(oe.bySet[key], g)
-	}
-	if len(oe.entries) == 0 {
-		delete(d.objects, obj)
-	}
+	de.dead = true
+	oe.dead++
 	if po := d.peerObjects[g]; po != nil {
 		delete(po, obj)
 		if len(po) == 0 {
 			delete(d.peerObjects, g)
 		}
+	}
+	switch live := oe.live(); {
+	case live == 0:
+		delete(d.objects, obj)
+	case oe.dead > live:
+		oe.compact()
 	}
 }
 
@@ -144,8 +216,8 @@ func (d *Directory) Expire(nowMs, ttlMs int64) int {
 	defer d.mu.Unlock()
 	purged := 0
 	for obj, oe := range d.objects {
-		for g, e := range oe.entries {
-			if nowMs-e.RegisteredMs > ttlMs {
+		for g, de := range oe.entries {
+			if !de.dead && nowMs-de.e.RegisteredMs > ttlMs {
 				d.unregisterLocked(obj, g)
 				purged++
 			}
@@ -163,7 +235,7 @@ func (d *Directory) Copies(obj content.ObjectID) int {
 	if oe == nil {
 		return 0
 	}
-	return len(oe.entries)
+	return oe.live()
 }
 
 // Objects returns the number of distinct objects with at least one

@@ -2,6 +2,7 @@ package selection
 
 import (
 	"math/rand"
+	"sync"
 
 	"netsession/internal/content"
 	"netsession/internal/geo"
@@ -53,12 +54,77 @@ type Query struct {
 	NowMs         int64
 	// Max overrides Policy.MaxPeers when positive.
 	Max int
-	// Rand drives the diversity mechanism; required.
+	// Rand drives the diversity mechanism; required. It is only used
+	// outside the directory's lock, so a per-caller Rand needs no extra
+	// synchronization.
 	Rand *rand.Rand
+}
+
+// candidate is the selector's private copy of one live registration.
+// Directory entries are mutated in place by re-registration, so the walk
+// works on copies, never on shared pointers.
+type candidate struct {
+	info  protocol.PeerInfo
+	regMs int64
+}
+
+// rotation records one fairness move (taken peer → tail of its level's
+// list), applied in one batch after the walk.
+type rotation struct {
+	level int8
+	g     id.GUID
+}
+
+// levelState is one locality level's lazily materialized view: the GUID
+// list is copied whole on first touch (a flat memcpy), but entries are
+// resolved into candidates in chunks, on demand — a walk that fills its
+// quota from the head of a 10k-peer world set never pays for the tail.
+type levelState struct {
+	guids []id.GUID
+	cands []candidate
+	// next is the first unresolved index into guids.
+	next  int
+	haveG bool
+}
+
+// snapshotChunk is how many GUIDs one locked section resolves; large enough
+// that a typical query locks each touched level once or twice, small enough
+// that a full miss over a big set stays incremental.
+const snapshotChunk = 64
+
+// selScratch is the reusable working set of one Select call. Pooled so the
+// steady-state cost of a query is one allocation (the returned slice).
+type selScratch struct {
+	levels [4]levelState
+	chosen []id.GUID
+	rots   []rotation
+	out    []protocol.PeerInfo
+}
+
+var selPool = sync.Pool{New: func() any { return new(selScratch) }}
+
+func (sc *selScratch) release() {
+	for i := range sc.levels {
+		lv := &sc.levels[i]
+		lv.guids = lv.guids[:0]
+		lv.cands = lv.cands[:0]
+		lv.next = 0
+		lv.haveG = false
+	}
+	sc.chosen = sc.chosen[:0]
+	sc.rots = sc.rots[:0]
+	sc.out = sc.out[:0]
+	selPool.Put(sc)
 }
 
 // Select returns up to Max suitable peers for the query under the given
 // policy. The result order is the order peers should be tried in.
+//
+// The directory lock is held only for candidate snapshotting (GUID-list
+// copies and chunked entry resolution) and for the final batch of fairness
+// rotations; the walk itself — filtering, diversity draws from q.Rand —
+// runs unlocked on the snapshots, so a slow or randomness-heavy query never
+// serializes the directory's writers.
 func (d *Directory) Select(p Policy, q Query) []protocol.PeerInfo {
 	max := p.MaxPeers
 	if q.Max > 0 && q.Max < max {
@@ -67,95 +133,158 @@ func (d *Directory) Select(p Policy, q Query) []protocol.PeerInfo {
 	if max <= 0 {
 		return nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	oe := d.objects[q.Object]
-	if oe == nil {
-		return nil
+	sc := selPool.Get().(*selScratch)
+	sets := geo.SetsFor(q.Requester)
+	if p.LocalityAware {
+		d.selectLocality(sc, p, q, max, sets)
+	} else {
+		d.selectRandom(sc, p, q, max, sets[3])
 	}
-	if !p.LocalityAware {
-		return d.selectRandomLocked(oe, p, q, max)
-	}
-
-	chosen := make(map[id.GUID]bool, max)
 	var out []protocol.PeerInfo
-	take := func(g id.GUID) bool {
-		e := oe.entries[g]
-		if e == nil || chosen[g] || g == q.RequesterGUID {
+	if len(sc.out) > 0 {
+		out = append(out, sc.out...)
+	}
+	sc.release()
+	return out
+}
+
+// selectLocality walks the nested locality sets most specific first,
+// spilling to wider sets until the quota is met, with the paper's
+// probabilistic diversity picks from less specific sets.
+func (d *Directory) selectLocality(sc *selScratch, p Policy, q Query, max int, sets [4]geo.SetKey) {
+	take := func(c candidate, level int) bool {
+		g := c.info.GUID
+		if g == q.RequesterGUID {
 			return false
 		}
-		if p.SoftStateTTLMs > 0 && q.NowMs-e.RegisteredMs > p.SoftStateTTLMs {
+		for _, ch := range sc.chosen {
+			if ch == g {
+				return false
+			}
+		}
+		if p.SoftStateTTLMs > 0 && q.NowMs-c.regMs > p.SoftStateTTLMs {
 			return false
 		}
-		if p.RequireNATCompat && !nat.CanConnect(q.RequesterNAT, e.Info.NAT) {
+		if p.RequireNATCompat && !nat.CanConnect(q.RequesterNAT, c.info.NAT) {
 			return false
 		}
-		chosen[g] = true
-		out = append(out, e.Info)
+		sc.chosen = append(sc.chosen, g)
+		sc.out = append(sc.out, c.info)
+		sc.rots = append(sc.rots, rotation{level: int8(level), g: g})
 		return true
 	}
 
-	sets := geo.SetsFor(q.Requester)
-	for li, key := range sets {
-		// Walk a snapshot of the fairness list from the head; every taken
-		// peer rotates to the tail of the live list for the next query.
-		list := append([]id.GUID(nil), oe.bySet[key]...)
-		for i := 0; i < len(list) && len(out) < max; i++ {
-			g := list[i]
-			if take(g) {
-				oe.bySet[key] = rotateToTail(oe.bySet[key], g)
-				// Diversity: occasionally substitute one pick from a less
-				// specific set, with probability proportional to that
-				// set's specificity.
-				for _, wider := range sets[li+1:] {
-					if len(out) >= max {
-						break
-					}
-					if q.Rand.Float64() < p.DiversityProb*wider.Level.Specificity() {
-						wlist := oe.bySet[wider]
-						for _, wg := range wlist {
-							if take(wg) {
-								oe.bySet[wider] = rotateToTail(oe.bySet[wider], wg)
-								break
-							}
+	for li := 0; li < len(sets) && len(sc.out) < max; li++ {
+		for idx := 0; len(sc.out) < max; idx++ {
+			list := d.fillLevel(sc, q.Object, sets[li], li, idx+1)
+			if idx >= len(list) {
+				break
+			}
+			if !take(list[idx], li) {
+				continue
+			}
+			// Diversity: occasionally add one pick from a less specific
+			// set, with probability proportional to its specificity.
+			for wi := li + 1; wi < len(sets); wi++ {
+				if len(sc.out) >= max {
+					break
+				}
+				if q.Rand.Float64() < p.DiversityProb*sets[wi].Level.Specificity() {
+					for widx := 0; ; widx++ {
+						wlist := d.fillLevel(sc, q.Object, sets[wi], wi, widx+1)
+						if widx >= len(wlist) {
+							break
+						}
+						if take(wlist[widx], wi) {
+							break
 						}
 					}
 				}
 			}
 		}
-		if len(out) >= max {
-			break
-		}
 	}
-	return out
+	d.applyRotations(q.Object, sets, sc.rots)
 }
 
-// selectRandomLocked is the baseline selector: a uniformly random subset of
+// selectRandom is the baseline selector: a uniformly random subset of
 // compatible holders, ignoring locality. Used to quantify how much the
 // locality-aware strategy matters (ablation benches; cf. the discussion of
 // locality-aware selection reducing cross-ISP traffic in §7).
-func (d *Directory) selectRandomLocked(oe *objectEntry, p Policy, q Query, max int) []protocol.PeerInfo {
-	world := oe.bySet[geo.SetKey{Level: geo.LevelWorld, Value: "world"}]
-	perm := q.Rand.Perm(len(world))
-	var out []protocol.PeerInfo
-	for _, ix := range perm {
-		g := world[ix]
-		e := oe.entries[g]
-		if e == nil || g == q.RequesterGUID {
+func (d *Directory) selectRandom(sc *selScratch, p Policy, q Query, max int, world geo.SetKey) {
+	// A uniform draw needs the whole candidate set materialized.
+	list := d.fillLevel(sc, q.Object, world, 3, int(^uint(0)>>1))
+	q.Rand.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
+	for _, c := range list {
+		if c.info.GUID == q.RequesterGUID {
 			continue
 		}
-		if p.SoftStateTTLMs > 0 && q.NowMs-e.RegisteredMs > p.SoftStateTTLMs {
+		if p.SoftStateTTLMs > 0 && q.NowMs-c.regMs > p.SoftStateTTLMs {
 			continue
 		}
-		if p.RequireNATCompat && !nat.CanConnect(q.RequesterNAT, e.Info.NAT) {
+		if p.RequireNATCompat && !nat.CanConnect(q.RequesterNAT, c.info.NAT) {
 			continue
 		}
-		out = append(out, e.Info)
-		if len(out) >= max {
+		sc.out = append(sc.out, c.info)
+		if len(sc.out) >= max {
 			break
 		}
 	}
-	return out
+}
+
+// fillLevel materializes candidates for one locality level until at least
+// `want` are available or the level is exhausted, and returns the resolved
+// prefix. The first locked section copies the level's GUID list (so one
+// query sees one consistent fairness order); each locked section resolves at
+// most snapshotChunk entries, skipping tombstones and GUIDs unregistered
+// since the copy. An object that vanishes mid-query just exhausts the level.
+func (d *Directory) fillLevel(sc *selScratch, obj content.ObjectID, key geo.SetKey, li, want int) []candidate {
+	lv := &sc.levels[li]
+	for len(lv.cands) < want {
+		if lv.haveG && lv.next >= len(lv.guids) {
+			break
+		}
+		d.mu.Lock()
+		oe := d.objects[obj]
+		if oe == nil {
+			lv.haveG = true
+			lv.next = len(lv.guids)
+			d.mu.Unlock()
+			break
+		}
+		if !lv.haveG {
+			lv.guids = append(lv.guids[:0], oe.bySet[key]...)
+			lv.haveG = true
+		}
+		end := lv.next + snapshotChunk
+		if end > len(lv.guids) {
+			end = len(lv.guids)
+		}
+		for ; lv.next < end; lv.next++ {
+			if de := oe.entries[lv.guids[lv.next]]; de != nil && !de.dead {
+				lv.cands = append(lv.cands, candidate{info: de.e.Info, regMs: de.e.RegisteredMs})
+			}
+		}
+		d.mu.Unlock()
+	}
+	return lv.cands
+}
+
+// applyRotations moves every taken peer to the tail of the level list it was
+// taken from — the paper's fairness rule — in one short locked batch after
+// the walk. Peers that vanished between snapshot and apply are skipped by
+// rotateToTail's no-op.
+func (d *Directory) applyRotations(obj content.ObjectID, sets [4]geo.SetKey, rots []rotation) {
+	if len(rots) == 0 {
+		return
+	}
+	d.mu.Lock()
+	if oe := d.objects[obj]; oe != nil {
+		for _, r := range rots {
+			key := sets[r.level]
+			oe.bySet[key] = rotateToTail(oe.bySet[key], r.g)
+		}
+	}
+	d.mu.Unlock()
 }
 
 func rotateToTail(list []id.GUID, g id.GUID) []id.GUID {

@@ -1,10 +1,15 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+	"time"
+)
 
 // BenchmarkEngineEvents measures raw event-loop throughput: schedule and
 // run one million no-op events.
 func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var e Engine
 		const n = 1_000_000
@@ -13,6 +18,56 @@ func BenchmarkEngineEvents(b *testing.B) {
 		}
 		if got := e.Run(1000); got != n {
 			b.Fatalf("ran %d events", got)
+		}
+	}
+}
+
+// BenchmarkSimSmall runs the unit-test scale end to end — the bench-smoke
+// canary for whole-sim throughput and allocation regressions.
+func BenchmarkSimSmall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(SmallScenario()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimWorkers sweeps the shard worker count at experiment scale.
+// The outputs are byte-identical across the sweep (see
+// TestDeterminismAcrossWorkers); only the wall clock may differ.
+func BenchmarkSimWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultScenario()
+				cfg.Workers = w
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// xlWallBudget is the wall-clock ceiling for one XL-scale run in `make
+// bench`; blowing it means a hot-path regression, not a slow machine — the
+// budget is ~5x the post-sharding wall time on one CPU.
+const xlWallBudget = 120 * time.Second
+
+// BenchmarkSimXL runs the 60k-peer / 300k-download month — the scale target
+// of the region-sharded simulator — and fails if it exceeds the wall-clock
+// budget.
+func BenchmarkSimXL(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := Run(XLScenario()); err != nil {
+			b.Fatal(err)
+		}
+		if wall := time.Since(start); wall > xlWallBudget {
+			b.Fatalf("XL scenario took %s, budget %s", wall, xlWallBudget)
 		}
 	}
 }

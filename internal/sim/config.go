@@ -12,6 +12,13 @@ import (
 type ScenarioConfig struct {
 	Seed int64
 
+	// Workers bounds how many region shards simulate concurrently.
+	// Non-positive selects one worker per available CPU; 1 runs the shards
+	// sequentially in region order. Results are byte-identical for every
+	// worker count: shards share no mutable state and their logs are
+	// merged by (timestamp, region).
+	Workers int
+
 	// Population and workload scale (the paper's trace has 26M peers and
 	// 12.5M downloads; experiments run a proportionally smaller world).
 	NumPeers       int
@@ -149,5 +156,17 @@ func SmallScenario() ScenarioConfig {
 	cfg.TotalDownloads = 15_000
 	cfg.Catalog.FilesPerCustomer = 150
 	cfg.Atlas.TailCountries = 20
+	return cfg
+}
+
+// XLScenario is the region-sharded simulator's scale target: an order of
+// magnitude more peers than SmallScenario and three times DefaultScenario,
+// still a full month of virtual time. `make bench` runs it under a
+// wall-clock budget to catch hot-path regressions at scale.
+func XLScenario() ScenarioConfig {
+	cfg := DefaultScenario()
+	cfg.NumPeers = 60_000
+	cfg.Days = 31
+	cfg.TotalDownloads = 300_000
 	return cfg
 }

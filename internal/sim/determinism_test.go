@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"netsession/internal/analysis"
+)
+
+// TestDeterminismAcrossWorkers is the sharding contract: one seed must
+// produce byte-identical logs — downloads including per-peer attributions,
+// registrations, logins — whether the region shards run sequentially
+// (Workers=1, the reference ordering) or on a parallel worker pool, and the
+// analyses over those logs must agree to the last bit. Shards share no
+// mutable state and the merge order is a pure function of the records, so
+// worker count and goroutine scheduling must be invisible in the output.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Result {
+		return runSmall(t, func(c *ScenarioConfig) {
+			tinyScenario(c)
+			c.Workers = workers
+		})
+	}
+	headlines := func(r *Result) analysis.Headlines {
+		in := &analysis.Input{
+			Log: r.Log, Pop: r.Pop, Catalog: r.Catalog,
+			Atlas: r.Atlas, Scape: r.Scape,
+		}
+		return analysis.ComputeHeadlines(in, 5)
+	}
+
+	ref := run(1)
+	refLog := logBytes(t, ref)
+	refHead := headlines(ref)
+	if ref.Events == 0 {
+		t.Fatal("reference run executed no events")
+	}
+
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if !bytes.Equal(logBytes(t, got), refLog) {
+			t.Fatalf("workers=%d log differs from the sequential reference", workers)
+		}
+		if got.Events != ref.Events {
+			t.Fatalf("workers=%d executed %d events, reference %d", workers, got.Events, ref.Events)
+		}
+		if h := headlines(got); !reflect.DeepEqual(h, refHead) {
+			t.Fatalf("workers=%d headline numbers differ from the sequential reference:\n%+v\nvs\n%+v", workers, h, refHead)
+		}
+	}
+}

@@ -4,23 +4,28 @@
 // flow level: every download is a fluid flow fed by one edge connection and
 // up to several peer connections, each serving peer dividing its uplink
 // fairly across the downloads it serves, and each download capped by its
-// own downlink. A month of virtual time with tens of thousands of peers
+// own downlink. A month of virtual time with hundreds of thousands of peers
 // runs in seconds, which is what makes regenerating the paper's figures
 // tractable.
+//
+// The simulator is sharded by control-plane network region: peers only ever
+// interact with peers of their own region (§3.7 — CNs query only local DNs),
+// so each region runs as an independent single-goroutine event loop and the
+// per-region logs are merged deterministically afterwards.
 package sim
 
-import (
-	"container/heap"
-)
-
 // Engine is a minimal discrete-event executor over a virtual millisecond
-// clock. It is single-goroutine by design: determinism beats parallelism
-// for reproducing figures.
+// clock. Each engine instance is single-goroutine by design: determinism
+// beats intra-shard parallelism for reproducing figures. Events are stored
+// by value in a 4-ary implicit heap — no per-event heap allocation, fewer
+// levels and better cache locality than the binary container/heap it
+// replaces (the event queue of a month-scale run holds hundreds of
+// thousands of pending events).
 type Engine struct {
 	now      int64
 	seq      uint64
 	executed int
-	pq       eventQueue
+	pq       []event
 }
 
 type event struct {
@@ -29,24 +34,12 @@ type event struct {
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+// before reports heap ordering: earlier time first, FIFO within a time.
+func (a *event) before(b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Now returns the current virtual time in milliseconds.
@@ -56,13 +49,17 @@ func (e *Engine) Now() int64 { return e.now }
 // telemetry snapshots read it mid-run to compute events/sec.
 func (e *Engine) Executed() int { return e.executed }
 
+// Pending returns the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.pq) }
+
 // At schedules fn at virtual time tMs; times in the past run "now".
 func (e *Engine) At(tMs int64, fn func()) {
 	if tMs < e.now {
 		tMs = e.now
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{t: tMs, seq: e.seq, fn: fn})
+	e.pq = append(e.pq, event{t: tMs, seq: e.seq, fn: fn})
+	e.siftUp(len(e.pq) - 1)
 }
 
 // After schedules fn dMs from now.
@@ -72,14 +69,15 @@ func (e *Engine) After(dMs int64, fn func()) { e.At(e.now+dMs, fn) }
 // untilMs. It returns the number of events executed.
 func (e *Engine) Run(untilMs int64) int {
 	n := 0
-	for e.pq.Len() > 0 {
-		ev := e.pq[0]
-		if ev.t > untilMs {
+	for len(e.pq) > 0 {
+		top := &e.pq[0]
+		if top.t > untilMs {
 			break
 		}
-		heap.Pop(&e.pq)
-		e.now = ev.t
-		ev.fn()
+		e.now = top.t
+		fn := top.fn
+		e.pop()
+		fn()
 		n++
 		e.executed++
 	}
@@ -87,4 +85,58 @@ func (e *Engine) Run(untilMs int64) int {
 		e.now = untilMs
 	}
 	return n
+}
+
+// pop removes the minimum event, releasing its closure for GC.
+func (e *Engine) pop() {
+	last := len(e.pq) - 1
+	e.pq[0] = e.pq[last]
+	e.pq[last] = event{} // drop the closure reference
+	e.pq = e.pq[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+}
+
+// siftUp restores heap order from child i upward (4-ary: parent = (i-1)/4).
+func (e *Engine) siftUp(i int) {
+	ev := e.pq[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(&e.pq[p]) {
+			break
+		}
+		e.pq[i] = e.pq[p]
+		i = p
+	}
+	e.pq[i] = ev
+}
+
+// siftDown restores heap order from parent i downward
+// (4-ary: children = 4i+1 … 4i+4).
+func (e *Engine) siftDown(i int) {
+	n := len(e.pq)
+	ev := e.pq[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.pq[c].before(&e.pq[best]) {
+				best = c
+			}
+		}
+		if !e.pq[best].before(&ev) {
+			break
+		}
+		e.pq[i] = e.pq[best]
+		i = best
+	}
+	e.pq[i] = ev
 }

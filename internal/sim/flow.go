@@ -4,7 +4,6 @@ import (
 	"netsession/internal/accounting"
 	"netsession/internal/content"
 	"netsession/internal/core"
-	"netsession/internal/id"
 	"netsession/internal/protocol"
 	"netsession/internal/selection"
 	"netsession/internal/trace"
@@ -20,7 +19,7 @@ type dl struct {
 	lastAccrual int64
 	total       float64
 	bytesInfra  float64
-	servers     []*srcLink
+	servers     []srcLink
 
 	peersReturned int
 	p2p           bool
@@ -33,6 +32,11 @@ type dl struct {
 	epoch     uint64 // invalidates stale completion events
 	requeries int
 	finished  bool
+
+	// mark is the shard's affected-set epoch stamp; a dl whose mark equals
+	// the shard's current generation is already in the scratch set. This
+	// replaces the map[*dl]bool sets the inner loop used to allocate.
+	mark uint64
 }
 
 type srcLink struct {
@@ -42,53 +46,68 @@ type srcLink struct {
 
 func (d *dl) bytesPeers() float64 {
 	t := 0.0
-	for _, l := range d.servers {
-		t += l.bytes
+	for i := range d.servers {
+		t += d.servers[i].bytes
 	}
 	return t
 }
 
 func (d *dl) done() float64 { return d.bytesInfra + d.bytesPeers() }
 
+// removeServer splices one serving peer out of the download's source list,
+// preserving order.
+func (d *dl) removeServer(sp *simPeer) {
+	for i := range d.servers {
+		if d.servers[i].server == sp {
+			d.servers = append(d.servers[:i], d.servers[i+1:]...)
+			return
+		}
+	}
+}
+
 // rates returns the current fluid allocation in bytes/ms: the edge share
 // and the per-server shares, jointly capped by the downloader's downlink.
-// The arithmetic lives in internal/core; this assembles the offers.
-func (s *Sim) rates(d *dl) (edge float64, per []float64, total float64) {
-	if s.cfg.BackstopEnabled {
+// The arithmetic lives in internal/core; this assembles the offers. The
+// returned slice aliases shard scratch and is valid until the next rates
+// call on this shard.
+func (sh *shard) rates(d *dl) (edge float64, per []float64, total float64) {
+	if sh.cfg.BackstopEnabled {
 		if len(d.servers) == 0 {
 			// No peers serving: the DLM behaves like a plain multi-
 			// connection download manager against the edge.
-			edge = mbpsToBytesPerMs(s.cfg.EdgeOnlyMbps)
+			edge = mbpsToBytesPerMs(sh.cfg.EdgeOnlyMbps)
 		} else {
-			edge = mbpsToBytesPerMs(s.cfg.EdgePerConnMbps)
+			edge = mbpsToBytesPerMs(sh.cfg.EdgePerConnMbps)
 		}
 	}
-	offers := make([]float64, len(d.servers))
-	for i, l := range d.servers {
-		offers[i] = core.FairShareOffer(
-			bpsToBytesPerMs(l.server.spec.UpBps), len(l.server.serving))
+	offers := sh.offers[:0]
+	for i := range d.servers {
+		l := &d.servers[i]
+		offers = append(offers, core.FairShareOffer(
+			bpsToBytesPerMs(l.server.spec.UpBps), len(l.server.serving)))
 	}
-	a := core.Allocate(edge, offers, bpsToBytesPerMs(d.peer.spec.DownBps))
+	sh.offers = offers
+	a := core.AllocateInto(sh.alloc[:0], edge, offers, bpsToBytesPerMs(d.peer.spec.DownBps))
+	sh.alloc = a.PerSource
 	return a.Edge, a.PerSource, a.Total
 }
 
 // accrue advances a download's byte counters to virtual now at the current
 // rates. Callers must accrue every affected download BEFORE any mutation
 // that changes rates.
-func (s *Sim) accrue(d *dl) {
-	now := s.eng.Now()
+func (sh *shard) accrue(d *dl) {
+	now := sh.eng.Now()
 	dt := float64(now - d.lastAccrual)
 	d.lastAccrual = now
 	if dt <= 0 || d.finished {
 		return
 	}
-	edge, per, _ := s.rates(d)
+	edge, per, _ := sh.rates(d)
 	dEdge := edge * dt
-	dPer := make([]float64, len(per))
 	sum := dEdge
 	for i := range per {
-		dPer[i] = per[i] * dt
-		sum += dPer[i]
+		per[i] *= dt // scratch slice: rescale in place to byte deltas
+		sum += per[i]
 	}
 	if sum <= 0 {
 		return
@@ -98,142 +117,156 @@ func (s *Sim) accrue(d *dl) {
 	if remaining := d.total - d.done(); sum > remaining {
 		f := remaining / sum
 		dEdge *= f
-		for i := range dPer {
-			dPer[i] *= f
+		for i := range per {
+			per[i] *= f
 		}
 	}
 	d.bytesInfra += dEdge
-	for i := range dPer {
-		d.servers[i].bytes += dPer[i]
+	for i := range per {
+		d.servers[i].bytes += per[i]
 	}
 }
 
-// affectedBy returns all downloads whose rates depend on any of the given
-// peers' serving sets.
-func (s *Sim) affectedBy(peers ...*simPeer) map[*dl]bool {
-	out := make(map[*dl]bool)
-	for _, p := range peers {
-		for d := range p.serving {
-			out[d] = true
-		}
-	}
-	return out
+// beginAffected starts a new affected-download set in the shard's scratch
+// slice. Membership is tracked by stamping each dl with the current
+// generation, so building and clearing the set allocates nothing and
+// iteration order is deterministic (insertion order).
+func (sh *shard) beginAffected() {
+	sh.markGen++
+	sh.affected = sh.affected[:0]
 }
 
-// accrueAll accrues a set of downloads.
-func (s *Sim) accrueAll(set map[*dl]bool) {
-	for d := range set {
-		s.accrue(d)
+// addAffected inserts one download into the current affected set.
+func (sh *shard) addAffected(d *dl) {
+	if d.mark == sh.markGen {
+		return
+	}
+	d.mark = sh.markGen
+	sh.affected = append(sh.affected, d)
+}
+
+// excludeAffected stamps a download without inserting it, so later
+// addAffected calls skip it.
+func (sh *shard) excludeAffected(d *dl) { d.mark = sh.markGen }
+
+// addServingOf inserts every download a peer is currently serving.
+func (sh *shard) addServingOf(p *simPeer) {
+	for _, d := range p.serving {
+		sh.addAffected(d)
 	}
 }
 
-// reschedule recomputes the completion event for each download in the set.
-func (s *Sim) reschedule(set map[*dl]bool) {
-	for d := range set {
-		s.scheduleCompletion(d)
+// accrueAffected accrues the current affected set.
+func (sh *shard) accrueAffected() {
+	for _, d := range sh.affected {
+		sh.accrue(d)
 	}
 }
 
-func (s *Sim) scheduleCompletion(d *dl) {
+// rescheduleAffected recomputes the completion event for the affected set.
+func (sh *shard) rescheduleAffected() {
+	for _, d := range sh.affected {
+		sh.scheduleCompletion(d)
+	}
+}
+
+func (sh *shard) scheduleCompletion(d *dl) {
 	if d.finished {
 		return
 	}
 	d.epoch++
 	epoch := d.epoch
-	_, _, rate := s.rates(d)
+	_, _, rate := sh.rates(d)
 	if rate <= 0 {
 		// Stalled (pure-p2p mode with no sources): retry peer discovery
 		// shortly; the abort clock may fire first.
-		s.eng.After(60_000, func() {
+		sh.eng.After(60_000, func() {
 			if !d.finished && d.epoch == epoch {
-				s.refreshServers(d)
+				sh.refreshServers(d)
 			}
 		})
 		return
 	}
 	remainMs := int64((d.total-d.done())/rate) + 1
-	s.eng.After(remainMs, func() {
+	sh.eng.After(remainMs, func() {
 		if d.finished || d.epoch != epoch {
 			return
 		}
-		s.accrue(d)
+		sh.accrue(d)
 		if d.done() >= d.total-1 {
-			s.finishDownload(d, protocol.OutcomeCompleted)
+			sh.finishDownload(d, protocol.OutcomeCompleted)
 		} else {
-			s.scheduleCompletion(d)
+			sh.scheduleCompletion(d)
 		}
 	})
 }
 
 // startDownload handles one workload request.
-func (s *Sim) startDownload(req trace.Request) {
-	p := s.peers[req.PeerIndex]
+func (sh *shard) startDownload(req trace.Request) {
+	p := sh.allPeers[req.PeerIndex]
 	// The user is at the machine: force presence.
-	s.setOnline(p)
+	sh.setOnline(p)
 
 	obj := req.File.Object
 	d := &dl{
 		req: req, peer: p, obj: obj,
-		startMs: s.eng.Now(), lastAccrual: s.eng.Now(),
+		startMs: sh.eng.Now(), lastAccrual: sh.eng.Now(),
 		total: float64(obj.Size),
 		p2p:   obj.P2PEnabled,
 	}
-	// Outcome pre-draws (§5.2).
+	// Outcome pre-draws (§5.2), from the shard's own stream.
 	d.abortAtMs = -1
-	if s.rng.Float64() < s.cfg.ImmediateAbortProb {
-		d.abortAtMs = d.startMs + int64(s.rng.Float64()*60_000)
-	} else if s.cfg.AbortRatePerHour > 0 {
-		d.abortAtMs = d.startMs + expMs(s.rng, 1/s.cfg.AbortRatePerHour)
+	if sh.rng.Float64() < sh.cfg.ImmediateAbortProb {
+		d.abortAtMs = d.startMs + int64(sh.rng.Float64()*60_000)
+	} else if sh.cfg.AbortRatePerHour > 0 {
+		d.abortAtMs = d.startMs + expMs(sh.rng, 1/sh.cfg.AbortRatePerHour)
 	}
-	d.failOther = s.rng.Float64() < s.cfg.FailOtherProb
-	sysProb := s.cfg.FailSystemInfra
+	d.failOther = sh.rng.Float64() < sh.cfg.FailOtherProb
+	sysProb := sh.cfg.FailSystemInfra
 	if d.p2p {
-		sysProb = s.cfg.FailSystemP2P
+		sysProb = sh.cfg.FailSystemP2P
 	}
-	d.failSystem = s.rng.Float64() < sysProb
+	d.failSystem = sh.rng.Float64() < sysProb
 
-	p.downloading[d] = true
-	s.metrics.started.Inc()
-	s.activeFlows++
-	s.metrics.activeFlows.Set(float64(s.activeFlows))
+	p.downloading = append(p.downloading, d)
+	sh.metrics.started.Inc()
+	sh.activeFlows++
 	if d.p2p {
-		s.p2pAttempted++
-		s.attachInitialServers(d)
-		s.scheduleRequery(d)
+		sh.p2pAttempted++
+		sh.attachInitialServers(d)
+		sh.scheduleRequery(d)
 	}
 	if d.abortAtMs >= 0 {
-		at := d.abortAtMs
-		s.eng.At(at, func() {
+		sh.eng.At(d.abortAtMs, func() {
 			if !d.finished {
-				s.accrue(d)
-				s.finishDownload(d, protocol.OutcomeAborted)
+				sh.accrue(d)
+				sh.finishDownload(d, protocol.OutcomeAborted)
 			}
 		})
 	}
-	s.scheduleCompletion(d)
+	sh.scheduleCompletion(d)
 }
 
 // attachInitialServers queries the (region-local) directory and connects up
 // to MaxServersPerDownload compatible peers.
-func (s *Sim) attachInitialServers(d *dl) {
-	dir := s.dirs[d.peer.region]
-	cands := dir.Select(s.cfg.Policy, selection.Query{
+func (sh *shard) attachInitialServers(d *dl) {
+	cands := sh.dir.Select(sh.cfg.Policy, selection.Query{
 		Object:        d.obj.ID,
 		Requester:     d.peer.spec.Home,
 		RequesterGUID: d.peer.spec.GUID,
 		RequesterNAT:  d.peer.spec.NAT,
-		NowMs:         s.eng.Now(),
-		Rand:          s.rng,
+		NowMs:         sh.eng.Now(),
+		Rand:          sh.rng,
 	})
 	d.peersReturned = len(cands)
-	s.connectCandidates(d, cands)
+	sh.connectCandidates(d, cands)
 }
 
 // scheduleRequery keeps long-running swarms fed: "if connections to some of
 // these peers cannot be established, additional queries are issued until a
 // sufficient number of peer connections succeed" (§3.7). Fresh copies that
 // registered since the first query also join this way.
-func (s *Sim) scheduleRequery(d *dl) {
+func (sh *shard) scheduleRequery(d *dl) {
 	// Requeries are capped: each costs directory work and rate
 	// recomputation across the swarm, and in practice a download that has
 	// not found peers after a handful of attempts will not.
@@ -241,140 +274,144 @@ func (s *Sim) scheduleRequery(d *dl) {
 		return
 	}
 	d.requeries++
-	s.eng.After(10*60_000, func() {
+	sh.eng.After(10*60_000, func() {
 		if d.finished {
 			return
 		}
-		if len(d.servers) < s.cfg.MaxServersPerDownload/4 {
-			s.attachInitialServersKeepCount(d)
+		if len(d.servers) < sh.cfg.MaxServersPerDownload/4 {
+			sh.attachInitialServersKeepCount(d)
 		}
-		s.scheduleRequery(d)
+		sh.scheduleRequery(d)
 	})
 }
 
 // refreshServers re-queries when a download has no sources (pure-p2p mode).
-func (s *Sim) refreshServers(d *dl) {
+func (sh *shard) refreshServers(d *dl) {
 	if d.finished || len(d.servers) > 0 {
 		return
 	}
-	s.attachInitialServersKeepCount(d)
-	s.scheduleCompletion(d)
+	sh.attachInitialServersKeepCount(d)
+	sh.scheduleCompletion(d)
 }
 
-func (s *Sim) attachInitialServersKeepCount(d *dl) {
+func (sh *shard) attachInitialServersKeepCount(d *dl) {
 	// Like attachInitialServers but preserves the Figure 6 "initially
 	// returned" count from the first query.
-	dir := s.dirs[d.peer.region]
-	cands := dir.Select(s.cfg.Policy, selection.Query{
+	cands := sh.dir.Select(sh.cfg.Policy, selection.Query{
 		Object:        d.obj.ID,
 		Requester:     d.peer.spec.Home,
 		RequesterGUID: d.peer.spec.GUID,
 		RequesterNAT:  d.peer.spec.NAT,
-		NowMs:         s.eng.Now(),
-		Rand:          s.rng,
+		NowMs:         sh.eng.Now(),
+		Rand:          sh.rng,
 	})
-	s.connectCandidates(d, cands)
+	sh.connectCandidates(d, cands)
 }
 
-func (s *Sim) connectCandidates(d *dl, cands []protocol.PeerInfo) {
-	attached := make([]*simPeer, 0, s.cfg.MaxServersPerDownload)
+func (sh *shard) connectCandidates(d *dl, cands []protocol.PeerInfo) {
+	attached := sh.attach[:0]
 	for _, c := range cands {
-		if len(d.servers)+len(attached) >= s.cfg.MaxServersPerDownload {
+		if len(d.servers)+len(attached) >= sh.cfg.MaxServersPerDownload {
 			break
 		}
-		sp := s.peerByGUID(c.GUID)
+		sp := sh.peerByGUID(c.GUID)
 		if sp == nil || !sp.online || !sp.uploadsEnabled || sp == d.peer {
 			continue
 		}
-		if sp.serving[d] {
+		if sp.isServing(d) {
 			continue // already serving this download
 		}
-		if s.cfg.MaxUploadConnsPerPeer > 0 && len(sp.serving) >= s.cfg.MaxUploadConnsPerPeer {
+		if sh.cfg.MaxUploadConnsPerPeer > 0 && len(sp.serving) >= sh.cfg.MaxUploadConnsPerPeer {
 			continue // the peer's global upload-connection limit (§3.4)
 		}
-		if s.rng.Float64() < s.cfg.ConnFailureProb {
+		if sh.rng.Float64() < sh.cfg.ConnFailureProb {
 			continue // "if connections to some of these peers cannot be established..."
 		}
-		if s.cfg.PerObjectUploadCap > 0 && sp.perObjectUploads[d.obj.ID] >= s.cfg.PerObjectUploadCap {
+		if sh.cfg.PerObjectUploadCap > 0 && sp.perObjectUploads[d.obj.ID] >= sh.cfg.PerObjectUploadCap {
 			// Upload cap reached: the peer stops serving this object
 			// (§3.9) and leaves the directory for it.
-			s.dirs[sp.region].Unregister(d.obj.ID, sp.spec.GUID)
+			sh.dir.Unregister(d.obj.ID, sp.spec.GUID)
 			continue
 		}
 		attached = append(attached, sp)
 	}
+	sh.attach = attached
 	if len(attached) == 0 {
 		return
 	}
 	// Rates of everything these servers already serve will change.
-	affected := s.affectedBy(attached...)
-	affected[d] = true
-	s.accrueAll(affected)
+	sh.beginAffected()
 	for _, sp := range attached {
-		sp.serving[d] = true
-		sp.perObjectUploads[d.obj.ID]++
-		d.servers = append(d.servers, &srcLink{server: sp})
-		s.maybeKillServer(d, sp)
+		sh.addServingOf(sp)
 	}
-	s.reschedule(affected)
+	sh.addAffected(d)
+	sh.accrueAffected()
+	for _, sp := range attached {
+		sp.serving = append(sp.serving, d)
+		sp.perObjectUploads[d.obj.ID]++
+		d.servers = append(d.servers, srcLink{server: sp})
+		sh.maybeKillServer(d, sp)
+	}
+	sh.rescheduleAffected()
 }
 
 // maybeKillServer is the simulator's fault layer: with probability
 // ServerFailProb a freshly attached serving peer is scheduled to crash at a
 // uniform point in the next ten minutes, forcing the download onto its
 // remaining peers and the edge backstop (§3.3). All draws come from the
-// dedicated fault RNG so the base scenario stream is untouched.
-func (s *Sim) maybeKillServer(d *dl, sp *simPeer) {
-	if !s.cfg.Faults.Enabled() {
+// shard's dedicated fault RNG so the base scenario stream is untouched.
+func (sh *shard) maybeKillServer(d *dl, sp *simPeer) {
+	if !sh.cfg.Faults.Enabled() {
 		return
 	}
-	if s.faultRng.Float64() >= s.cfg.Faults.ServerFailProb {
+	if sh.faultRng.Float64() >= sh.cfg.Faults.ServerFailProb {
 		return
 	}
-	delay := int64(s.faultRng.Float64()*600_000) + 1
-	s.eng.After(delay, func() {
-		if d.finished || !sp.serving[d] || !sp.online {
+	delay := int64(sh.faultRng.Float64()*600_000) + 1
+	sh.eng.After(delay, func() {
+		if d.finished || !sp.isServing(d) || !sp.online {
 			return
 		}
-		s.metrics.faultsInjected.Inc()
-		s.setOffline(sp)
+		sh.metrics.faultsInjected.Inc()
+		sh.setOffline(sp)
 	})
 }
 
-// detachServer removes a serving peer from a download (server churn).
-func (s *Sim) detachServer(d *dl, sp *simPeer) {
-	if d.finished {
-		delete(sp.serving, d)
+// detachAll removes a departing peer from every download it serves (server
+// churn): accrue everything it affects at the old rates, drop the links,
+// then reschedule the survivors at their new, faster rates.
+func (sh *shard) detachAll(p *simPeer) {
+	if len(p.serving) == 0 {
 		return
 	}
-	affected := s.affectedBy(sp)
-	s.accrueAll(affected)
-	delete(sp.serving, d)
-	for i, l := range d.servers {
-		if l.server == sp {
-			d.servers = append(d.servers[:i], d.servers[i+1:]...)
-			break
+	sh.beginAffected()
+	sh.addServingOf(p)
+	sh.accrueAffected()
+	for _, d := range p.serving {
+		if !d.finished {
+			d.removeServer(p)
 		}
 	}
-	s.reschedule(affected)
+	p.serving = p.serving[:0]
+	sh.rescheduleAffected()
 }
 
 // finishDownload moves a download to a terminal state, emits the log
 // record, and releases its server capacity.
-func (s *Sim) finishDownload(d *dl, outcome protocol.Outcome) {
+func (sh *shard) finishDownload(d *dl, outcome protocol.Outcome) {
 	if d.finished {
 		return
 	}
 	// Retrofit rare failures onto would-be completions: a constant
 	// per-download probability, truncating the transfer at a uniform
 	// point (§5.2's "other causes (e.g., the user's disk is full)").
-	endMs := s.eng.Now()
+	endMs := sh.eng.Now()
 	if outcome == protocol.OutcomeCompleted && (d.failOther || d.failSystem) {
-		u := 0.1 + 0.9*s.rng.Float64()
+		u := 0.1 + 0.9*sh.rng.Float64()
 		endMs = d.startMs + int64(u*float64(endMs-d.startMs))
 		d.bytesInfra *= u
-		for _, l := range d.servers {
-			l.bytes *= u
+		for i := range d.servers {
+			d.servers[i].bytes *= u
 		}
 		if d.failSystem {
 			outcome = protocol.OutcomeFailedSystem
@@ -386,22 +423,20 @@ func (s *Sim) finishDownload(d *dl, outcome protocol.Outcome) {
 	d.epoch++
 
 	// Free server capacity; remaining downloads on those servers speed up.
-	servers := make([]*simPeer, 0, len(d.servers))
-	for _, l := range d.servers {
-		servers = append(servers, l.server)
+	sh.beginAffected()
+	sh.excludeAffected(d)
+	for i := range d.servers {
+		sh.addServingOf(d.servers[i].server)
 	}
-	affected := s.affectedBy(servers...)
-	delete(affected, d)
-	s.accrueAll(affected)
-	for _, sp := range servers {
-		delete(sp.serving, d)
+	sh.accrueAffected()
+	for i := range d.servers {
+		d.servers[i].server.removeServing(d)
 	}
-	s.reschedule(affected)
-	delete(d.peer.downloading, d)
-	s.activeFlows--
-	s.finishedFlows++
-	s.metrics.activeFlows.Set(float64(s.activeFlows))
-	s.metrics.byOutcome[outcome].Inc()
+	sh.rescheduleAffected()
+	d.peer.removeDownloading(d)
+	sh.activeFlows--
+	sh.finishedFlows++
+	sh.metrics.byOutcome[outcome].Inc()
 
 	rec := accounting.DownloadRecord{
 		GUID:          d.peer.spec.GUID,
@@ -418,7 +453,8 @@ func (s *Sim) finishDownload(d *dl, outcome protocol.Outcome) {
 		Outcome:       outcome,
 		PeersReturned: d.peersReturned,
 	}
-	for _, l := range d.servers {
+	for i := range d.servers {
+		l := &d.servers[i]
 		if l.bytes <= 0 {
 			continue
 		}
@@ -426,21 +462,9 @@ func (s *Sim) finishDownload(d *dl, outcome protocol.Outcome) {
 			GUID: l.server.spec.GUID, IP: l.server.spec.Home.IP, Bytes: int64(l.bytes),
 		})
 	}
-	s.collector.AddDownload(rec)
+	sh.log.downloads = append(sh.log.downloads, stampedDownload{at: sh.eng.Now(), rec: rec})
 
 	if outcome == protocol.OutcomeCompleted {
-		s.completeCache(d.peer, d.obj.ID)
+		sh.completeCache(d.peer, d.obj.ID)
 	}
-}
-
-// peerByGUID finds the simPeer for a GUID. Directories store GUIDs; the sim
-// keeps a lazily built index.
-func (s *Sim) peerByGUID(g id.GUID) *simPeer {
-	if s.guidIx == nil {
-		s.guidIx = make(map[id.GUID]*simPeer, len(s.peers))
-		for _, p := range s.peers {
-			s.guidIx[p.spec.GUID] = p
-		}
-	}
-	return s.guidIx[g]
 }

@@ -3,27 +3,24 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"netsession/internal/accounting"
 	"netsession/internal/content"
 	"netsession/internal/geo"
-	"netsession/internal/id"
 	"netsession/internal/protocol"
 	"netsession/internal/selection"
 	"netsession/internal/telemetry"
 	"netsession/internal/trace"
 )
 
-// Sim is one simulation run in progress.
+// Sim is one simulation run in progress: the shared generation artifacts
+// plus one independent shard per control-plane network region.
 type Sim struct {
 	cfg ScenarioConfig
-	eng Engine
-	rng *rand.Rand
-	// faultRng feeds the fault-injection layer only. Keeping it separate
-	// from the scenario stream means a disabled fault layer makes zero
-	// draws, so base results stay byte-identical.
-	faultRng *rand.Rand
 
 	atlas *geo.Atlas
 	scape *geo.EdgeScape
@@ -31,22 +28,19 @@ type Sim struct {
 	cat   *trace.Catalog
 	reqs  []trace.Request
 
-	dirs      [geo.NumRegions]*selection.Directory
-	collector *accounting.Collector
-
-	peers  []*simPeer
-	guidIx map[id.GUID]*simPeer
+	shards []*shard
+	// peers holds every simulated peer, indexed like pop.Peers; each peer
+	// is mutated only by its owning region's shard.
+	peers []*simPeer
 
 	metrics   *simMetrics
 	wallStart time.Time
-
-	// stats
-	p2pAttempted  int
-	activeFlows   int
-	finishedFlows int
 }
 
-// simPeer is the simulator's view of one peer.
+// simPeer is the simulator's view of one peer. Its serving/downloading sets
+// are small ordered slices rather than maps: membership tests stay O(swarm
+// fan-out) while iteration order — and therefore event scheduling order —
+// becomes deterministic.
 type simPeer struct {
 	spec   *trace.PeerSpec
 	region geo.NetworkRegion
@@ -60,8 +54,41 @@ type simPeer struct {
 	// perObjectUploads counts serving sessions granted per object (§3.9).
 	perObjectUploads map[content.ObjectID]int
 
-	serving     map[*dl]bool
-	downloading map[*dl]bool
+	serving     []*dl
+	downloading []*dl
+
+	// churnFn/refreshFn are this peer's churn and soft-state-refresh event
+	// handlers, built once at setup; reusing them keeps the event loop from
+	// allocating a fresh closure per scheduled event (millions per run).
+	churnFn   func()
+	refreshFn func()
+}
+
+func (p *simPeer) isServing(d *dl) bool {
+	for _, x := range p.serving {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *simPeer) removeServing(d *dl) {
+	for i, x := range p.serving {
+		if x == d {
+			p.serving = append(p.serving[:i], p.serving[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *simPeer) removeDownloading(d *dl) {
+	for i, x := range p.downloading {
+		if x == d {
+			p.downloading = append(p.downloading[:i], p.downloading[i+1:]...)
+			return
+		}
+	}
 }
 
 // Result is the output of a run: the same log schema the live control plane
@@ -76,25 +103,35 @@ type Result struct {
 	// Dirs is the final directory state per region (useful for inspection;
 	// most analyses use the cumulative registration log instead).
 	Dirs [geo.NumRegions]*selection.Directory
-	// Events is how many simulator events executed.
+	// Events is how many simulator events executed across all shards.
 	Events int
 	// Telemetry is the final metrics snapshot of the run.
 	Telemetry telemetry.Snapshot
 }
 
 // Run executes a scenario to completion.
+//
+// The simulation is sharded by network region: every shard owns its region's
+// peers, directory, event queue and RNG streams (derived deterministically
+// from (seed, region)), and shards run concurrently on cfg.Workers workers.
+// Because regions share no mutable state and the per-shard logs are merged
+// by (timestamp, region), the result is byte-identical for any worker count
+// — workers=1 is a plain sequential loop and the reference ordering.
 func Run(cfg ScenarioConfig) (*Result, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
-	}
-	faultSeed := cfg.Faults.Seed
-	if faultSeed == 0 {
-		faultSeed = 1
+	} else {
+		// Shards log progress concurrently; serialize the caller's sink.
+		var logMu sync.Mutex
+		inner := cfg.Logf
+		cfg.Logf = func(format string, args ...any) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			inner(format, args...)
+		}
 	}
 	s := &Sim{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		faultRng:  rand.New(rand.NewSource(faultSeed)),
 		metrics:   newSimMetrics(cfg.Telemetry),
 		wallStart: time.Now(),
 	}
@@ -120,93 +157,140 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: workload: %w", err)
 	}
-	for r := 0; r < geo.NumRegions; r++ {
-		s.dirs[r] = selection.NewDirectory(geo.NetworkRegion(r))
-	}
-	s.collector = accounting.NewCollector(nil)
 
-	s.setupPeers()
+	// Build shards and partition peers in global order, so each shard's
+	// peer list (and with it every per-peer draw) is deterministic.
+	s.shards = make([]*shard, geo.NumRegions)
+	for r := 0; r < geo.NumRegions; r++ {
+		s.shards[r] = newShard(&s.cfg, geo.NetworkRegion(r), s.metrics, s.cfg.Logf)
+	}
+	s.peers = make([]*simPeer, len(s.pop.Peers))
+	for i, spec := range s.pop.Peers {
+		sh := s.shards[geo.RegionOf(spec.Home)]
+		s.peers[i] = sh.addPeer(spec)
+	}
+	for _, sh := range s.shards {
+		sh.allPeers = s.peers
+		sh.setupPeers()
+	}
 	s.seedObjects()
-	s.scheduleRequests()
+
+	// Partition the time-sorted request stream; per-shard order is the
+	// global order restricted to the region.
+	for i := range s.reqs {
+		req := s.reqs[i]
+		sh := s.shards[s.peers[req.PeerIndex].region]
+		sh.reqs = append(sh.reqs, req)
+	}
+
 	snapMs := int64(cfg.SnapshotIntervalHours * 3_600_000)
 	if snapMs <= 0 {
 		snapMs = 24 * 3_600_000
 	}
-	s.snapshotLoop(snapMs)
-	if cfg.DNFailureAtDay > 0 {
-		s.eng.At(int64(cfg.DNFailureAtDay)*86_400_000, func() {
-			// All DN databases are lost at once; directories repopulate
-			// from the peers' soft-state refreshes (§3.8).
-			for _, d := range s.dirs {
-				d.Clear()
-			}
-		})
+	for _, sh := range s.shards {
+		sh.prepareRun(snapMs)
 	}
 
 	horizon := int64(cfg.Days) * 86_400_000
-	events := s.eng.Run(horizon + 48*3_600_000) // drain stragglers past the month
-	s.logSnapshot()                             // final totals
+	until := horizon + 48*3_600_000 // drain stragglers past the month
+	events := s.runShards(until)
+	s.finalSnapshot(until, events)
 
 	// Login records come from the shared trace generator so the
 	// login-based analyses (Tables 1/3, Figure 12, mobility) see the same
 	// population.
 	logins := trace.GenerateLogins(s.pop, cfg.Days, cfg.Seed+4)
-	log := s.collector.Snapshot()
+	log := s.mergeLogs()
 	log.Logins = logins
 
-	return &Result{
+	res := &Result{
 		Log: log, Pop: s.pop, Catalog: s.cat, Requests: s.reqs,
-		Atlas: s.atlas, Scape: s.scape, Dirs: s.dirs, Events: events,
+		Atlas: s.atlas, Scape: s.scape, Events: events,
 		Telemetry: s.metrics.reg.Snapshot(),
-	}, nil
+	}
+	for r, sh := range s.shards {
+		res.Dirs[r] = sh.dir
+	}
+	return res, nil
 }
 
-func (s *Sim) setupPeers() {
-	s.peers = make([]*simPeer, len(s.pop.Peers))
-	for i, spec := range s.pop.Peers {
-		p := &simPeer{
-			spec:   spec,
-			region: geo.RegionOf(spec.Home),
-			info: protocol.PeerInfo{
-				GUID:     spec.GUID,
-				Addr:     spec.Home.IP.String() + ":7000",
-				NAT:      spec.NAT,
-				ASN:      uint32(spec.Home.ASN),
-				Location: uint32(spec.Home.Location),
-			},
-			uploadsEnabled:   spec.UploadsEnabledAtInstall,
-			cache:            make(map[content.ObjectID]int64),
-			perObjectUploads: make(map[content.ObjectID]int),
-			serving:          make(map[*dl]bool),
-			downloading:      make(map[*dl]bool),
-		}
-		if s.cfg.UploadEnabledOverride >= 0 {
-			p.uploadsEnabled = s.rng.Float64() < s.cfg.UploadEnabledOverride
-		}
-		s.peers[i] = p
-		// Initial presence, the churn cycle, and the soft-state refresh
-		// cycle.
-		p.online = s.rng.Float64() < s.cfg.SessionOnHours/(s.cfg.SessionOnHours+s.cfg.SessionOffHours)
-		s.scheduleChurn(p)
-		if s.cfg.RefreshIntervalHours > 0 {
-			s.scheduleRefresh(p)
-		}
-		// Preference toggles at random points in the trace (Table 3).
-		for k := 0; k < spec.SettingChanges; k++ {
-			at := int64(s.rng.Float64() * float64(s.cfg.Days) * 86_400_000)
-			s.eng.At(at, func() { s.togglePeer(p) })
-		}
+// workerCount resolves cfg.Workers: non-positive means one worker per
+// available CPU, and there is never a reason to exceed the shard count.
+func (s *Sim) workerCount() int {
+	w := s.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
+	if w > len(s.shards) {
+		w = len(s.shards)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runShards executes every shard to the horizon. workers=1 runs them
+// sequentially in region order on the calling goroutine (the reference
+// mode); workers>1 runs them on a bounded pool. Shards are causally
+// independent, so both modes produce identical per-shard results; the
+// merge-wait metric records how long the pool idled on its slowest shard
+// (shard imbalance).
+func (s *Sim) runShards(untilMs int64) int {
+	workers := s.workerCount()
+	if workers == 1 {
+		total := 0
+		for _, sh := range s.shards {
+			total += sh.run(untilMs)
+		}
+		return total
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		total     int
+		firstDone time.Time
+		lastDone  time.Time
+		next      = make(chan *shard, len(s.shards))
+	)
+	for _, sh := range s.shards {
+		next <- sh
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range next {
+				n := sh.run(untilMs)
+				done := time.Now()
+				mu.Lock()
+				total += n
+				if firstDone.IsZero() {
+					firstDone = done
+				}
+				lastDone = done
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	s.metrics.mergeWait.Set(float64(lastDone.Sub(firstDone).Milliseconds()))
+	return total
 }
 
 // seedObjects plants initial copies of p2p-enabled objects on random
 // upload-enabled peers — the "initial seeder" a pure peer-to-peer CDN needs
 // (§2.1). The hybrid configuration leaves this at zero: the edge is the
-// origin.
+// origin. The plan is drawn from a dedicated setup stream over the global
+// peer list, then executed on each chosen peer's shard, so it is identical
+// for every worker count.
 func (s *Sim) seedObjects() {
 	if s.cfg.SeedCopiesPerObject <= 0 {
 		return
 	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 5))
 	var enabled []*simPeer
 	for _, p := range s.peers {
 		if p.uploadsEnabled {
@@ -218,132 +302,66 @@ func (s *Sim) seedObjects() {
 	}
 	for _, f := range s.cat.P2PFiles() {
 		for k := 0; k < s.cfg.SeedCopiesPerObject; k++ {
-			s.completeCache(enabled[s.rng.Intn(len(enabled))], f.Object.ID)
+			p := enabled[rng.Intn(len(enabled))]
+			s.shards[p.region].completeCache(p, f.Object.ID)
 		}
 	}
 }
 
-func (s *Sim) scheduleChurn(p *simPeer) {
-	mean := s.cfg.SessionOffHours
-	if p.online {
-		mean = s.cfg.SessionOnHours
-	}
-	d := int64(s.rng.ExpFloat64() * mean * 3_600_000)
-	if d < 60_000 {
-		d = 60_000
-	}
-	s.eng.After(d, func() { s.churn(p) })
+// mergeKey orders merged records: timestamp first, then region, then the
+// record's position within its shard stream. A pure function of the shard
+// states, independent of worker count and scheduling.
+type mergeKey struct {
+	at     int64
+	region int32
+	seq    int32
 }
 
-// scheduleRefresh keeps an online peer's directory entries fresh; the live
-// client re-announces periodically for the same reason (soft state, §3.8).
-func (s *Sim) scheduleRefresh(p *simPeer) {
-	jitter := int64(s.rng.Float64() * 600_000)
-	s.eng.After(int64(s.cfg.RefreshIntervalHours*3_600_000)+jitter, func() {
-		if p.online {
-			s.reregisterCache(p)
+func (a mergeKey) less(b mergeKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.region != b.region {
+		return a.region < b.region
+	}
+	return a.seq < b.seq
+}
+
+// mergeLogs interleaves the per-shard record streams into one global log.
+// Each shard's stream is time-ordered by construction.
+func (s *Sim) mergeLogs() *accounting.Log {
+	nd, nr := 0, 0
+	for _, sh := range s.shards {
+		nd += len(sh.log.downloads)
+		nr += len(sh.log.regs)
+	}
+	log := &accounting.Log{
+		Downloads:     make([]accounting.DownloadRecord, 0, nd),
+		Registrations: make([]accounting.RegistrationRecord, 0, nr),
+	}
+
+	keys := make([]mergeKey, 0, nd)
+	for r, sh := range s.shards {
+		for i := range sh.log.downloads {
+			keys = append(keys, mergeKey{sh.log.downloads[i].at, int32(r), int32(i)})
 		}
-		s.scheduleRefresh(p)
-	})
-}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	for _, k := range keys {
+		log.Downloads = append(log.Downloads, s.shards[k.region].log.downloads[k.seq].rec)
+	}
 
-func (s *Sim) churn(p *simPeer) {
-	if p.online {
-		// Keep the machine on while the user's own downloads run.
-		if len(p.downloading) > 0 {
-			s.eng.After(30*60_000, func() { s.churn(p) })
-			return
+	keys = keys[:0]
+	for r, sh := range s.shards {
+		for i := range sh.log.regs {
+			keys = append(keys, mergeKey{sh.log.regs[i].at, int32(r), int32(i)})
 		}
-		s.setOffline(p)
-	} else {
-		s.setOnline(p)
 	}
-	s.scheduleChurn(p)
-}
-
-func (s *Sim) setOnline(p *simPeer) {
-	if p.online {
-		return
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	for _, k := range keys {
+		log.Registrations = append(log.Registrations, s.shards[k.region].log.regs[k.seq].rec)
 	}
-	p.online = true
-	s.reregisterCache(p)
-}
-
-// reregisterCache announces unexpired cached objects after a (re)connect;
-// the directory is soft state (§3.8).
-func (s *Sim) reregisterCache(p *simPeer) {
-	if !p.uploadsEnabled {
-		return
-	}
-	now := s.eng.Now()
-	for oid, exp := range p.cache {
-		if exp <= now {
-			delete(p.cache, oid)
-			continue
-		}
-		s.dirs[p.region].Register(oid, selection.Entry{
-			Info: p.info, Rec: p.spec.Home, Complete: true, RegisteredMs: now,
-		})
-	}
-}
-
-func (s *Sim) setOffline(p *simPeer) {
-	if !p.online {
-		return
-	}
-	p.online = false
-	s.dirs[p.region].DropPeer(p.spec.GUID)
-	// Downloads this peer was serving lose one source.
-	for d := range p.serving {
-		s.detachServer(d, p)
-	}
-}
-
-// togglePeer flips the upload preference, with the directory consequences.
-func (s *Sim) togglePeer(p *simPeer) {
-	p.uploadsEnabled = !p.uploadsEnabled
-	if !p.uploadsEnabled {
-		s.dirs[p.region].DropPeer(p.spec.GUID)
-		for d := range p.serving {
-			s.detachServer(d, p)
-		}
-	} else if p.online {
-		s.reregisterCache(p)
-	}
-}
-
-func (s *Sim) scheduleRequests() {
-	for i := range s.reqs {
-		req := s.reqs[i]
-		s.eng.At(req.TimeMs, func() { s.startDownload(req) })
-	}
-}
-
-// completeCache registers a freshly completed object for sharing.
-func (s *Sim) completeCache(p *simPeer, oid content.ObjectID) {
-	now := s.eng.Now()
-	exp := now + int64(s.cfg.CacheTTLHours*3_600_000)
-	_, had := p.cache[oid]
-	p.cache[oid] = exp
-	if p.uploadsEnabled && p.online {
-		s.dirs[p.region].Register(oid, selection.Entry{
-			Info: p.info, Rec: p.spec.Home, Complete: true, RegisteredMs: now,
-		})
-	}
-	if !had {
-		// New copy in the system: one DN log entry (Figure 5 counts these).
-		s.collector.AddRegistration(accounting.RegistrationRecord{
-			TimeMs: now, GUID: p.spec.GUID, Object: oid,
-		})
-		s.eng.At(exp, func() { s.expireCache(p, oid) })
-	}
-}
-
-func (s *Sim) expireCache(p *simPeer, oid content.ObjectID) {
-	if exp, ok := p.cache[oid]; ok && exp <= s.eng.Now() {
-		delete(p.cache, oid)
-		s.dirs[p.region].Unregister(oid, p.spec.GUID)
-	}
+	return log
 }
 
 // mbpsToBytesPerMs converts a link rate.

@@ -3,12 +3,15 @@ package sim
 import (
 	"time"
 
+	"netsession/internal/geo"
 	"netsession/internal/protocol"
 	"netsession/internal/telemetry"
 )
 
-// simMetrics pre-resolves the simulator's metric handles. The engine is
-// single-goroutine, so these are cheap even inside the event loop.
+// simMetrics pre-resolves the simulator's metric handles. Counters are
+// atomic and shared across shards (their final values are order-independent
+// sums); gauges are written only by per-shard snapshots for per-region
+// series, or by the coordinator for run-wide totals.
 type simMetrics struct {
 	reg *telemetry.Registry
 
@@ -21,6 +24,13 @@ type simMetrics struct {
 	events       *telemetry.Gauge
 	eventsPerSec *telemetry.Gauge
 	virtWallX    *telemetry.Gauge
+
+	// shardEvents counts events executed per region shard; comparing the
+	// per-region series on /metrics makes shard imbalance visible.
+	shardEvents [geo.NumRegions]*telemetry.Counter
+	// mergeWait is how long (wall ms) the worker pool idled between the
+	// first shard finishing and the slowest one — the cost of imbalance.
+	mergeWait *telemetry.Gauge
 }
 
 func newSimMetrics(reg *telemetry.Registry) *simMetrics {
@@ -43,37 +53,62 @@ func newSimMetrics(reg *telemetry.Registry) *simMetrics {
 			"simulator event throughput (events per wall-clock second)", nil),
 		virtWallX: reg.Gauge("sim_virtual_wall_ratio",
 			"virtual seconds simulated per wall-clock second", nil),
+		mergeWait: reg.Gauge("sim_merge_wait_ms",
+			"wall-clock ms between the first and last shard finishing (shard imbalance)", nil),
 	}
 	for o := protocol.OutcomeCompleted; o <= protocol.OutcomeAborted; o++ {
 		m.byOutcome[o] = reg.Counter("sim_downloads_finished_total",
 			"finished downloads, by outcome", telemetry.Labels{"outcome": o.String()})
 	}
+	for r := 0; r < geo.NumRegions; r++ {
+		m.shardEvents[r] = reg.Counter("sim_shard_events_total",
+			"simulator events executed, by region shard",
+			telemetry.Labels{"region": geo.NetworkRegion(r).String()})
+	}
 	return m
 }
 
-// snapshotLoop emits a progress line every intervalMs of virtual time: the
-// virtual clock, event throughput, the virtual-vs-wall speedup, and flow
-// counts. It reschedules itself until the engine's horizon cuts it off.
-func (s *Sim) snapshotLoop(intervalMs int64) {
-	s.eng.After(intervalMs, func() {
-		s.logSnapshot()
-		s.snapshotLoop(intervalMs)
+// snapshotLoop emits a per-region progress line every intervalMs of virtual
+// time and keeps the region's event counter fresh. It reschedules itself
+// until the engine's horizon cuts it off.
+func (sh *shard) snapshotLoop(intervalMs int64) {
+	sh.eng.After(intervalMs, func() {
+		sh.logSnapshot()
+		sh.snapshotLoop(intervalMs)
 	})
 }
 
-func (s *Sim) logSnapshot() {
+// logSnapshot publishes the shard's own progress: one text line and the
+// per-region event counter. Lines from parallel shards interleave in
+// wall-clock order (they are progress diagnostics); the record logs the
+// run returns are merged deterministically instead.
+func (sh *shard) logSnapshot() {
+	events := sh.eng.Executed()
+	sh.metrics.shardEvents[sh.region].Add(int64(events - sh.lastEvents))
+	sh.lastEvents = events
+	sh.logf("sim region=%s t=%.2fd events=%d flows=%d finished=%d",
+		sh.region, float64(sh.eng.Now())/86_400_000, events, sh.activeFlows, sh.finishedFlows)
+}
+
+// finalSnapshot publishes run-wide totals once every shard has finished.
+func (s *Sim) finalSnapshot(untilMs int64, events int) {
 	wall := time.Since(s.wallStart).Seconds()
 	if wall <= 0 {
 		wall = 1e-9
 	}
-	events := s.eng.Executed()
 	eps := float64(events) / wall
-	virtSec := float64(s.eng.Now()) / 1000
+	virtSec := float64(untilMs) / 1000
 	ratio := virtSec / wall
-	s.metrics.virtualMs.Set(float64(s.eng.Now()))
+	active, finished := 0, 0
+	for _, sh := range s.shards {
+		active += sh.activeFlows
+		finished += sh.finishedFlows
+	}
+	s.metrics.virtualMs.Set(float64(untilMs))
 	s.metrics.events.Set(float64(events))
 	s.metrics.eventsPerSec.Set(eps)
 	s.metrics.virtWallX.Set(ratio)
-	s.cfg.Logf("sim t=%.2fd events=%d events/sec=%.0f virt/wall=%.0fx flows=%d finished=%d",
-		float64(s.eng.Now())/86_400_000, events, eps, ratio, s.activeFlows, s.finishedFlows)
+	s.metrics.activeFlows.Set(float64(active))
+	s.cfg.Logf("sim t=%.2fd events=%d events/sec=%.0f virt/wall=%.0fx flows=%d finished=%d workers=%d",
+		float64(untilMs)/86_400_000, events, eps, ratio, active, finished, s.workerCount())
 }

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is an operator-only HTTP endpoint serving the Go runtime
+// profiles (net/http/pprof) plus, optionally, a telemetry registry. It is
+// deliberately separate from the public-facing servers: profiles expose
+// implementation detail and can be expensive to produce, so they live behind
+// an address the operator opts into with -debug-addr.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// MountDebug registers the pprof handlers on a mux under /debug/pprof/.
+func MountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// StartDebug listens on addr and serves the pprof handlers; a non-nil
+// registry is mounted alongside them, so a long sim run can be profiled and
+// watched on one port.
+func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	MountDebug(mux)
+	if reg != nil {
+		Mount(mux, reg)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listen: %w", err)
+	}
+	d := &DebugServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		ln:  ln,
+	}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the debug server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
