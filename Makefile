@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench bench-smoke chaos
+.PHONY: check build test vet fmt race bench bench-smoke chaos crash clean-state
 
-check: fmt vet build race chaos bench-smoke
+check: fmt vet build race chaos crash bench-smoke
 
 build:
 	$(GO) build ./...
@@ -38,4 +38,16 @@ bench-smoke:
 # CN and a poisoned swarm; every download must still complete verified.
 chaos:
 	$(GO) test -race -run 'Chaos|Faults' -v . ./internal/sim
+
+# Crash-recovery end-to-end: peers killed mid-download (in-process and by
+# real SIGKILL of a re-exec'd child) must resume from their state dir
+# without refetching verified pieces; a killed DN must rebuild its
+# directory from peer RE-ADDs.
+crash:
+	$(GO) test -race -run 'Crash' -v .
+
+# Remove state directories left behind by interrupted live runs (the README
+# examples put netsession-peer -state-dir under ./state/).
+clean-state:
+	rm -rf ./state
 

@@ -35,6 +35,10 @@ type ClusterConfig struct {
 	VerifyAccounting bool
 	// MaxSessionsPerCN sheds logins beyond this; zero means unlimited.
 	MaxSessionsPerCN int
+	// DNRebuildWindow is how long a failed DN answers queries edge-only
+	// while peers RE-ADD their holdings; zero selects the control plane's
+	// 2s default, negative disables the window.
+	DNRebuildWindow time.Duration
 	// EdgeFaults injects faults into the edge HTTP tier (latency, errors,
 	// severed connections, availability flapping) — the chaos knob that
 	// exercises the client's edge failover and retry paths (§3.3). The zero
@@ -122,15 +126,20 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	// faults_injected_total counters surface on the same /metrics page.
 	cpReg := telemetry.NewRegistry()
 	cnInj := faults.New(cfg.CNFaults, cpReg)
+	rebuildMs := cfg.DNRebuildWindow.Milliseconds()
+	if cfg.DNRebuildWindow < 0 {
+		rebuildMs = -1 // sub-millisecond negatives still mean "disabled"
+	}
 	cp, err := controlplane.New(controlplane.Config{
-		Scape:            scape,
-		Minter:           minter,
-		Collector:        accounting.NewCollector(verifier),
-		Policy:           cfg.Policy,
-		ClientConfig:     cfg.ClientConfig,
-		MaxSessionsPerCN: cfg.MaxSessionsPerCN,
-		Telemetry:        cpReg,
-		ConnWrap:         cnInj.WrapConn,
+		Scape:             scape,
+		Minter:            minter,
+		Collector:         accounting.NewCollector(verifier),
+		Policy:            cfg.Policy,
+		ClientConfig:      cfg.ClientConfig,
+		MaxSessionsPerCN:  cfg.MaxSessionsPerCN,
+		DNRebuildWindowMs: rebuildMs,
+		Telemetry:         cpReg,
+		ConnWrap:          cnInj.WrapConn,
 	})
 	if err != nil {
 		es.Close()

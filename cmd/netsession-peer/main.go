@@ -7,8 +7,13 @@
 // Usage:
 //
 //	netsession-peer -control ADDR[,ADDR...] -edge URL
-//	                [-object HEXID] [-uploads] [-serve]
+//	                [-object HEXID] [-uploads] [-serve] [-state-dir DIR]
 //	                [-identity K] [-identity-seed N] [-population N]
+//
+// With -state-dir, the installation state, every verified piece, and the
+// progress of in-flight downloads persist on disk; a peer killed mid-download
+// and restarted with the same directory resumes from its verified bitfield
+// instead of refetching.
 package main
 
 import (
@@ -36,7 +41,8 @@ func main() {
 	edgeURL := flag.String("edge", "", "edge base URL, e.g. http://127.0.0.1:8443 (required)")
 	objectHex := flag.String("object", "", "hex object ID to download")
 	uploads := flag.Bool("uploads", true, "enable content uploads to peers")
-	stateDir := flag.String("state", "", "directory persisting the installation state (GUID, prefs, secondary GUIDs)")
+	stateDir := flag.String("state-dir", "", "directory persisting the installation state (GUID, prefs, secondary GUIDs), the durable piece store, and download checkpoints; a restarted peer resumes interrupted downloads from it")
+	flag.StringVar(stateDir, "state", "", "alias for -state-dir")
 	serve := flag.Bool("serve", false, "stay resident after the download, serving uploads")
 	monitorURL := flag.String("monitor", "", "monitoring node base URL receiving operational reports")
 	stunAddr := flag.String("stun", "", "STUN server address for reflexive-address discovery")
@@ -78,6 +84,22 @@ func main() {
 	}
 	defer cl.Close()
 	log.Printf("GUID %s, swarm listener %s", cl.GUID(), cl.SwarmAddr())
+
+	if *stateDir != "" {
+		resumed, err := cl.ResumeDownloads()
+		if err != nil {
+			log.Printf("resume: %v", err)
+		}
+		for _, dl := range resumed {
+			have, total := dl.Progress()
+			log.Printf("resuming download %v from checkpoint: %d/%d pieces already on disk",
+				dl.Object().ID, have, total)
+			if res, err := dl.Wait(context.Background()); err == nil {
+				log.Printf("resumed download outcome: %v (%d infra bytes, %d peer bytes)",
+					res.Outcome, res.BytesInfra, res.BytesPeers)
+			}
+		}
+	}
 
 	if *objectHex != "" {
 		oid, err := parseOID(*objectHex)

@@ -1,0 +1,211 @@
+package netsession
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The process-kill harness re-executes this test binary as a child peer
+// process, SIGKILLs it mid-download, and re-executes it against the same
+// state directory to prove the resume path works across a real process
+// death — not just an in-process simulation of one. The child is selected
+// with -test.run and configured entirely through the environment.
+const (
+	crashEnvMode    = "NETSESSION_CRASH_MODE" // "first" or "resume"
+	crashEnvState   = "NETSESSION_CRASH_STATE"
+	crashEnvControl = "NETSESSION_CRASH_CONTROL"
+	crashEnvEdge    = "NETSESSION_CRASH_EDGE"
+	crashEnvIP      = "NETSESSION_CRASH_IP"
+	crashEnvObject  = "NETSESSION_CRASH_OBJECT"
+)
+
+// crashChildMetrics is the JSON record the resume child prints for the
+// parent's assertions.
+type crashChildMetrics struct {
+	Complete        bool  `json:"complete"`
+	ResumeTotal     int64 `json:"resumeTotal"`
+	PiecesRecovered int64 `json:"piecesRecovered"`
+	PiecesFetched   int64 `json:"piecesFetched"`
+	BytesEdge       int64 `json:"bytesEdge"`
+}
+
+// TestCrashPeerProcessHelper is the child body for TestCrashPeerProcessKill;
+// it skips unless the parent selected it via the environment.
+func TestCrashPeerProcessHelper(t *testing.T) {
+	mode := os.Getenv(crashEnvMode)
+	if mode == "" {
+		t.Skip("subprocess helper; driven by TestCrashPeerProcessKill")
+	}
+	raw, err := hex.DecodeString(os.Getenv(crashEnvObject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oid ObjectID
+	copy(oid[:], raw)
+
+	p, err := NewPeer(PeerConfig{
+		StateDir:       os.Getenv(crashEnvState),
+		DeclaredIP:     os.Getenv(crashEnvIP),
+		ControlAddrs:   strings.Split(os.Getenv(crashEnvControl), ","),
+		EdgeURL:        os.Getenv(crashEnvEdge),
+		UploadsEnabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	switch mode {
+	case "first":
+		if _, err := p.Download(oid); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for the parent's SIGKILL (bounded so an orphaned child cannot
+		// hang the test binary forever).
+		time.Sleep(2 * time.Minute)
+		t.Fatal("parent never killed the child")
+	case "resume":
+		// The client resumes checkpointed downloads on its own; just watch
+		// the store.
+		deadline := time.Now().Add(60 * time.Second)
+		for !p.Store().Complete(oid) && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		snap := p.Metrics().Snapshot()
+		out := crashChildMetrics{
+			Complete:        p.Store().Complete(oid),
+			ResumeTotal:     snap.Counters["peer_resume_total"],
+			PiecesRecovered: snap.Counters["peer_pieces_recovered_total"],
+			PiecesFetched: snap.Counters[`peer_pieces_total{source="edge"}`] +
+				snap.Counters[`peer_pieces_total{source="peer"}`],
+			BytesEdge: snap.Counters[`peer_bytes_down_total{source="edge"}`],
+		}
+		enc, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout.Write(append([]byte("CRASH-METRICS "), append(enc, '\n')...))
+	default:
+		t.Fatalf("unknown crash helper mode %q", mode)
+	}
+}
+
+// TestCrashPeerProcessKill SIGKILLs a real peer process mid-download and
+// restarts it with the same state directory: the second process must resume
+// from the persisted bitfield, fetch only the missing pieces, and complete
+// hash-verified.
+func TestCrashPeerProcessKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec harness; skipped in -short")
+	}
+	cfg := DefaultClusterConfig()
+	cfg.EdgeFaults = FaultProfile{
+		Seed:       29,
+		LatencyMin: 3 * time.Millisecond,
+		LatencyMax: 8 * time.Millisecond,
+	}
+	c, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := NewObject(3001, "crash/process.bin", 1, 5_000_000, 16<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+	ip, err := c.AllocateIdentity("US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateDir := t.TempDir()
+	env := append(os.Environ(),
+		crashEnvState+"="+stateDir,
+		crashEnvControl+"="+strings.Join(c.ControlAddrs(), ","),
+		crashEnvEdge+"="+c.EdgeURL(),
+		crashEnvIP+"="+ip,
+		crashEnvObject+"="+hex.EncodeToString(obj.ID[:]),
+	)
+	child := func(mode string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=TestCrashPeerProcessHelper$")
+		cmd.Env = append(append([]string(nil), env...), crashEnvMode+"="+mode)
+		return cmd
+	}
+
+	// First run: start downloading, then die by SIGKILL mid-transfer.
+	first := child("first")
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !chaosEventually(60*time.Second, func() bool {
+		return countPieceFiles(stateDir, obj.ID) >= 8
+	}) {
+		first.Process.Kill()
+		first.Wait()
+		t.Fatal("child made no durable progress before the kill")
+	}
+	if err := first.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	first.Wait()
+
+	onDisk := countPieceFiles(stateDir, obj.ID)
+	if onDisk >= obj.NumPieces() {
+		t.Fatalf("child finished all %d pieces before the kill; widen the fault latency", onDisk)
+	}
+	if _, err := os.Stat(checkpointFile(stateDir, obj.ID)); err != nil {
+		t.Fatalf("SIGKILLed child left no checkpoint: %v", err)
+	}
+
+	// Second run: same state dir; the process must resume and finish.
+	resume := child("resume")
+	out, err := resume.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume child failed: %v\n%s", err, out)
+	}
+	var m crashChildMetrics
+	found := false
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "CRASH-METRICS "); ok {
+			if err := json.Unmarshal([]byte(rest), &m); err != nil {
+				t.Fatalf("bad metrics line %q: %v", rest, err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("resume child printed no metrics:\n%s", out)
+	}
+	if !m.Complete {
+		t.Fatalf("resumed process did not complete the download: %+v", m)
+	}
+	if m.ResumeTotal != 1 {
+		t.Errorf("peer_resume_total = %d, want 1", m.ResumeTotal)
+	}
+	if m.PiecesRecovered < int64(onDisk) {
+		t.Errorf("recovered %d pieces, want >= %d left on disk by the kill",
+			m.PiecesRecovered, onDisk)
+	}
+	// Zero re-downloads: the fetch counters account exactly for the missing
+	// complement, and edge bytes stay below the object size.
+	if m.PiecesFetched != int64(obj.NumPieces())-m.PiecesRecovered {
+		t.Errorf("resumed process fetched %d pieces, want %d (total %d - recovered %d)",
+			m.PiecesFetched, int64(obj.NumPieces())-m.PiecesRecovered,
+			obj.NumPieces(), m.PiecesRecovered)
+	}
+	if m.BytesEdge >= obj.Size {
+		t.Errorf("resumed process pulled %d edge bytes for a %d-byte object — refetched verified data",
+			m.BytesEdge, obj.Size)
+	}
+}

@@ -1,0 +1,211 @@
+package content
+
+import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netsession/internal/telemetry"
+)
+
+func TestDiskStore(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir(), DiskStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, s)
+}
+
+// fillDiskStore stores every piece of a fresh object and returns the store's
+// root, the object and its manifest.
+func fillDiskStore(t *testing.T, size int64) (string, *Object, *Manifest) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, DiskStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, m := testObject(t, size)
+	for i := 0; i < obj.NumPieces(); i++ {
+		buf := make([]byte, obj.PieceLength(i))
+		SyntheticBody(obj.ID, obj.PieceOffset(i), buf)
+		if err := s.Put(m, i, buf); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	return dir, obj, m
+}
+
+func diskPiecePath(root string, id ObjectID, idx int) string {
+	return filepath.Join(root, "objects", hex.EncodeToString(id[:]), pieceName(idx))
+}
+
+func TestDiskStoreRecoveryAcrossRestart(t *testing.T) {
+	dir, obj, m := fillDiskStore(t, 40_000)
+
+	// "Restart": a fresh store over the same directory rebuilds the index
+	// from disk and re-verifies every piece.
+	s2, err := OpenDiskStore(dir, DiskStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Complete(obj.ID) {
+		t.Fatal("recovered store incomplete")
+	}
+	st := s2.Recovery()
+	if st.Objects != 1 || st.Pieces != obj.NumPieces() || st.CorruptPieces != 0 {
+		t.Fatalf("recovery stats %+v", st)
+	}
+	for i := 0; i < obj.NumPieces(); i++ {
+		data, ok := s2.Get(obj.ID, i)
+		if !ok {
+			t.Fatalf("piece %d missing after recovery", i)
+		}
+		if err := m.Verify(i, data); err != nil {
+			t.Fatalf("piece %d: %v", i, err)
+		}
+	}
+	if mf := s2.Manifest(obj.ID); mf == nil || mf.Object.ID != obj.ID {
+		t.Fatal("manifest not recovered")
+	}
+}
+
+// TestDiskStoreQuarantinesCorruptPieces is the crash/corruption matrix of
+// the recovery scan: one piece with a flipped bit, one truncated, the rest
+// healthy. The corrupt two are quarantined (bits cleared, files moved,
+// counter bumped); a subsequent Put — the download path's refetch — heals
+// them.
+func TestDiskStoreQuarantinesCorruptPieces(t *testing.T) {
+	dir, obj, m := fillDiskStore(t, 40_000)
+	n := obj.NumPieces()
+	if n < 4 {
+		t.Fatalf("need >=4 pieces, have %d", n)
+	}
+
+	// Flip one bit in piece 1.
+	p1 := diskPiecePath(dir, obj.ID, 1)
+	raw, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[7] ^= 0x01
+	if err := os.WriteFile(p1, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate piece 2 — the torn write a crash mid-write would leave if
+	// the atomic rename discipline were ever bypassed.
+	p2 := diskPiecePath(dir, obj.ID, 2)
+	if err := os.Truncate(p2, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	s2, err := OpenDiskStore(dir, DiskStoreOptions{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Recovery()
+	if st.CorruptPieces != 2 {
+		t.Fatalf("recovery stats %+v, want 2 corrupt pieces", st)
+	}
+	if got := reg.Snapshot().Counters["store_recovery_corrupt_total"]; got != 2 {
+		t.Fatalf("store_recovery_corrupt_total=%d want 2", got)
+	}
+	bf := s2.Have(obj.ID)
+	if bf.Has(1) || bf.Has(2) {
+		t.Fatal("corrupt pieces still marked held")
+	}
+	if bf.Count() != n-2 {
+		t.Fatalf("recovered %d pieces, want %d", bf.Count(), n-2)
+	}
+	for _, idx := range []int{1, 2} {
+		if _, ok := s2.Get(obj.ID, idx); ok {
+			t.Fatalf("quarantined piece %d served", idx)
+		}
+	}
+	quar, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quar) != 2 {
+		t.Fatalf("quarantine holds %d files, want 2", len(quar))
+	}
+
+	// The refetch path: storing the pieces again (as a resumed download
+	// would after the edge re-serves them) heals the object.
+	for _, idx := range []int{1, 2} {
+		buf := make([]byte, obj.PieceLength(idx))
+		SyntheticBody(obj.ID, obj.PieceOffset(idx), buf)
+		if err := s2.Put(m, idx, buf); err != nil {
+			t.Fatalf("refetch Put(%d): %v", idx, err)
+		}
+	}
+	if !s2.Complete(obj.ID) {
+		t.Fatal("object incomplete after refetching quarantined pieces")
+	}
+}
+
+func TestDiskStoreQuarantinesBadManifest(t *testing.T) {
+	dir, obj, _ := fillDiskStore(t, 20_000)
+	mpath := filepath.Join(dir, "objects", hex.EncodeToString(obj.ID[:]), diskManifestName)
+	if err := os.WriteFile(mpath, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDiskStore(dir, DiskStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Recovery(); st.QuarantinedObjects != 1 || st.Objects != 0 {
+		t.Fatalf("recovery stats %+v, want 1 quarantined object", st)
+	}
+	if bf := s2.Have(obj.ID); bf != nil {
+		t.Fatal("object with bad manifest still indexed")
+	}
+}
+
+// TestDiskStoreGetQuarantinesRot covers corruption that happens after the
+// recovery scan: Get re-verifies and reports the piece absent so the caller
+// refetches instead of uploading poison.
+func TestDiskStoreGetQuarantinesRot(t *testing.T) {
+	dir, obj, _ := fillDiskStore(t, 20_000)
+	s, err := OpenDiskStore(dir, DiskStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := diskPiecePath(dir, obj.ID, 0)
+	raw, err := os.ReadFile(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(p0, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(obj.ID, 0); ok {
+		t.Fatal("rotted piece served")
+	}
+	if bf := s.Have(obj.ID); bf.Has(0) {
+		t.Fatal("rotted piece still marked held")
+	}
+}
+
+func TestDiskStoreDropRemovesObjectDir(t *testing.T) {
+	dir, obj, _ := fillDiskStore(t, 20_000)
+	s, err := OpenDiskStore(dir, DiskStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drop(obj.ID)
+	if _, err := os.Stat(filepath.Join(dir, "objects", hex.EncodeToString(obj.ID[:]))); !os.IsNotExist(err) {
+		t.Fatal("object directory survived Drop")
+	}
+	// A restart must not resurrect it.
+	s2, err := OpenDiskStore(dir, DiskStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Objects()) != 0 {
+		t.Fatal("dropped object recovered")
+	}
+}

@@ -225,8 +225,17 @@ func (cn *CN) handleQuery(s *session, q *protocol.Query) {
 		s.send(&protocol.QueryResult{Object: q.Object, Err: "unauthorized"})
 		return
 	}
+	dn := cn.dn(s)
+	if dn.Rebuilding(cn.cp.now()) {
+		// The region's directory is rebuilding from RE-ADDs; answering from
+		// a partial view would steer whole swarms at the few peers that
+		// re-announced first. Answer edge-only — the client's edge loop
+		// guarantees progress regardless (§3.3).
+		s.send(&protocol.QueryResult{Object: q.Object})
+		return
+	}
 	selectStart := time.Now()
-	dir := cn.dn(s).Directory()
+	dir := dn.Directory()
 	peers := dir.Select(cn.cp.cfg.Policy, selection.Query{
 		Object:        q.Object,
 		Requester:     s.rec,
@@ -252,6 +261,9 @@ func (cn *CN) handleRegister(s *session, m *protocol.Register) {
 		return // peers appear in the database only with uploads enabled (§3.6)
 	}
 	cn.cp.metrics.registers.Inc()
+	if cn.dn(s).Rebuilding(cn.cp.now()) {
+		cn.cp.metrics.rebuildAnnounces[int(s.region)].Inc()
+	}
 	cn.dn(s).Register(m.Object, selection.Entry{
 		Info:         s.info,
 		Rec:          s.rec,

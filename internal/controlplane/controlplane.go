@@ -39,6 +39,11 @@ type Config struct {
 	// MaxSessionsPerCN sheds logins beyond this with a retry-after, the
 	// §3.8 rate-limited recovery. Zero means unlimited.
 	MaxSessionsPerCN int
+	// DNRebuildWindowMs is how long a DN that lost its database answers
+	// queries edge-only while peers RE-ADD their holdings (§3.8). Zero
+	// selects 2000ms; negative disables the window (queries immediately see
+	// whatever partial directory has re-formed).
+	DNRebuildWindowMs int64
 	// NowMs supplies time; the simulator injects a virtual clock. Nil uses
 	// wall clock.
 	NowMs func() int64
@@ -65,13 +70,20 @@ type cpMetrics struct {
 	unregisters     *telemetry.Counter
 	statsReports    *telemetry.Counter
 	readds          *telemetry.Counter
+
+	// DN-loss recovery series, registered eagerly per region so operators
+	// see zeroes (not gaps) before the first failure: announcements absorbed
+	// during a rebuild window, a rebuilding flag, and the window's duration.
+	rebuildAnnounces [geo.NumRegions]*telemetry.Counter
+	rebuilding       [geo.NumRegions]*telemetry.Gauge
+	rebuildMs        *telemetry.Histogram
 }
 
 func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	return &cpMetrics{
+	m := &cpMetrics{
 		reg:    reg,
 		logins: reg.Counter("cp_logins_total", "accepted peer logins", nil),
 		loginsShed: reg.Counter("cp_logins_shed_total",
@@ -89,7 +101,18 @@ func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
 			"download usage reports received", nil),
 		readds: reg.Counter("cp_readds_total",
 			"RE-ADD soft-state recovery replies processed", nil),
+		rebuildMs: reg.Histogram("dn_rebuild_ms",
+			"duration of DN directory rebuild windows in milliseconds",
+			telemetry.DurationBucketsMs, nil),
 	}
+	for r := 0; r < geo.NumRegions; r++ {
+		label := telemetry.Labels{"region": geo.NetworkRegion(r).String()}
+		m.rebuildAnnounces[r] = reg.Counter("dn_rebuild_announces_total",
+			"registrations absorbed while the region's DN was rebuilding", label)
+		m.rebuilding[r] = reg.Gauge("dn_rebuilding",
+			"1 while the region's DN is inside a rebuild window", label)
+	}
+	return m
 }
 
 // ControlPlane is the assembled control plane: one DN (directory) per
@@ -124,8 +147,17 @@ func New(cfg Config) (*ControlPlane, error) {
 		metrics:  newCPMetrics(cfg.Telemetry),
 		sessions: make(map[id.GUID]*session),
 	}
+	if cp.cfg.DNRebuildWindowMs == 0 {
+		cp.cfg.DNRebuildWindowMs = 2000
+	}
 	for r := 0; r < geo.NumRegions; r++ {
-		cp.dns[r] = NewDN(geo.NetworkRegion(r), cfg.Collector)
+		dn := NewDN(geo.NetworkRegion(r), cfg.Collector)
+		region := r
+		dn.onRebuildDone = func(elapsedMs float64) {
+			cp.metrics.rebuildMs.Observe(elapsedMs)
+			cp.metrics.rebuilding[region].Set(0)
+		}
+		cp.dns[r] = dn
 	}
 	return cp, nil
 }
@@ -187,10 +219,19 @@ func (cp *ControlPlane) StartJanitor(interval time.Duration, ttlMs int64) (stop 
 }
 
 // FailDN simulates the loss of the DN for one region: its database is
-// cleared and every connected peer in the region is asked to RE-ADD its
-// object list (§3.8).
+// cleared, a rebuild window opens (during which queries answer edge-only,
+// §3.8), and every connected peer in the region is asked to RE-ADD its
+// object list. The window closes on its own even if no traffic arrives.
 func (cp *ControlPlane) FailDN(r geo.NetworkRegion) {
-	cp.dns[int(r)].dir.Clear()
+	dn := cp.dns[int(r)]
+	dn.dir.Clear()
+	window := cp.cfg.DNRebuildWindowMs
+	if window > 0 {
+		dn.StartRebuild(cp.now(), window)
+		cp.metrics.rebuilding[int(r)].Set(1)
+		time.AfterFunc(time.Duration(window)*time.Millisecond+50*time.Millisecond,
+			func() { dn.Rebuilding(cp.now()) })
+	}
 	cp.mu.Lock()
 	var toAsk []*session
 	for _, s := range cp.sessions {

@@ -274,6 +274,70 @@ func TestReAddAfterDNFailure(t *testing.T) {
 	waitFor(t, "directory repopulation", func() bool { return h.cp.DN(region).Copies(oid) == 1 })
 }
 
+// TestDNRebuildWindow: after a DN loss the directory opens a rebuild window
+// during which queries answer edge-only while peers RE-ADD their holdings;
+// once the window closes, queries see the rebuilt directory — no control
+// plane restart involved. The window is visible in telemetry: announces are
+// counted per region, a gauge marks the window, and its duration lands in
+// the dn_rebuild_ms histogram.
+func TestDNRebuildWindow(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.DNRebuildWindowMs = 500 })
+	oid := content.NewObjectID(7, "file", 1)
+
+	holder := h.dialPeer("US", true)
+	expect[*protocol.LoginAck](holder)
+	holder.send(&protocol.Register{Object: oid, NumPieces: 4, HaveCount: 4, Complete: true})
+	region := geo.RegionOf(holder.rec)
+	waitFor(t, "registration", func() bool { return h.cp.DN(region).Copies(oid) == 1 })
+
+	querier := h.dialPeer("US", true)
+	expect[*protocol.LoginAck](querier)
+	if geo.RegionOf(querier.rec) != region {
+		t.Fatalf("querier in region %v, holder in %v", geo.RegionOf(querier.rec), region)
+	}
+
+	h.cp.FailDN(region)
+	expect[*protocol.ReAdd](holder)
+	holder.send(&protocol.ReAddReply{Entries: []protocol.ReAddEntry{
+		{Object: oid, NumPieces: 4, HaveCount: 4, Complete: true},
+	}})
+	waitFor(t, "re-announce absorbed", func() bool { return h.cp.DN(region).Copies(oid) == 1 })
+
+	// Mid-window: the directory already has the entry back, but a query
+	// still answers edge-only rather than serving a partial view.
+	querier.send(&protocol.Query{Object: oid, Token: h.token(querier.guid, oid, true), MaxPeers: 40})
+	if qr := expect[*protocol.QueryResult](querier); qr.Err != "" || len(qr.Peers) != 0 {
+		t.Fatalf("mid-rebuild query: err=%q peers=%d, want empty edge-only answer",
+			qr.Err, len(qr.Peers))
+	}
+	annKey := `dn_rebuild_announces_total{region="` + region.String() + `"}`
+	gaugeKey := `dn_rebuilding{region="` + region.String() + `"}`
+	snap := h.cp.Metrics().Snapshot()
+	if snap.Counters[annKey] == 0 {
+		t.Fatalf("%s = 0, want the RE-ADD counted", annKey)
+	}
+	if snap.Gauges[gaugeKey] != 1 {
+		t.Fatalf("%s = %v during the window, want 1", gaugeKey, snap.Gauges[gaugeKey])
+	}
+
+	// Past the window: the same query converges back to the pre-failure
+	// candidate set.
+	waitFor(t, "rebuild window close", func() bool {
+		return !h.cp.DN(region).Rebuilding(wallNowMs())
+	})
+	querier.send(&protocol.Query{Object: oid, Token: h.token(querier.guid, oid, true), MaxPeers: 40})
+	if qr := expect[*protocol.QueryResult](querier); len(qr.Peers) != 1 || qr.Peers[0].GUID != holder.guid {
+		t.Fatalf("post-rebuild query returned %d peers, want the holder", len(qr.Peers))
+	}
+	snap = h.cp.Metrics().Snapshot()
+	if hs := snap.Histograms["dn_rebuild_ms"]; hs.Count == 0 {
+		t.Fatal("dn_rebuild_ms not observed after the window closed")
+	}
+	if snap.Gauges[gaugeKey] != 0 {
+		t.Fatalf("%s = %v after the window, want 0", gaugeKey, snap.Gauges[gaugeKey])
+	}
+}
+
 func TestSessionSheddingWhenOverloaded(t *testing.T) {
 	h := newHarness(t, func(c *Config) { c.MaxSessionsPerCN = 1 })
 	p1 := h.dialPeer("US", true)

@@ -1,6 +1,8 @@
 package controlplane
 
 import (
+	"sync"
+
 	"netsession/internal/accounting"
 	"netsession/internal/content"
 	"netsession/internal/geo"
@@ -10,10 +12,22 @@ import (
 // DN is a database node: the object→peer directory for one network region
 // (§3.6). It wraps the selection directory and logs registrations for the
 // Figure 5 copy counts.
+//
+// A DN's contents are soft state, reconstructible from the peers themselves
+// (§3.8). After a loss the DN enters a rebuild window: connected peers are
+// asked to RE-ADD their object lists, and until the window closes Select
+// answers edge-only rather than serving a directory known to be partial.
 type DN struct {
 	region    geo.NetworkRegion
 	dir       *selection.Directory
 	collector *accounting.Collector
+
+	mu             sync.Mutex
+	rebuildStartMs int64 // nonzero while a rebuild window is open
+	rebuildUntilMs int64
+	// onRebuildDone, set by the control plane, observes the rebuild duration
+	// (telemetry) when the window closes. Called at most once per rebuild.
+	onRebuildDone func(elapsedMs float64)
 }
 
 // NewDN creates a database node for a region.
@@ -44,3 +58,41 @@ func (d *DN) Register(obj content.ObjectID, e selection.Entry, nowMs int64) {
 
 // Copies returns how many peers register the object in this region.
 func (d *DN) Copies(obj content.ObjectID) int { return d.dir.Copies(obj) }
+
+// StartRebuild opens (or extends) the post-failure rebuild window: for the
+// next windowMs the directory is considered partial and queries fall back to
+// edge-only delivery while peers re-announce their holdings.
+func (d *DN) StartRebuild(nowMs, windowMs int64) {
+	if windowMs <= 0 {
+		return
+	}
+	d.mu.Lock()
+	if d.rebuildStartMs == 0 {
+		d.rebuildStartMs = nowMs
+	}
+	d.rebuildUntilMs = nowMs + windowMs
+	d.mu.Unlock()
+}
+
+// Rebuilding reports whether the DN is inside its rebuild window. The first
+// call past the window's end closes it and reports the elapsed rebuild time
+// to the control plane's telemetry.
+func (d *DN) Rebuilding(nowMs int64) bool {
+	d.mu.Lock()
+	if d.rebuildStartMs == 0 {
+		d.mu.Unlock()
+		return false
+	}
+	if nowMs < d.rebuildUntilMs {
+		d.mu.Unlock()
+		return true
+	}
+	elapsed := nowMs - d.rebuildStartMs
+	done := d.onRebuildDone
+	d.rebuildStartMs, d.rebuildUntilMs = 0, 0
+	d.mu.Unlock()
+	if done != nil {
+		done(float64(elapsed))
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+// Package fsutil holds the durable-write primitives shared by everything
+// that persists crash-critical state: the peer installation state, download
+// checkpoints, and the on-disk piece store. The discipline is always the
+// same — write a temp file, fsync it, rename it over the target, fsync the
+// directory — because a rename without the surrounding fsyncs can lose both
+// the data and the directory entry on power failure.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic durably replaces path with data: the bytes are written to
+// a temp file in the same directory, fsynced, renamed over path, and the
+// directory is fsynced so the rename itself survives a crash. On any error
+// the temp file is removed and the previous contents of path are untouched.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsutil: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("fsutil: write %s: %w", path, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("fsutil: fsync %s: %w", tmpName, err))
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(fmt.Errorf("fsutil: chmod %s: %w", tmpName, err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsutil: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsutil: rename to %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so renames and removals inside it are durable.
+// Filesystems that do not support fsync on directories report that as a
+// non-fatal condition and are ignored.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsutil: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		// Some filesystems (and some CI sandboxes) reject fsync on
+		// directories with EINVAL; durability there is best-effort.
+		if pe, ok := err.(*os.PathError); !ok || pe.Err.Error() != "invalid argument" {
+			return fmt.Errorf("fsutil: fsync dir %s: %w", dir, err)
+		}
+	}
+	return nil
+}

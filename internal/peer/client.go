@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -47,9 +49,13 @@ type Config struct {
 	// StateDir, when set, persists the installation state (GUID, upload
 	// preference, secondary-GUID window) across restarts, like the real
 	// installed client. It overrides Config.GUID and Config.UploadsEnabled
-	// with the stored values.
+	// with the stored values. It also selects the crash-safe disk-backed
+	// piece store (StateDir/content) when Store is nil, and persists
+	// per-download checkpoints (StateDir/downloads) so transfers cut short
+	// by a crash resume from their verified bitfield instead of refetching.
 	StateDir string
-	// Store holds verified pieces; nil means an in-memory store.
+	// Store holds verified pieces; nil selects a DiskStore under StateDir
+	// when one is configured, an in-memory store otherwise.
 	Store content.Store
 	// UploadsEnabled is the initial preference; content providers bundle
 	// the binary with this on or off (§5.1).
@@ -100,6 +106,13 @@ type Client struct {
 	blMu      sync.Mutex
 	blacklist map[id.GUID]time.Time
 
+	// ckptDir is where download checkpoints persist; empty disables them.
+	ckptDir string
+	// resumeMu serializes checkpoint resumption so the startup resume loop
+	// and an explicit ResumeDownloads call cannot double-count a transfer.
+	resumeMu sync.Mutex
+	resumed  map[content.ObjectID]bool
+
 	swarmLn net.Listener
 
 	mu        sync.Mutex
@@ -128,8 +141,20 @@ func New(cfg Config) (*Client, error) {
 	if cfg.GUID.IsZero() {
 		cfg.GUID = id.NewGUID()
 	}
+	metrics := newClientMetrics(cfg.Telemetry)
 	if cfg.Store == nil {
-		cfg.Store = content.NewMemStore()
+		if cfg.StateDir != "" {
+			// Crash-safe default: verified pieces survive a process kill
+			// and are re-verified (with quarantine) on the way back up.
+			ds, err := content.OpenDiskStore(filepath.Join(cfg.StateDir, "content"),
+				content.DiskStoreOptions{Telemetry: metrics.reg})
+			if err != nil {
+				return nil, err
+			}
+			cfg.Store = ds
+		} else {
+			cfg.Store = content.NewMemStore()
+		}
 	}
 	if cfg.SoftwareVersion == "" {
 		cfg.SoftwareVersion = "ns-3.1"
@@ -155,7 +180,6 @@ func New(cfg Config) (*Client, error) {
 	if len(cfg.ControlAddrs) == 0 {
 		return nil, fmt.Errorf("peer: no control plane addresses configured")
 	}
-	metrics := newClientMetrics(cfg.Telemetry)
 	pool, err := newEdgePool(append([]string{cfg.EdgeURL}, cfg.EdgeURLs...), metrics)
 	if err != nil {
 		return nil, err
@@ -171,8 +195,15 @@ func New(cfg Config) (*Client, error) {
 		downloads: make(map[content.ObjectID]*Download),
 		cachedAt:  make(map[content.ObjectID]time.Time),
 		blacklist: make(map[id.GUID]time.Time),
+		resumed:   make(map[content.ObjectID]bool),
 		clientCfg: edge.DefaultClientConfig(),
 		evictStop: make(chan struct{}),
+	}
+	if cfg.StateDir != "" {
+		c.ckptDir = filepath.Join(cfg.StateDir, checkpointDirName)
+		if err := os.MkdirAll(c.ckptDir, 0o755); err != nil {
+			return nil, fmt.Errorf("peer: checkpoint dir: %w", err)
+		}
 	}
 	// A fresh secondary GUID per start (§6.2); with persistent state the
 	// previous window slides forward and is saved, so consecutive starts
@@ -216,6 +247,9 @@ func New(cfg Config) (*Client, error) {
 		return nil, err
 	}
 	go c.evictLoop()
+	if c.ckptDir != "" {
+		go c.resumeLoop()
+	}
 	return c, nil
 }
 
@@ -302,6 +336,31 @@ func (c *Client) Close() {
 	c.uploads.closeAll()
 }
 
+// Kill stops the client the way a crash would: no final statistics report,
+// no goodbye to the control plane, no checkpoint cleanup — downloads are cut
+// off mid-flight with their checkpoints left on disk. The in-process chaos
+// tests use it to simulate a SIGKILL without leaving goroutines behind.
+func (c *Client) Kill() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	dls := make([]*Download, 0, len(c.downloads))
+	for _, d := range c.downloads {
+		dls = append(dls, d)
+	}
+	c.mu.Unlock()
+	close(c.evictStop)
+	for _, d := range dls {
+		d.kill()
+	}
+	c.control.stop()
+	c.swarmLn.Close()
+	c.uploads.closeAll()
+}
+
 func (c *Client) logf(format string, args ...any) {
 	c.cfg.Logf("peer %s: %s", c.cfg.GUID.Short(), fmt.Sprintf(format, args...))
 }
@@ -317,6 +376,20 @@ func (c *Client) manifest(oid content.ObjectID) (*content.Manifest, error) {
 	c.mu.Unlock()
 	m, err := c.edge.FetchManifest(oid)
 	if err != nil {
+		// A disk-backed store that recovered this object already holds its
+		// verified manifest; resuming must not depend on the edge being
+		// reachable for metadata it already has.
+		type manifester interface {
+			Manifest(content.ObjectID) *content.Manifest
+		}
+		if ds, ok := c.store.(manifester); ok {
+			if m := ds.Manifest(oid); m != nil {
+				c.mu.Lock()
+				c.manifests[oid] = m
+				c.mu.Unlock()
+				return m, nil
+			}
+		}
 		return nil, err
 	}
 	c.mu.Lock()

@@ -51,6 +51,9 @@ type DownloadOpts struct {
 	// randomizes piece selection across the swarm, which diversifies which
 	// pieces each peer holds.
 	Sequential bool
+	// resumeP2POff restarts a checkpointed download already degraded to
+	// edge-only: the ladder's verdict on the swarm survives the crash.
+	resumeP2POff bool
 }
 
 // Download is one Download-Manager transfer (§3.3): it downloads from the
@@ -150,6 +153,9 @@ func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Downloa
 	} else {
 		d.have = content.NewBitfield(m.Object.NumPieces())
 	}
+	if opts.resumeP2POff {
+		d.p2pOff = true
+	}
 
 	c.mu.Lock()
 	if existing := c.downloads[oid]; existing != nil {
@@ -163,8 +169,9 @@ func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Downloa
 		// Already fully cached; finish immediately.
 		go d.finish(protocol.OutcomeCompleted)
 	} else {
+		c.saveCheckpoint(d)
 		go d.edgeLoop()
-		if d.p2p {
+		if d.p2p && !d.p2pOff {
 			d.lastPeerPiece = time.Now()
 			go d.peerLoop()
 			if c.cfg.StallWindow > 0 {
@@ -679,6 +686,8 @@ func (d *Download) disableP2P(reason string) {
 		d.c.metrics.degradeCorrupt.Inc()
 	}
 	d.trace.Event("p2p-degraded", reason)
+	// Persist the degradation so a post-crash resume stays edge-only.
+	d.c.saveCheckpoint(d)
 	d.c.logf("download %v degraded to edge-only (%s)", d.oid, reason)
 	d.c.reportProblem("p2p-degraded",
 		fmt.Sprintf("object %v reason %s", d.oid, reason))
@@ -732,6 +741,9 @@ func (d *Download) storeVerified(idx int, data []byte, from id.GUID, infra bool)
 		d.c.metrics.piecesPeers.Inc()
 		d.c.metrics.bytesDownPeers.Add(int64(len(data)))
 	}
+	// The piece is durable; make the progress record durable too, so a crash
+	// from here on costs at most the pieces still in flight.
+	d.c.saveCheckpoint(d)
 	for _, sc := range conns {
 		sc.send(&protocol.Have{Index: uint32(idx)})
 	}
@@ -795,6 +807,10 @@ func (d *Download) finish(outcome protocol.Outcome) {
 
 	d.report()
 	if outcome == protocol.OutcomeCompleted {
+		// Only completion retires the checkpoint: an aborted download stays
+		// resumable across restarts ("continue downloads that were aborted
+		// earlier", §3.3).
+		d.c.removeCheckpoint(d.oid)
 		d.c.markCached(d.oid)
 	}
 	if outcome == protocol.OutcomeCompleted && d.c.prefs.UploadsEnabled() {
@@ -808,6 +824,38 @@ func (d *Download) finish(outcome protocol.Outcome) {
 			})
 		}
 	}
+	close(d.doneCh)
+}
+
+// kill terminates the download the way a process death would: swarm
+// connections drop without a Goodbye, no statistics report is sent, and the
+// checkpoint stays on disk so a restart resumes the transfer. Only the
+// in-process crash tests use it.
+func (d *Download) kill() {
+	d.mu.Lock()
+	if d.state == stateDone {
+		d.mu.Unlock()
+		return
+	}
+	if d.state == statePaused {
+		close(d.pauseCh)
+	}
+	d.state = stateDone
+	d.outcome = protocol.OutcomeAborted
+	d.reported = true // a dead process reports nothing
+	conns := make([]*swarmConn, 0, len(d.conns))
+	for sc := range d.conns {
+		conns = append(conns, sc)
+	}
+	d.mu.Unlock()
+	for _, sc := range conns {
+		sc.close()
+	}
+	d.c.mu.Lock()
+	if d.c.downloads[d.oid] == d {
+		delete(d.c.downloads, d.oid)
+	}
+	d.c.mu.Unlock()
 	close(d.doneCh)
 }
 

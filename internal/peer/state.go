@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"netsession/internal/fsutil"
 	"netsession/internal/id"
 )
 
@@ -33,7 +34,11 @@ type stateFile struct {
 const stateFileName = "netsession-state.json"
 
 // LoadOrCreateState reads the installation state from dir, creating a fresh
-// installation (new random GUID) if none exists.
+// installation (new random GUID) if none exists. A corrupt or torn state
+// file — truncated JSON from a power loss, a damaged disk — is quarantined
+// as <file>.corrupt and replaced by a fresh installation rather than
+// wedging the client forever: the real NetSession would rather reinstall
+// (new GUID, an install event in the §6.1 sense) than refuse to start.
 func LoadOrCreateState(dir string, uploadsDefault bool) (*State, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("peer: state dir: %w", err)
@@ -41,20 +46,38 @@ func LoadOrCreateState(dir string, uploadsDefault bool) (*State, error) {
 	path := filepath.Join(dir, stateFileName)
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		st := &State{GUID: id.NewGUID(), UploadsEnabled: uploadsDefault}
-		if err := st.Save(dir); err != nil {
-			return nil, err
-		}
-		return st, nil
+		return freshState(dir, uploadsDefault)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("peer: read state: %w", err)
 	}
+	st, perr := parseState(raw)
+	if perr != nil {
+		// Torn write or corruption: keep the evidence, start fresh.
+		os.Remove(path + ".corrupt")
+		if err := os.Rename(path, path+".corrupt"); err != nil {
+			os.Remove(path)
+		}
+		return freshState(dir, uploadsDefault)
+	}
+	return st, nil
+}
+
+func freshState(dir string, uploadsDefault bool) (*State, error) {
+	st := &State{GUID: id.NewGUID(), UploadsEnabled: uploadsDefault}
+	if err := st.Save(dir); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func parseState(raw []byte) (*State, error) {
 	var sf stateFile
 	if err := json.Unmarshal(raw, &sf); err != nil {
 		return nil, fmt.Errorf("peer: parse state: %w", err)
 	}
 	st := &State{UploadsEnabled: sf.UploadsEnabled}
+	var err error
 	if st.GUID, err = id.ParseGUID(sf.GUID); err != nil {
 		return nil, err
 	}
@@ -71,7 +94,10 @@ func LoadOrCreateState(dir string, uploadsDefault bool) (*State, error) {
 	return st, nil
 }
 
-// Save writes the state to dir atomically.
+// Save writes the state to dir durably: temp file, fsync, rename, directory
+// fsync. A rename without the surrounding fsyncs can lose the file (or its
+// directory entry) on power loss, which would cost the installation its
+// GUID — the identity every §6 analysis keys on.
 func (st *State) Save(dir string) error {
 	sf := stateFile{GUID: st.GUID.String(), UploadsEnabled: st.UploadsEnabled}
 	for _, s := range st.Secondaries.Window {
@@ -81,9 +107,8 @@ func (st *State) Save(dir string) error {
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, stateFileName+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := fsutil.WriteFileAtomic(filepath.Join(dir, stateFileName), raw, 0o644); err != nil {
 		return fmt.Errorf("peer: write state: %w", err)
 	}
-	return os.Rename(tmp, filepath.Join(dir, stateFileName))
+	return nil
 }

@@ -40,14 +40,69 @@ func TestStateRoundTrip(t *testing.T) {
 	}
 }
 
-func TestStateRejectsCorruption(t *testing.T) {
+// TestStateRecoversFromCorruption: a corrupt state file must not wedge the
+// client. The damaged file is quarantined as evidence and the installation
+// starts fresh (new GUID), like a reinstall.
+func TestStateRecoversFromCorruption(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, stateFileName)
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadOrCreateState(dir, true); err == nil {
-		t.Error("corrupt state accepted")
+	st, err := LoadOrCreateState(dir, true)
+	if err != nil {
+		t.Fatalf("corrupt state wedged the client: %v", err)
+	}
+	if st.GUID.IsZero() {
+		t.Error("recovered state has no GUID")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Error("corrupt state file not quarantined")
+	}
+}
+
+// TestStateRecoversFromTornWrite simulates a power loss mid-write: the JSON
+// is truncated at an arbitrary byte. LoadOrCreateState must recover with a
+// fresh installation rather than erroring, and the torn file must be kept
+// for inspection.
+func TestStateRecoversFromTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	st, err := LoadOrCreateState(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Secondaries.Push(id.NewSecondary())
+	if err := st.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, stateFileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := LoadOrCreateState(dir, true)
+	if err != nil {
+		t.Fatalf("torn state file wedged the client: %v", err)
+	}
+	if st2.GUID.IsZero() {
+		t.Error("recovered state has no GUID")
+	}
+	if st2.GUID == st.GUID {
+		t.Error("torn state recovered the old GUID (parse should have failed)")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Error("torn state file not quarantined")
+	}
+	// The recovery is itself durable: a second load sees the fresh state.
+	st3, err := LoadOrCreateState(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.GUID != st2.GUID {
+		t.Error("fresh installation not persisted")
 	}
 }
 

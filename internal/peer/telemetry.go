@@ -48,6 +48,12 @@ type clientMetrics struct {
 	degradeStall     *telemetry.Counter
 	degradeCorrupt   *telemetry.Counter
 
+	// Crash-recovery counters, also eager: how many downloads restarted
+	// from a persisted checkpoint, and how many verified pieces those
+	// resumes recovered from the durable store instead of refetching.
+	resumeTotal     *telemetry.Counter
+	piecesRecovered *telemetry.Counter
+
 	downloadsByOutcome map[string]*telemetry.Counter
 	stunOK             *telemetry.Counter
 	stunFail           *telemetry.Counter
@@ -101,6 +107,10 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 		degradeCorrupt: reg.Counter("peer_p2p_degradations_total",
 			"downloads that disabled p2p and fell back to edge-only, by reason",
 			telemetry.Labels{"reason": "corruption"}),
+		resumeTotal: reg.Counter("peer_resume_total",
+			"downloads resumed from a persisted checkpoint after a restart", nil),
+		piecesRecovered: reg.Counter("peer_pieces_recovered_total",
+			"verified pieces recovered from the durable store on resume instead of refetched", nil),
 		downloadsByOutcome: make(map[string]*telemetry.Counter),
 		stunOK: reg.Counter("peer_stun_discoveries_total",
 			"STUN reflexive-address discoveries, by outcome", telemetry.Labels{"outcome": "ok"}),

@@ -31,7 +31,7 @@ func TestClusterTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	spawn := func() *Peer {
+	spawn := func(stateDir string) *Peer {
 		ip, err := c.AllocateIdentity("JP")
 		if err != nil {
 			t.Fatal(err)
@@ -42,6 +42,7 @@ func TestClusterTelemetry(t *testing.T) {
 			EdgeURL:        c.EdgeURL(),
 			MonitorURL:     c.MonitorURL(),
 			UploadsEnabled: true,
+			StateDir:       stateDir,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -53,7 +54,7 @@ func TestClusterTelemetry(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	seed := spawn()
+	seed := spawn("")
 	dl, err := seed.Download(obj.ID)
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +64,9 @@ func TestClusterTelemetry(t *testing.T) {
 	}
 
 	time.Sleep(200 * time.Millisecond)
-	leech := spawn()
+	// The leech runs disk-backed so the crash-recovery series (resume,
+	// recovered pieces, store recovery scan) appear on its exposition too.
+	leech := spawn(t.TempDir())
 	dl2, err := leech.Download(obj.ID)
 	if err != nil {
 		t.Fatal(err)
@@ -155,9 +158,26 @@ func TestClusterTelemetry(t *testing.T) {
 		`peer_swarm_blacklist_total`,
 		`peer_p2p_degradations_total{reason="corruption"}`,
 		`peer_p2p_degradations_total{reason="stall"}`,
+		`peer_resume_total`,
+		`peer_pieces_recovered_total`,
+		`store_recovery_corrupt_total`,
 	} {
 		if !strings.Contains(expo.String(), series) {
 			t.Errorf("peer exposition missing resilience series %q", series)
+		}
+	}
+
+	// The control plane's DN-recovery series are eager too: every region's
+	// rebuild counter and flag exist at zero before any DN has ever failed.
+	cpBody, _ := get(t, c.ControlPlaneURL()+"/metrics")
+	for _, series := range []string{
+		`dn_rebuild_announces_total{region="AS-NEA"}`,
+		`dn_rebuild_announces_total{region="EU-West"}`,
+		`dn_rebuilding{region="AS-NEA"}`,
+		"dn_rebuild_ms",
+	} {
+		if !strings.Contains(cpBody, series) {
+			t.Errorf("cp /metrics missing DN recovery series %q", series)
 		}
 	}
 
