@@ -11,6 +11,7 @@ import (
 	"netsession/internal/edge"
 	"netsession/internal/faults"
 	"netsession/internal/geo"
+	"netsession/internal/logpipe"
 	"netsession/internal/nat"
 	"netsession/internal/telemetry"
 )
@@ -48,6 +49,17 @@ type ClusterConfig struct {
 	// model, exercising the client's reconnect-with-backoff path (§3.8).
 	// The zero value injects nothing.
 	CNFaults faults.Config
+	// LogDir, when set, opens a durable segment store there: every accepted
+	// download record is spilled to rotated gzip NDJSON segments that
+	// netsession-analyze reads (the month of logs of §4.1).
+	LogDir string
+	// MaxLogRecords bounds the collector's in-memory log per record kind;
+	// zero selects the accounting defaults, negative is unbounded.
+	MaxLogRecords int
+	// IngestFaults injects faults (503s, stalls, 429 storms) into the log
+	// ingest endpoint. The zero value injects nothing; chaos tests can also
+	// swap injectors at runtime via LogIngest().SetFaults.
+	IngestFaults faults.Config
 }
 
 // DefaultClusterConfig returns a single-CN deployment with accounting
@@ -130,6 +142,18 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.DNRebuildWindow < 0 {
 		rebuildMs = -1 // sub-millisecond negatives still mean "disabled"
 	}
+	var logStore *logpipe.Store
+	if cfg.LogDir != "" {
+		logStore, err = logpipe.OpenStore(logpipe.StoreConfig{
+			Dir: cfg.LogDir, Telemetry: cpReg,
+		})
+		if err != nil {
+			es.Close()
+			mon.Close()
+			stun.Close()
+			return nil, err
+		}
+	}
 	cp, err := controlplane.New(controlplane.Config{
 		Scape:             scape,
 		Minter:            minter,
@@ -140,6 +164,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		DNRebuildWindowMs: rebuildMs,
 		Telemetry:         cpReg,
 		ConnWrap:          cnInj.WrapConn,
+		LogStore:          logStore,
+		MaxLogRecords:     cfg.MaxLogRecords,
+		IngestFaults:      faults.New(cfg.IngestFaults, cpReg),
 	})
 	if err != nil {
 		es.Close()
@@ -256,6 +283,14 @@ func (c *Cluster) AllocateIdentity(country string) (string, error) {
 
 // AccountingLog returns a snapshot of the collected usage records.
 func (c *Cluster) AccountingLog() *Log { return c.cp.Collector().Snapshot() }
+
+// LogStore returns the durable log segment store, or nil when LogDir was not
+// configured.
+func (c *Cluster) LogStore() *logpipe.Store { return c.cp.LogStore() }
+
+// LogIngest returns the control plane's log ingest endpoint; chaos tests use
+// it to flip fault injection on the live POST /v1/logs/batch handler.
+func (c *Cluster) LogIngest() *logpipe.Ingest { return c.cp.LogIngest() }
 
 // RejectedReports returns how many client usage reports failed edge
 // verification (suspected accounting attacks).

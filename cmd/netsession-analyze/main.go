@@ -1,8 +1,15 @@
 // Command netsession-analyze computes the trace analyses from an exported
-// log directory (the output of netsession-sim -out). The logs are
-// self-contained — every record carries its own geolocation — so this works
-// on any machine without the generating atlas, the way the paper's offline
-// analyses worked on the anonymized, EdgeScape-annotated data set (§4.1).
+// log set. The logs are self-contained — every record carries its own
+// geolocation — so this works on any machine without the generating atlas,
+// the way the paper's offline analyses worked on the anonymized,
+// EdgeScape-annotated data set (§4.1).
+//
+// Two input layouts are auto-detected:
+//
+//   - a downloads.jsonl file (netsession-sim -out with -format jsonl)
+//   - a directory of seg-*.ndjson.gz log segments, either directly in -logs
+//     or under -logs/segments (the control plane's durable log store, or
+//     netsession-sim -format segments)
 //
 // Usage:
 //
@@ -17,26 +24,53 @@ import (
 	"path/filepath"
 
 	"netsession/internal/analysis"
+	"netsession/internal/logpipe"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netsession-analyze: ")
 
-	dir := flag.String("logs", "netsession-logs", "log directory written by netsession-sim")
+	dir := flag.String("logs", "netsession-logs",
+		"log directory: downloads.jsonl (sim export) or seg-*.ndjson.gz segments (log store)")
 	flag.Parse()
 
-	f, err := os.Open(filepath.Join(*dir, "downloads.jsonl"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	dls, err := analysis.ReadDownloadsJSONL(f)
+	dls, source, err := loadDownloads(*dir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if len(dls) == 0 {
-		log.Fatal("no download records in the log directory")
+		log.Fatalf("no download records in %s (%s)", *dir, source)
 	}
+	log.Printf("read %d download records from %s", len(dls), source)
 	fmt.Print(analysis.SummarizeOffline(dls).Render())
+}
+
+// loadDownloads auto-detects the input layout. Both layouts decode into the
+// same offline schema, so a live-cluster segment store and a simulator export
+// flow through one analysis path.
+func loadDownloads(dir string) ([]analysis.OfflineDownload, string, error) {
+	jsonlPath := filepath.Join(dir, "downloads.jsonl")
+	if f, err := os.Open(jsonlPath); err == nil {
+		defer f.Close()
+		dls, rerr := analysis.ReadDownloadsJSONL(f)
+		if rerr != nil {
+			return nil, "", fmt.Errorf("%s: %w", jsonlPath, rerr)
+		}
+		return dls, jsonlPath, nil
+	}
+	for _, segDir := range []string{dir, filepath.Join(dir, "segments")} {
+		if !logpipe.HasSegments(segDir) {
+			continue
+		}
+		dls, rerr := logpipe.ReadDownloads(segDir)
+		if rerr != nil {
+			return nil, "", fmt.Errorf("%s: %w", segDir, rerr)
+		}
+		return dls, segDir + " (log segments)", nil
+	}
+	return nil, "", fmt.Errorf(
+		"no logs found in %s: expected either a downloads.jsonl file (netsession-sim export) "+
+			"or seg-*.ndjson.gz log segments in the directory or its segments/ subdirectory "+
+			"(control-plane log store)", dir)
 }

@@ -29,6 +29,7 @@ import (
 	"netsession/internal/controlplane"
 	"netsession/internal/edge"
 	"netsession/internal/geo"
+	"netsession/internal/logpipe"
 	"netsession/internal/selection"
 	"netsession/internal/telemetry"
 )
@@ -42,7 +43,9 @@ func main() {
 	population := flag.Int("population", 1000, "size of the deterministic identity plan")
 	identitySeed := flag.Int64("identity-seed", 7, "seed of the identity plan")
 	maxSessions := flag.Int("max-sessions", 0, "shed logins beyond this per CN (0 = unlimited)")
-	statusAddr := flag.String("status", "127.0.0.1:0", "operator HTTP address (/v1/status, /metrics, /v1/telemetry)")
+	statusAddr := flag.String("status", "127.0.0.1:0", "operator HTTP address (/v1/status, /metrics, /v1/telemetry, POST /v1/logs/batch)")
+	logDir := flag.String("log-dir", "", "durable log store directory: accepted download records are spilled to rotated gzip NDJSON segments that netsession-analyze reads")
+	maxLogRecords := flag.Int("max-log-records", 0, "in-memory accounting log cap per record kind (0 = default, negative = unbounded)")
 	scrape := flag.String("scrape", "", "comma-separated name=baseURL telemetry scrape targets for the monitor")
 	scrapeEvery := flag.Duration("scrape-interval", 10*time.Second, "monitor scrape interval")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and the monitor's /metrics on this address")
@@ -54,6 +57,16 @@ func main() {
 		log.Fatalf("identity plan: %v", err)
 	}
 
+	var logStore *logpipe.Store
+	if *logDir != "" {
+		var err error
+		logStore, err = logpipe.OpenStore(logpipe.StoreConfig{Dir: *logDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durable log store in %s", *logDir)
+	}
+
 	cp, err := controlplane.New(controlplane.Config{
 		Scape:            scape,
 		Minter:           edge.NewTokenMinter([]byte(*key)),
@@ -61,11 +74,16 @@ func main() {
 		Policy:           selection.DefaultPolicy(),
 		ClientConfig:     edge.DefaultClientConfig(),
 		MaxSessionsPerCN: *maxSessions,
+		LogStore:         logStore,
+		MaxLogRecords:    *maxLogRecords,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cp.Close()
+	if logStore != nil {
+		defer logStore.Close()
+	}
 
 	for i := 0; i < *numCNs; i++ {
 		cn, err := cp.StartCN("127.0.0.1:0")

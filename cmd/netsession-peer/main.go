@@ -46,6 +46,7 @@ func main() {
 	serve := flag.Bool("serve", false, "stay resident after the download, serving uploads")
 	monitorURL := flag.String("monitor", "", "monitoring node base URL receiving operational reports")
 	stunAddr := flag.String("stun", "", "STUN server address for reflexive-address discovery")
+	logUpload := flag.String("log-upload", "", "control plane operator URL (the -status address of netsession-cp); usage reports then go through the durable log spool and batched uploader instead of in-band. Requires -state-dir")
 	identity := flag.Int("identity", 0, "index into the deterministic identity plan")
 	identitySeed := flag.Int64("identity-seed", 7, "seed of the identity plan (must match netsession-cp)")
 	population := flag.Int("population", 1000, "size of the identity plan (must match netsession-cp)")
@@ -77,12 +78,25 @@ func main() {
 		STUNAddr:       *stunAddr,
 		UploadsEnabled: *uploads,
 		StateDir:       *stateDir,
+		LogUploadURL:   *logUpload,
 		Logf:           func(format string, args ...any) {},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
+	if *logUpload != "" {
+		// Drain the spool before exiting so short-lived invocations still
+		// deliver their usage reports; a killed process instead resumes from
+		// the durable spool on its next start.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := cl.FlushLogs(ctx); err != nil {
+				log.Printf("log flush: %v", err)
+			}
+		}()
+	}
 	log.Printf("GUID %s, swarm listener %s", cl.GUID(), cl.SwarmAddr())
 
 	if *stateDir != "" {

@@ -23,6 +23,7 @@ import (
 	"netsession"
 	"netsession/internal/accounting"
 	"netsession/internal/analysis"
+	"netsession/internal/logpipe"
 	"netsession/internal/telemetry"
 )
 
@@ -36,6 +37,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "random seed")
 	workers := flag.Int("workers", 0, "region-shard workers (0: one per CPU, 1: sequential reference mode; output is identical either way)")
 	outDir := flag.String("out", "netsession-logs", "output directory")
+	format := flag.String("format", "jsonl",
+		"download log format: jsonl (downloads.jsonl), segments (gzip NDJSON segments under out/segments, identical to the control plane's log store), or both")
 	telem := flag.Bool("telemetry", true, "log periodic telemetry snapshots (virtual time, events/sec, flows)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and live /metrics on this address during the run")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault-injection RNG (0: fixed default)")
@@ -83,8 +86,26 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	if err := writeDownloads(filepath.Join(*outDir, "downloads.jsonl"), res); err != nil {
-		log.Fatal(err)
+	wantJSONL, wantSegments := false, false
+	switch *format {
+	case "jsonl":
+		wantJSONL = true
+	case "segments":
+		wantSegments = true
+	case "both":
+		wantJSONL, wantSegments = true, true
+	default:
+		log.Fatalf("unknown -format %q (want jsonl, segments, or both)", *format)
+	}
+	if wantJSONL {
+		if err := writeDownloads(filepath.Join(*outDir, "downloads.jsonl"), res); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if wantSegments {
+		if err := writeSegments(filepath.Join(*outDir, "segments"), res); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if err := writeLogins(filepath.Join(*outDir, "logins.jsonl"), res.Log); err != nil {
 		log.Fatal(err)
@@ -98,37 +119,44 @@ func main() {
 	log.Printf("wrote logs to %s", *outDir)
 }
 
-// writeDownloads exports analysis.OfflineDownload records: each carries its
-// own geolocation so the log set is self-contained (netsession-analyze
-// reads it without the generating atlas).
-func writeDownloads(path string, res *netsession.ScenarioResult) error {
-	l := res.Log
-	lookup := func(ip netip.Addr) (string, uint32) {
+// scenarioLookup annotates logged IPs with the generating scape, the way the
+// control plane annotates live reports before spilling them.
+func scenarioLookup(res *netsession.ScenarioResult) analysis.GeoLookup {
+	return func(ip netip.Addr) (string, uint32) {
 		if rec, ok := res.Scape.Lookup(ip); ok {
 			return string(rec.Country), uint32(rec.ASN)
 		}
 		return "", 0
 	}
+}
+
+// writeDownloads exports analysis.OfflineDownload records: each carries its
+// own geolocation so the log set is self-contained (netsession-analyze
+// reads it without the generating atlas).
+func writeDownloads(path string, res *netsession.ScenarioResult) error {
+	l := res.Log
+	lookup := scenarioLookup(res)
 	return writeJSONL(path, len(l.Downloads), func(enc *json.Encoder, i int) error {
-		d := &l.Downloads[i]
-		country, asn := lookup(d.IP)
-		out := analysis.OfflineDownload{
-			GUID: d.GUID.String(), IP: d.IP.String(),
-			Country: country, ASN: asn,
-			Object:  d.Object.String(),
-			URLHash: d.URLHash, CP: uint32(d.CP), Size: d.Size,
-			P2PEnabled: d.P2PEnabled, StartMs: d.StartMs, EndMs: d.EndMs,
-			BytesInfra: d.BytesInfra, BytesPeers: d.BytesPeers,
-			Outcome: d.Outcome.String(), Peers: d.PeersReturned,
-		}
-		for _, pc := range d.FromPeers {
-			c, a := lookup(pc.IP)
-			out.FromPeers = append(out.FromPeers, analysis.OfflineContribution{
-				GUID: pc.GUID.String(), Country: c, ASN: a, Bytes: pc.Bytes,
-			})
-		}
-		return enc.Encode(out)
+		return enc.Encode(analysis.OfflineFromRecord(&l.Downloads[i], lookup))
 	})
+}
+
+// writeSegments exports the download log in the control plane's durable
+// segment format (gzip-compressed NDJSON), so simulated and live-cluster
+// log sets are byte-compatible inputs to netsession-analyze.
+func writeSegments(dir string, res *netsession.ScenarioResult) error {
+	st, err := logpipe.OpenStore(logpipe.StoreConfig{Dir: dir})
+	if err != nil {
+		return err
+	}
+	l := res.Log
+	lookup := scenarioLookup(res)
+	for i := range l.Downloads {
+		if err := st.Append(analysis.OfflineFromRecord(&l.Downloads[i], lookup)); err != nil {
+			return err
+		}
+	}
+	return st.Close()
 }
 
 type jsonLogin struct {

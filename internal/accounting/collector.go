@@ -1,11 +1,25 @@
 package accounting
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"netsession/internal/content"
 	"netsession/internal/id"
+	"netsession/internal/telemetry"
+)
+
+// Sentinel causes for rejected download reports; LedgerVerifier wraps them so
+// callers (and the per-reason reject counters) can classify failures with
+// errors.Is.
+var (
+	// ErrUnauthorized marks a report for a download the edge never
+	// authorized for that peer.
+	ErrUnauthorized = errors.New("accounting: unauthorized download report")
+	// ErrOverclaim marks a report claiming more infrastructure bytes than
+	// the edge served.
+	ErrOverclaim = errors.New("accounting: infra byte overclaim")
 )
 
 // Verifier cross-checks a client-submitted download report against trusted
@@ -37,35 +51,163 @@ type LedgerVerifier struct {
 // CheckDownload implements Verifier.
 func (v *LedgerVerifier) CheckDownload(rec *DownloadRecord) error {
 	if !v.Edge.Authorized(rec.GUID, rec.Object) {
-		return fmt.Errorf("accounting: peer %s reports unauthorized download of %v",
-			rec.GUID.Short(), rec.Object)
+		return fmt.Errorf("%w: peer %s reports download of %v",
+			ErrUnauthorized, rec.GUID.Short(), rec.Object)
 	}
 	slack := v.SlackBytes
 	if slack == 0 {
 		slack = content.DefaultPieceSize
 	}
 	if served := v.Edge.Served(rec.GUID, rec.Object); rec.BytesInfra > served+slack {
-		return fmt.Errorf("accounting: peer %s claims %d infra bytes, edge served %d",
-			rec.GUID.Short(), rec.BytesInfra, served)
+		return fmt.Errorf("%w: peer %s claims %d infra bytes, edge served %d",
+			ErrOverclaim, rec.GUID.Short(), rec.BytesInfra, served)
 	}
 	return nil
 }
 
+// Limits bounds the collector's in-memory log. A zero field selects that
+// kind's default cap; a negative field makes it unbounded (the simulator
+// snapshots complete logs and opts out explicitly).
+type Limits struct {
+	MaxDownloads     int
+	MaxLogins        int
+	MaxRegistrations int
+}
+
+// Default in-memory caps: with the durable segment store holding the full
+// history, the collector only needs a recent window for /v1/status and tests.
+const (
+	DefaultMaxDownloads     = 65536
+	DefaultMaxLogins        = 65536
+	DefaultMaxRegistrations = 65536
+)
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxDownloads == 0 {
+		l.MaxDownloads = DefaultMaxDownloads
+	}
+	if l.MaxLogins == 0 {
+		l.MaxLogins = DefaultMaxLogins
+	}
+	if l.MaxRegistrations == 0 {
+		l.MaxRegistrations = DefaultMaxRegistrations
+	}
+	return l
+}
+
+// Unbounded are the limits the simulator uses: its exported logs must be the
+// complete run, not a recent window.
+func Unbounded() Limits {
+	return Limits{MaxDownloads: -1, MaxLogins: -1, MaxRegistrations: -1}
+}
+
+// ring is a bounded FIFO over records: past its cap, each push evicts the
+// oldest entry so CN memory stays constant no matter how long the process
+// accepts reports. cap <= 0 means unbounded.
+type ring[T any] struct {
+	cap     int
+	buf     []T
+	start   int
+	evicted int64
+}
+
+func (r *ring[T]) push(v T) (evicted bool) {
+	if r.cap <= 0 || len(r.buf) < r.cap {
+		r.buf = append(r.buf, v)
+		return false
+	}
+	r.buf[r.start] = v
+	r.start = (r.start + 1) % len(r.buf)
+	r.evicted++
+	return true
+}
+
+func (r *ring[T]) len() int { return len(r.buf) }
+
+// snapshot copies the ring oldest-first.
+func (r *ring[T]) snapshot() []T {
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}
+
+// collectorMetrics are the collector's eagerly-registered series: every kind
+// and reject reason appears in /metrics at zero before the first report.
+type collectorMetrics struct {
+	downloads     *telemetry.Counter
+	logins        *telemetry.Counter
+	registrations *telemetry.Counter
+
+	rejUnauthorized *telemetry.Counter
+	rejOverclaim    *telemetry.Counter
+	rejOther        *telemetry.Counter
+
+	evicted *telemetry.Counter
+	logSize *telemetry.Gauge
+}
+
+func newCollectorMetrics(reg *telemetry.Registry) *collectorMetrics {
+	if reg == nil {
+		return nil
+	}
+	const recName = "accounting_records_total"
+	const recHelp = "usage records accepted into the accounting log, by kind"
+	const rejName = "accounting_rejected_total"
+	const rejHelp = "download reports rejected by verification, by reason"
+	return &collectorMetrics{
+		downloads:     reg.Counter(recName, recHelp, telemetry.Labels{"kind": "download"}),
+		logins:        reg.Counter(recName, recHelp, telemetry.Labels{"kind": "login"}),
+		registrations: reg.Counter(recName, recHelp, telemetry.Labels{"kind": "registration"}),
+
+		rejUnauthorized: reg.Counter(rejName, rejHelp, telemetry.Labels{"reason": "unauthorized"}),
+		rejOverclaim:    reg.Counter(rejName, rejHelp, telemetry.Labels{"reason": "overclaim"}),
+		rejOther:        reg.Counter(rejName, rejHelp, telemetry.Labels{"reason": "other"}),
+
+		evicted: reg.Counter("accounting_evicted_total",
+			"old records evicted from the bounded in-memory log", nil),
+		logSize: reg.Gauge("accounting_log_records",
+			"records currently held in the in-memory accounting log", nil),
+	}
+}
+
 // Collector is the CN-side accumulation point for usage records. It filters
-// forged download reports through the verifier (if any) and keeps the
-// accepted log for billing and analysis.
+// forged download reports through the verifier (if any) and keeps a bounded
+// in-memory window of the accepted log for billing and analysis; durable
+// history belongs to the logpipe segment store, not this process's heap.
 type Collector struct {
 	verifier Verifier
 
-	mu       sync.Mutex
-	log      Log
-	rejected int
+	mu            sync.Mutex
+	downloads     ring[DownloadRecord]
+	logins        ring[LoginRecord]
+	registrations ring[RegistrationRecord]
+	rejected      int
+	metrics       *collectorMetrics
 }
 
-// NewCollector creates a collector; verifier may be nil to accept all
-// reports (the simulator trusts its own synthetic reports).
+// NewCollector creates a collector with default limits and no telemetry;
+// verifier may be nil to accept all reports (the simulator trusts its own
+// synthetic reports). Use Configure to change limits or attach a registry.
 func NewCollector(verifier Verifier) *Collector {
-	return &Collector{verifier: verifier}
+	c := &Collector{verifier: verifier}
+	c.Configure(Limits{}, nil)
+	return c
+}
+
+// Configure sets the in-memory caps and (re)binds telemetry. It is meant for
+// setup time: records already held are kept but not re-trimmed until the next
+// push of their kind.
+func (c *Collector) Configure(limits Limits, reg *telemetry.Registry) {
+	limits = limits.withDefaults()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.downloads.cap = limits.MaxDownloads
+	c.logins.cap = limits.MaxLogins
+	c.registrations.cap = limits.MaxRegistrations
+	if reg != nil {
+		c.metrics = newCollectorMetrics(reg)
+	}
 }
 
 // AddDownload records a download report, returning an error if it was
@@ -75,28 +217,74 @@ func (c *Collector) AddDownload(rec DownloadRecord) error {
 		if err := c.verifier.CheckDownload(&rec); err != nil {
 			c.mu.Lock()
 			c.rejected++
+			m := c.metrics
 			c.mu.Unlock()
+			if m != nil {
+				switch {
+				case errors.Is(err, ErrUnauthorized):
+					m.rejUnauthorized.Inc()
+				case errors.Is(err, ErrOverclaim):
+					m.rejOverclaim.Inc()
+				default:
+					m.rejOther.Inc()
+				}
+			}
 			return err
 		}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.log.Downloads = append(c.log.Downloads, rec)
+	c.finishPush(c.downloads.push(rec), c.metrics.downloadsCounter())
+	c.mu.Unlock()
 	return nil
 }
 
 // AddLogin records a login.
 func (c *Collector) AddLogin(rec LoginRecord) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.log.Logins = append(c.log.Logins, rec)
+	c.finishPush(c.logins.push(rec), c.metrics.loginsCounter())
+	c.mu.Unlock()
 }
 
 // AddRegistration records a DN registration event.
 func (c *Collector) AddRegistration(rec RegistrationRecord) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.log.Registrations = append(c.log.Registrations, rec)
+	c.finishPush(c.registrations.push(rec), c.metrics.registrationsCounter())
+	c.mu.Unlock()
+}
+
+// finishPush updates the accepted-record telemetry; callers hold c.mu.
+func (c *Collector) finishPush(evicted bool, kind *telemetry.Counter) {
+	if c.metrics == nil {
+		return
+	}
+	if kind != nil {
+		kind.Inc()
+	}
+	if evicted {
+		c.metrics.evicted.Inc()
+	}
+	c.metrics.logSize.Set(float64(c.downloads.len() + c.logins.len() + c.registrations.len()))
+}
+
+func (m *collectorMetrics) downloadsCounter() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.downloads
+}
+
+func (m *collectorMetrics) loginsCounter() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.logins
+}
+
+func (m *collectorMetrics) registrationsCounter() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.registrations
 }
 
 // Rejected returns how many download reports verification filtered out.
@@ -106,14 +294,21 @@ func (c *Collector) Rejected() int {
 	return c.rejected
 }
 
-// Snapshot returns a copy of the accepted log.
+// Evicted returns how many accepted records the bounded log has discarded.
+func (c *Collector) Evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.downloads.evicted + c.logins.evicted + c.registrations.evicted
+}
+
+// Snapshot returns a copy of the retained (in-memory window of the) accepted
+// log, oldest record first.
 func (c *Collector) Snapshot() *Log {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := &Log{
-		Downloads:     append([]DownloadRecord(nil), c.log.Downloads...),
-		Logins:        append([]LoginRecord(nil), c.log.Logins...),
-		Registrations: append([]RegistrationRecord(nil), c.log.Registrations...),
+	return &Log{
+		Downloads:     c.downloads.snapshot(),
+		Logins:        c.logins.snapshot(),
+		Registrations: c.registrations.snapshot(),
 	}
-	return out
 }

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/netip"
 	"sort"
 	"strings"
+
+	"netsession/internal/accounting"
 )
 
 // The offline path analyzes exported JSON-lines logs without the generating
@@ -40,6 +43,38 @@ type OfflineContribution struct {
 	Country string `json:"country"`
 	ASN     uint32 `json:"asn"`
 	Bytes   int64  `json:"bytes"`
+}
+
+// GeoLookup annotates an IP with (country, ASN); it may return zero values
+// for unknown addresses.
+type GeoLookup func(ip netip.Addr) (country string, asn uint32)
+
+// OfflineFromRecord converts one accepted accounting record into the
+// self-contained offline schema, annotating geography through lookup (nil
+// lookup leaves Country/ASN zero). The simulator's log exporter and the
+// control plane's segment store both go through this, so live-cluster and
+// simulated segment files are byte-compatible inputs to the analyses.
+func OfflineFromRecord(d *accounting.DownloadRecord, lookup GeoLookup) OfflineDownload {
+	if lookup == nil {
+		lookup = func(netip.Addr) (string, uint32) { return "", 0 }
+	}
+	country, asn := lookup(d.IP)
+	out := OfflineDownload{
+		GUID: d.GUID.String(), IP: d.IP.String(),
+		Country: country, ASN: asn,
+		Object:  d.Object.String(),
+		URLHash: d.URLHash, CP: uint32(d.CP), Size: d.Size,
+		P2PEnabled: d.P2PEnabled, StartMs: d.StartMs, EndMs: d.EndMs,
+		BytesInfra: d.BytesInfra, BytesPeers: d.BytesPeers,
+		Outcome: d.Outcome.String(), Peers: d.PeersReturned,
+	}
+	for _, pc := range d.FromPeers {
+		c, a := lookup(pc.IP)
+		out.FromPeers = append(out.FromPeers, OfflineContribution{
+			GUID: pc.GUID.String(), Country: c, ASN: a, Bytes: pc.Bytes,
+		})
+	}
+	return out
 }
 
 // ReadDownloadsJSONL parses an exported downloads file.

@@ -301,7 +301,7 @@ func (cn *CN) handleStats(s *session, m *protocol.StatsReport) {
 	}
 	// Verification failures are dropped silently here; the collector
 	// counts them and operators watch the monitor.
-	_ = cn.cp.Collector().AddDownload(rec)
+	_ = cn.cp.recordDownload(rec)
 }
 
 func (s *session) send(m protocol.Message) {

@@ -15,8 +15,10 @@ import (
 
 	"netsession/internal/accounting"
 	"netsession/internal/edge"
+	"netsession/internal/faults"
 	"netsession/internal/geo"
 	"netsession/internal/id"
+	"netsession/internal/logpipe"
 	"netsession/internal/protocol"
 	"netsession/internal/selection"
 	"netsession/internal/telemetry"
@@ -50,6 +52,18 @@ type Config struct {
 	// Telemetry is the metrics registry; nil creates a private one. It is
 	// served on the status server's GET /metrics and GET /v1/telemetry.
 	Telemetry *telemetry.Registry
+	// LogStore, when set, receives every accepted download record as
+	// append-only rotated segments — the durable month of logs the paper's
+	// analyses read (§4.1). The in-memory collector then only holds a recent
+	// window.
+	LogStore *logpipe.Store
+	// MaxLogRecords caps how many records of each kind the collector keeps
+	// in memory; zero selects the accounting defaults, negative is unbounded.
+	MaxLogRecords int
+	// IngestFaults, when set, injects faults (503s, stalls, 429 storms) into
+	// the log ingest endpoint; it can also be swapped at runtime through
+	// LogIngest().SetFaults.
+	IngestFaults *faults.Injector
 	// ConnWrap, when set, wraps every accepted CN connection — the hook
 	// fault-injection harnesses use to make control sessions drop or lag
 	// (chaos testing the §3.8 reconnect path). Nil leaves conns untouched.
@@ -122,6 +136,7 @@ func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
 type ControlPlane struct {
 	cfg     Config
 	metrics *cpMetrics
+	ingest  *logpipe.Ingest
 
 	dns [geo.NumRegions]*DN
 
@@ -147,6 +162,16 @@ func New(cfg Config) (*ControlPlane, error) {
 		metrics:  newCPMetrics(cfg.Telemetry),
 		sessions: make(map[id.GUID]*session),
 	}
+	cp.cfg.Collector.Configure(accounting.Limits{
+		MaxDownloads:     cfg.MaxLogRecords,
+		MaxLogins:        cfg.MaxLogRecords,
+		MaxRegistrations: cfg.MaxLogRecords,
+	}, cp.metrics.reg)
+	cp.ingest = logpipe.NewIngest(logpipe.IngestConfig{
+		Handle:    cp.ingestEntry,
+		Telemetry: cp.metrics.reg,
+	})
+	cp.ingest.SetFaults(cfg.IngestFaults)
 	if cp.cfg.DNRebuildWindowMs == 0 {
 		cp.cfg.DNRebuildWindowMs = 2000
 	}
@@ -170,6 +195,13 @@ func (cp *ControlPlane) DN(r geo.NetworkRegion) *DN { return cp.dns[int(r)] }
 
 // Collector returns the accounting collector.
 func (cp *ControlPlane) Collector() *accounting.Collector { return cp.cfg.Collector }
+
+// LogIngest returns the log ingest endpoint (mounted on the status server's
+// POST /v1/logs/batch); chaos tests flip faults on it at runtime.
+func (cp *ControlPlane) LogIngest() *logpipe.Ingest { return cp.ingest }
+
+// LogStore returns the durable segment store, or nil when not configured.
+func (cp *ControlPlane) LogStore() *logpipe.Store { return cp.cfg.LogStore }
 
 // StartCN starts a connection node listening on addr and returns it.
 func (cp *ControlPlane) StartCN(addr string) (*CN, error) {

@@ -1,0 +1,97 @@
+package controlplane
+
+import (
+	"fmt"
+	"net/netip"
+
+	"netsession/internal/accounting"
+	"netsession/internal/analysis"
+	"netsession/internal/content"
+	"netsession/internal/id"
+	"netsession/internal/logpipe"
+	"netsession/internal/protocol"
+)
+
+// The log sink is where both report paths converge: the legacy in-band
+// StatsReport on the control connection and the batched logpipe upload both
+// become accounting.DownloadRecords here, flow through the same verifier, and
+// — when a segment store is configured — are spilled durably in the offline
+// analysis schema. One code path, two transports.
+
+// recordDownload verifies and books one download record. Verification
+// failures are returned (and counted by the collector); store spill errors
+// are returned but leave the collector state intact.
+func (cp *ControlPlane) recordDownload(rec accounting.DownloadRecord) error {
+	if err := cp.cfg.Collector.AddDownload(rec); err != nil {
+		return err
+	}
+	if st := cp.cfg.LogStore; st != nil {
+		off := analysis.OfflineFromRecord(&rec, cp.geoLookup)
+		if err := st.Append(off); err != nil {
+			return fmt.Errorf("controlplane: spill download record: %w", err)
+		}
+	}
+	return nil
+}
+
+// geoLookup annotates a logged IP the way the paper's offline data set is
+// annotated with EdgeScape fields (§4.1).
+func (cp *ControlPlane) geoLookup(ip netip.Addr) (string, uint32) {
+	if rec, ok := cp.cfg.Scape.Lookup(ip); ok {
+		return string(rec.Country), uint32(rec.ASN)
+	}
+	return "", 0
+}
+
+// ingestEntry is the logpipe ingest handler: one uploaded log entry becomes
+// a download record attributed to the uploading GUID. A returned error
+// rejects just that record; the batch is still acknowledged.
+func (cp *ControlPlane) ingestEntry(guid id.GUID, e *logpipe.Entry) error {
+	if e.Kind != logpipe.EntryKindDownload {
+		return fmt.Errorf("controlplane: unknown log entry kind %q", e.Kind)
+	}
+	obj, err := e.ObjectID()
+	if err != nil {
+		return err
+	}
+	rec := accounting.DownloadRecord{
+		GUID:          guid,
+		Object:        obj,
+		URLHash:       e.URLHash,
+		CP:            content.CPCode(e.CP),
+		Size:          e.Size,
+		StartMs:       e.StartMs,
+		EndMs:         e.EndMs,
+		BytesInfra:    e.BytesInfra,
+		BytesPeers:    e.BytesPeers,
+		Outcome:       protocol.Outcome(e.Outcome),
+		PeersReturned: e.PeersReturned,
+	}
+	// Attribute the reporter's IP: a live control session is authoritative,
+	// the declared IP in the entry is the offline fallback.
+	if s := cp.lookupSession(guid); s != nil {
+		rec.IP = s.rec.IP
+	} else if ip, perr := netip.ParseAddr(e.IP); perr == nil {
+		rec.IP = ip
+	}
+	for _, pc := range e.FromPeers {
+		pg, gerr := id.ParseGUID(pc.GUID)
+		if gerr != nil {
+			continue // a malformed contributor must not sink the whole record
+		}
+		contrib := accounting.PeerContribution{GUID: pg, Bytes: pc.Bytes}
+		if up := cp.lookupSession(pg); up != nil {
+			contrib.IP = up.rec.IP
+		}
+		rec.FromPeers = append(rec.FromPeers, contrib)
+	}
+	// Attribute p2p enablement from the edge-issued token, exactly as the
+	// in-band StatsReport path does.
+	if cp.cfg.Minter != nil && len(e.Token) > 0 {
+		if claims, verr := cp.cfg.Minter.Verify(e.Token, 0); verr == nil && claims.Object == obj {
+			rec.P2PEnabled = claims.P2P
+		}
+	}
+	cp.metrics.statsReports.Inc()
+	return cp.recordDownload(rec)
+}

@@ -32,6 +32,11 @@ type Config struct {
 	// DropRate is the probability in [0,1] that a connection is severed
 	// mid-flight (hijack+close for HTTP, forced close for conns).
 	DropRate float64
+	// RejectRate is the probability in [0,1] that a request is refused with
+	// explicit backpressure (HTTP 429 + Retry-After) instead of served — the
+	// knob that chaos-tests whether uploaders honor the server's pushback
+	// rather than hammering it.
+	RejectRate float64
 	// FlapPeriod/FlapDownFor model a flapping server: within every
 	// FlapPeriod window the target is up first, then hard-down for the
 	// trailing FlapDownFor. Zero period disables flapping.
@@ -41,7 +46,7 @@ type Config struct {
 
 // Enabled reports whether the config injects any fault at all.
 func (c Config) Enabled() bool {
-	return c.LatencyMax > 0 || c.ErrorRate > 0 || c.DropRate > 0 ||
+	return c.LatencyMax > 0 || c.ErrorRate > 0 || c.DropRate > 0 || c.RejectRate > 0 ||
 		(c.FlapPeriod > 0 && c.FlapDownFor > 0)
 }
 
@@ -61,6 +66,7 @@ type Injector struct {
 	errors    *telemetry.Counter
 	drops     *telemetry.Counter
 	flaps     *telemetry.Counter
+	rejects   *telemetry.Counter
 }
 
 // New creates an injector for cfg, eagerly registering its
@@ -86,6 +92,7 @@ func New(cfg Config, reg *telemetry.Registry) *Injector {
 		inj.errors = reg.Counter(name, help, telemetry.Labels{"kind": "error"})
 		inj.drops = reg.Counter(name, help, telemetry.Labels{"kind": "drop"})
 		inj.flaps = reg.Counter(name, help, telemetry.Labels{"kind": "flap"})
+		inj.rejects = reg.Counter(name, help, telemetry.Labels{"kind": "reject"})
 	}
 	return inj
 }
@@ -154,6 +161,20 @@ func (i *Injector) DropNext() bool {
 	i.mu.Unlock()
 	if hit {
 		inc(i.drops)
+	}
+	return hit
+}
+
+// RejectNext draws the backpressure coin for one operation.
+func (i *Injector) RejectNext() bool {
+	if i == nil || i.cfg.RejectRate <= 0 {
+		return false
+	}
+	i.mu.Lock()
+	hit := i.rng.Float64() < i.cfg.RejectRate
+	i.mu.Unlock()
+	if hit {
+		inc(i.rejects)
 	}
 	return hit
 }

@@ -1,0 +1,68 @@
+package logpipe
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"netsession/internal/content"
+	"netsession/internal/id"
+)
+
+// Entry is the wire schema of one client log record inside an uploaded
+// batch: the per-download usage report of §4.1 as the peer knows it, before
+// the control plane attributes geography. Objects travel as the full 64-hex
+// content ID so the CP can re-verify the report against the edge ledger, and
+// the edge-issued authorization token rides along for the accounting checks
+// of §3.5 (exactly as it does on the control-connection StatsReport path).
+type Entry struct {
+	Kind    string `json:"kind"` // "download" is the only kind today
+	GUID    string `json:"guid"`
+	IP      string `json:"ip,omitempty"` // the peer's declared IP
+	Object  string `json:"object"`       // full hex content ID
+	URLHash string `json:"urlHash"`
+	CP      uint32 `json:"cp"`
+	Size    int64  `json:"size"`
+
+	StartMs int64 `json:"startMs"`
+	EndMs   int64 `json:"endMs"`
+
+	BytesInfra int64 `json:"bytesInfra"`
+	BytesPeers int64 `json:"bytesPeers"`
+
+	Outcome       uint8  `json:"outcome"`
+	PeersReturned int    `json:"peersReturned"`
+	Token         []byte `json:"token,omitempty"`
+
+	FromPeers []EntryContribution `json:"fromPeers,omitempty"`
+}
+
+// EntryContribution attributes bytes to one serving peer.
+type EntryContribution struct {
+	GUID  string `json:"guid"`
+	Bytes int64  `json:"bytes"`
+}
+
+// EntryKindDownload is the Entry.Kind of a per-download usage report.
+const EntryKindDownload = "download"
+
+// ObjectID parses the entry's full-length content ID.
+func (e *Entry) ObjectID() (content.ObjectID, error) {
+	var oid content.ObjectID
+	raw, err := hex.DecodeString(e.Object)
+	if err != nil || len(raw) != len(oid) {
+		return oid, fmt.Errorf("logpipe: invalid object id %q", e.Object)
+	}
+	copy(oid[:], raw)
+	return oid, nil
+}
+
+// EncodeObjectID renders a content ID in the entry's full-length form (the
+// short content.ObjectID.String form is for logs and is not reversible).
+func EncodeObjectID(oid content.ObjectID) string {
+	return hex.EncodeToString(oid[:])
+}
+
+// PeerGUID parses the entry's reporting GUID.
+func (e *Entry) PeerGUID() (id.GUID, error) {
+	return id.ParseGUID(e.GUID)
+}

@@ -1,0 +1,60 @@
+package logpipe
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadSegment feeds arbitrary bytes — and mutations of valid segments —
+// through the segment reader. The invariants: never panic, never return
+// anything but complete newline-delimited lines, and classify every damaged
+// stream as ErrTorn so callers can apply the torn-final-segment policy.
+func FuzzReadSegment(f *testing.F) {
+	if valid, err := MarshalSegment(testLines(5)); err == nil {
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2]) // torn tail
+		f.Add(valid[:1])            // torn inside the gzip header
+	}
+	if empty, err := MarshalSegment(nil); err == nil {
+		f.Add(empty)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("plain text, not gzip"))
+	f.Add([]byte{0x1f, 0x8b}) // bare gzip magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lines, err := ReadSegment(bytes.NewReader(data))
+		if err != nil && !errors.Is(err, ErrTorn) {
+			t.Fatalf("ReadSegment error %v is not ErrTorn", err)
+		}
+		for i, l := range lines {
+			if len(l) == 0 {
+				t.Fatalf("line %d is empty; blank lines must be skipped", i)
+			}
+			if bytes.ContainsRune(l, '\n') {
+				t.Fatalf("line %d contains a newline: %q", i, l)
+			}
+		}
+		// A reader must be able to re-frame what the writer produces: lines
+		// recovered from any stream must round-trip losslessly.
+		if len(lines) > 0 {
+			re, merr := MarshalSegment(lines)
+			if merr != nil {
+				t.Fatalf("re-marshal recovered lines: %v", merr)
+			}
+			back, rerr := ReadSegment(bytes.NewReader(re))
+			if rerr != nil {
+				t.Fatalf("re-read re-marshaled segment: %v", rerr)
+			}
+			if len(back) != len(lines) {
+				t.Fatalf("re-read returned %d lines, want %d", len(back), len(lines))
+			}
+			for i := range lines {
+				if !bytes.Equal(back[i], lines[i]) {
+					t.Fatalf("re-read line %d = %q, want %q", i, back[i], lines[i])
+				}
+			}
+		}
+	})
+}

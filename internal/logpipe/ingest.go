@@ -1,0 +1,315 @@
+package logpipe
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netsession/internal/faults"
+	"netsession/internal/id"
+	"netsession/internal/telemetry"
+)
+
+// BatchPath is the ingest endpoint's URL path; uploaders POST sealed
+// segments to it on the control plane's operator HTTP surface.
+const BatchPath = "/v1/logs/batch"
+
+// Batch identity travels in headers so the body stays exactly the segment
+// bytes the spool sealed — idempotent resends are byte-identical.
+const (
+	HeaderGUID = "X-Logpipe-Guid"
+	HeaderSeq  = "X-Logpipe-Seq"
+)
+
+// IngestConfig configures the control plane's log ingest endpoint.
+type IngestConfig struct {
+	// Handle processes one decoded entry from an accepted batch. A returned
+	// error rejects that record (counted, not retryable); the batch is still
+	// acknowledged — verification rejects must not wedge the uploader.
+	Handle func(guid id.GUID, e *Entry) error
+	// MaxBatchBytes caps the compressed batch body; zero selects 1 MiB.
+	MaxBatchBytes int64
+	// MaxDecodedBytes caps the decompressed batch; zero selects 8 MiB.
+	// Oversized batches are refused with 413 — a gzip bomb must not expand
+	// in CN memory.
+	MaxDecodedBytes int64
+	// DedupWindow is how many recent batch IDs are remembered for
+	// exactly-once ingestion across uploader crashes; zero selects 4096.
+	DedupWindow int
+	// MaxInflight bounds concurrently processed batches; beyond it the
+	// endpoint answers 429 with Retry-After — explicit backpressure instead
+	// of queue growth. Zero selects 4.
+	MaxInflight int
+	// RetryAfter is the backpressure hint sent with 429s; zero selects 1s.
+	RetryAfter time.Duration
+	// Telemetry registers the ingest metrics eagerly; nil skips telemetry.
+	Telemetry *telemetry.Registry
+}
+
+// Ingest is the HTTP ingest endpoint for uploaded log batches. It enforces
+// size caps, deduplicates resent batches by (GUID, sequence), sheds load
+// with explicit 429 backpressure, and feeds each record to the configured
+// handler. All methods are safe for concurrent use.
+type Ingest struct {
+	cfg IngestConfig
+	sem chan struct{}
+
+	// inj is the runtime-settable fault injector (chaos tests flip it on and
+	// off mid-run to drive 503 storms and stalls through a live endpoint).
+	inj atomic.Pointer[faults.Injector]
+
+	mu    sync.Mutex
+	seen  map[string]bool
+	order []string
+	next  int
+
+	batches      *telemetry.Counter
+	records      *telemetry.Counter
+	deduped      *telemetry.Counter
+	backpressure *telemetry.Counter
+	rejTooLarge  *telemetry.Counter
+	rejBadBatch  *telemetry.Counter
+	rejBadEntry  *telemetry.Counter
+}
+
+// NewIngest creates an ingest endpoint.
+func NewIngest(cfg IngestConfig) *Ingest {
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 1 << 20
+	}
+	if cfg.MaxDecodedBytes <= 0 {
+		cfg.MaxDecodedBytes = 8 << 20
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 4096
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	in := &Ingest{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		seen:  make(map[string]bool, cfg.DedupWindow),
+		order: make([]string, cfg.DedupWindow),
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		in.batches = reg.Counter("logpipe_ingest_batches_total",
+			"log batches accepted by the ingest endpoint", nil)
+		in.records = reg.Counter("logpipe_ingest_records_total",
+			"log records accepted by the ingest endpoint", nil)
+		in.deduped = reg.Counter("logpipe_ingest_deduped_total",
+			"resent log batches dropped by the dedup window", nil)
+		in.backpressure = reg.Counter("logpipe_ingest_backpressure_total",
+			"log batches answered with 429 backpressure", nil)
+		const rejName = "logpipe_ingest_rejected_total"
+		const rejHelp = "log batches or records rejected by the ingest endpoint, by reason"
+		in.rejTooLarge = reg.Counter(rejName, rejHelp, telemetry.Labels{"reason": "too_large"})
+		in.rejBadBatch = reg.Counter(rejName, rejHelp, telemetry.Labels{"reason": "bad_batch"})
+		in.rejBadEntry = reg.Counter(rejName, rejHelp, telemetry.Labels{"reason": "bad_entry"})
+	}
+	return in
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector on the live
+// endpoint: injected errors answer 503, injected latency stalls the
+// response, injected rejects answer 429.
+func (in *Ingest) SetFaults(inj *faults.Injector) { in.inj.Store(inj) }
+
+// BatchResponse is the ingest endpoint's JSON reply.
+type BatchResponse struct {
+	Accepted  int  `json:"accepted"`
+	Rejected  int  `json:"rejected"`
+	Duplicate bool `json:"duplicate"`
+}
+
+// Handler returns the HTTP handler for POST BatchPath.
+func (in *Ingest) Handler() http.Handler {
+	return http.HandlerFunc(in.serve)
+}
+
+func (in *Ingest) serve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	inj := in.inj.Load()
+	if d := inj.Latency(); d > 0 {
+		time.Sleep(d)
+	}
+	if inj.Down() || inj.FailNext() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "ingest unavailable (injected)", http.StatusServiceUnavailable)
+		return
+	}
+	if inj.RejectNext() {
+		in.send429(w)
+		return
+	}
+	select {
+	case in.sem <- struct{}{}:
+		defer func() { <-in.sem }()
+	default:
+		in.send429(w)
+		return
+	}
+
+	guid, err := id.ParseGUID(r.Header.Get(HeaderGUID))
+	if err != nil {
+		in.inc(in.rejBadBatch)
+		http.Error(w, "missing or invalid "+HeaderGUID, http.StatusBadRequest)
+		return
+	}
+	seq, err := strconv.ParseUint(r.Header.Get(HeaderSeq), 10, 64)
+	if err != nil {
+		in.inc(in.rejBadBatch)
+		http.Error(w, "missing or invalid "+HeaderSeq, http.StatusBadRequest)
+		return
+	}
+	key := guid.String() + "/" + strconv.FormatUint(seq, 10)
+	if in.isDuplicate(key) {
+		// The uploader crashed between our ack and its cursor write; its
+		// resend is byte-identical, so acknowledging without re-ingesting
+		// preserves exactly-once accounting.
+		in.inc(in.deduped)
+		writeJSON(w, BatchResponse{Duplicate: true})
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, in.cfg.MaxBatchBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		in.inc(in.rejTooLarge)
+		http.Error(w, "batch exceeds compressed size cap", http.StatusRequestEntityTooLarge)
+		return
+	}
+	accepted, rejected, err := in.ingest(guid, raw)
+	if err != nil {
+		if _, tooLarge := err.(*tooLargeError); tooLarge {
+			in.inc(in.rejTooLarge)
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		in.inc(in.rejBadBatch)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	in.markSeen(key)
+	in.inc(in.batches)
+	if in.records != nil {
+		in.records.Add(int64(accepted))
+	}
+	writeJSON(w, BatchResponse{Accepted: accepted, Rejected: rejected})
+}
+
+func (in *Ingest) send429(w http.ResponseWriter) {
+	in.inc(in.backpressure)
+	secs := int(in.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "ingest backpressure; retry later", http.StatusTooManyRequests)
+}
+
+// tooLargeError marks decompressed-size violations.
+type tooLargeError struct{ msg string }
+
+func (e *tooLargeError) Error() string { return e.msg }
+
+// ingest decodes a batch and feeds each entry to the handler. The whole
+// batch is rejected only for transport-level damage (bad gzip, oversized);
+// record-level problems reject just that record.
+func (in *Ingest) ingest(guid id.GUID, raw []byte) (accepted, rejected int, err error) {
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad gzip batch: %w", err)
+	}
+	defer zr.Close()
+	limited := io.LimitReader(zr, in.cfg.MaxDecodedBytes+1)
+	var decoded int64
+	sc := bufio.NewScanner(io.TeeReader(limited, countWriter{&decoded}))
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		if decoded > in.cfg.MaxDecodedBytes {
+			return 0, 0, &tooLargeError{"batch exceeds decoded size cap"}
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if uerr := json.Unmarshal(line, &e); uerr != nil {
+			rejected++
+			in.inc(in.rejBadEntry)
+			continue
+		}
+		if in.cfg.Handle != nil {
+			if herr := in.cfg.Handle(guid, &e); herr != nil {
+				rejected++
+				in.inc(in.rejBadEntry)
+				continue
+			}
+		}
+		accepted++
+	}
+	if serr := sc.Err(); serr != nil {
+		return 0, 0, fmt.Errorf("bad batch stream: %w", serr)
+	}
+	if decoded > in.cfg.MaxDecodedBytes {
+		return 0, 0, &tooLargeError{"batch exceeds decoded size cap"}
+	}
+	return accepted, rejected, nil
+}
+
+// isDuplicate reports whether a batch key is inside the dedup window.
+func (in *Ingest) isDuplicate(key string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seen[key]
+}
+
+// markSeen adds a batch key to the window, evicting the oldest beyond the
+// window size.
+func (in *Ingest) markSeen(key string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.seen[key] {
+		return
+	}
+	if old := in.order[in.next]; old != "" {
+		delete(in.seen, old)
+	}
+	in.order[in.next] = key
+	in.next = (in.next + 1) % len(in.order)
+	in.seen[key] = true
+}
+
+func (in *Ingest) inc(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// countWriter tallies bytes flowing through a TeeReader.
+type countWriter struct{ n *int64 }
+
+func (c countWriter) Write(p []byte) (int, error) {
+	*c.n += int64(len(p))
+	return len(p), nil
+}

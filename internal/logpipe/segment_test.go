@@ -1,0 +1,142 @@
+package logpipe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testLines(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf(`{"seq":%d,"payload":"record-%d"}`, i, i))
+	}
+	return out
+}
+
+func TestSegmentRoundtrip(t *testing.T) {
+	lines := testLines(100)
+	data, err := MarshalSegment(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSegment(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadSegment: %v", err)
+	}
+	if len(got) != len(lines) {
+		t.Fatalf("roundtrip returned %d lines, want %d", len(got), len(lines))
+	}
+	for i := range lines {
+		if !bytes.Equal(got[i], lines[i]) {
+			t.Fatalf("line %d = %q, want %q", i, got[i], lines[i])
+		}
+	}
+}
+
+func TestSegmentEmpty(t *testing.T) {
+	data, err := MarshalSegment(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSegment(bytes.NewReader(data))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty segment: lines=%d err=%v", len(got), err)
+	}
+}
+
+// TestSegmentTornTail truncates a valid segment at every length and requires
+// the reader to return only complete lines (a prefix of the originals) plus
+// ErrTorn — never a panic, never a partial or reordered record.
+func TestSegmentTornTail(t *testing.T) {
+	lines := testLines(50)
+	data, err := MarshalSegment(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		got, rerr := ReadSegment(bytes.NewReader(data[:cut]))
+		if rerr == nil {
+			t.Fatalf("cut=%d: truncated segment read without error", cut)
+		}
+		if !errors.Is(rerr, ErrTorn) {
+			t.Fatalf("cut=%d: err=%v, want ErrTorn", cut, rerr)
+		}
+		if len(got) > len(lines) {
+			t.Fatalf("cut=%d: %d lines from a %d-line segment", cut, len(got), len(lines))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], lines[i]) {
+				t.Fatalf("cut=%d line %d = %q, want prefix line %q", cut, i, got[i], lines[i])
+			}
+		}
+	}
+}
+
+func TestSegmentTrailingGarbage(t *testing.T) {
+	data, err := MarshalSegment(testLines(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := append(append([]byte(nil), data...), []byte("not gzip at all")...)
+	if _, rerr := ReadSegment(bytes.NewReader(damaged)); !errors.Is(rerr, ErrTorn) {
+		t.Fatalf("trailing garbage: err=%v, want ErrTorn", rerr)
+	}
+}
+
+func TestParseSegmentName(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  uint64
+		open bool
+		ok   bool
+	}{
+		{segmentName(0), 0, false, true},
+		{segmentName(42), 42, false, true},
+		{openSegmentName(7), 7, true, true},
+		{"cursor.json", 0, false, false},
+		{"seg-notanumber.ndjson.gz", 0, false, false},
+		{"seg-0000000001.tmp", 0, false, false},
+	}
+	for _, c := range cases {
+		seq, open, ok := parseSegmentName(c.name)
+		if seq != c.seq || open != c.open || ok != c.ok {
+			t.Errorf("parseSegmentName(%q) = (%d,%v,%v), want (%d,%v,%v)",
+				c.name, seq, open, ok, c.seq, c.open, c.ok)
+		}
+	}
+}
+
+func TestListSegmentsSorted(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []uint64{5, 1, 3} {
+		if err := os.WriteFile(filepath.Join(dir, segmentName(seq)), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, openSegmentName(9)), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cursor.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs := []uint64{1, 3, 5, 9}
+	if len(segs) != len(wantSeqs) {
+		t.Fatalf("ListSegments returned %d entries, want %d", len(segs), len(wantSeqs))
+	}
+	for i, sf := range segs {
+		if sf.Seq != wantSeqs[i] {
+			t.Errorf("segment %d has seq %d, want %d", i, sf.Seq, wantSeqs[i])
+		}
+	}
+	if !segs[3].Open {
+		t.Error("open segment not flagged Open")
+	}
+}

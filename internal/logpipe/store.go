@@ -1,0 +1,203 @@
+package logpipe
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"netsession/internal/analysis"
+	"netsession/internal/telemetry"
+)
+
+// StoreConfig configures the control plane's on-disk log segment store.
+type StoreConfig struct {
+	// Dir holds the rotated segments.
+	Dir string
+	// MaxSegmentRecords rotates the open segment after this many records;
+	// zero selects 4096. This is also the bound on how many accepted records
+	// the CN holds in memory for the current segment.
+	MaxSegmentRecords int
+	// MaxSegmentBytes rotates after this many uncompressed bytes; zero
+	// selects 4 MiB.
+	MaxSegmentBytes int64
+	// Telemetry registers the store's metrics; nil skips telemetry.
+	Telemetry *telemetry.Registry
+}
+
+// Store is the append-only, rotated segment store the control plane spills
+// accepted log records into (§4.1: the infrastructure keeps the month of
+// logs that every analysis reads). Memory held is bounded by one segment's
+// rotation threshold regardless of how long the process runs. All methods
+// are safe for concurrent use.
+type Store struct {
+	cfg StoreConfig
+
+	mu     sync.Mutex
+	w      segWriter
+	closed bool
+
+	records  *telemetry.Counter
+	segments *telemetry.Counter
+	errors   *telemetry.Counter
+}
+
+// OpenStore opens (creating if needed) a store directory. A leftover open
+// segment from a crashed process is sealed so its records are preserved.
+func OpenStore(cfg StoreConfig) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("logpipe: store dir required")
+	}
+	if cfg.MaxSegmentRecords <= 0 {
+		cfg.MaxSegmentRecords = 4096
+	}
+	if cfg.MaxSegmentBytes <= 0 {
+		cfg.MaxSegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logpipe: store dir: %w", err)
+	}
+	st := &Store{cfg: cfg}
+	if reg := cfg.Telemetry; reg != nil {
+		st.records = reg.Counter("logpipe_store_records_total",
+			"accepted log records spilled to the segment store", nil)
+		st.segments = reg.Counter("logpipe_store_segments_sealed_total",
+			"log segments sealed by the store", nil)
+		st.errors = reg.Counter("logpipe_store_errors_total",
+			"failed segment store writes", nil)
+	}
+	segs, err := ListSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var next uint64
+	for _, sf := range segs {
+		if sf.Open {
+			if err := os.Rename(sf.Path, segmentPathSealed(cfg.Dir, sf.Seq)); err != nil {
+				return nil, fmt.Errorf("logpipe: seal recovered store segment: %w", err)
+			}
+		}
+		if sf.Seq+1 > next {
+			next = sf.Seq + 1
+		}
+	}
+	st.w = segWriter{
+		dir: cfg.Dir, seq: next,
+		maxRecords: cfg.MaxSegmentRecords, maxBytes: cfg.MaxSegmentBytes,
+	}
+	return st, nil
+}
+
+func segmentPathSealed(dir string, seq uint64) string {
+	return filepath.Join(dir, segmentName(seq))
+}
+
+// Append durably adds records to the current segment, rotating when it
+// reaches the configured thresholds.
+func (s *Store) Append(recs ...analysis.OfflineDownload) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("logpipe: store closed")
+	}
+	for i := range recs {
+		line, err := json.Marshal(&recs[i])
+		if err != nil {
+			s.countError()
+			return fmt.Errorf("logpipe: marshal store record: %w", err)
+		}
+		full, err := s.w.append(line)
+		if err != nil {
+			s.countError()
+			return err
+		}
+		if s.records != nil {
+			s.records.Inc()
+		}
+		if full {
+			if _, _, err := s.w.seal(); err != nil {
+				s.countError()
+				return err
+			}
+			if s.segments != nil {
+				s.segments.Inc()
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) countError() {
+	if s.errors != nil {
+		s.errors.Inc()
+	}
+}
+
+// Flush seals the open segment so everything accepted so far is visible to
+// readers of the sealed-segment layout.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, n, err := s.w.seal()
+	if err == nil && n > 0 && s.segments != nil {
+		s.segments.Inc()
+	}
+	return err
+}
+
+// Close flushes and marks the store closed.
+func (s *Store) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+// ReadDownloads loads every download record from a segment directory —
+// sealed segments plus any open tail — into the offline analysis schema. A
+// torn or partially-written final segment contributes its complete records
+// and is otherwise skipped (the crash left it mid-write); damage anywhere
+// else is corruption and returns an error.
+func ReadDownloads(dir string) ([]analysis.OfflineDownload, error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("logpipe: no segments in %s", dir)
+	}
+	var out []analysis.OfflineDownload
+	for i, sf := range segs {
+		last := i == len(segs)-1
+		lines, rerr := ReadSegmentFile(sf.Path)
+		if rerr != nil && !(last && rerr == ErrTorn) {
+			return nil, fmt.Errorf("logpipe: segment %s: %w", sf.Path, rerr)
+		}
+		for j, line := range lines {
+			var d analysis.OfflineDownload
+			if err := json.Unmarshal(line, &d); err != nil {
+				if last {
+					// A torn final record reads as damage only to the tail.
+					break
+				}
+				return nil, fmt.Errorf("logpipe: segment %s record %d: %w", sf.Path, j, err)
+			}
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// HasSegments reports whether dir contains any log segments; the analyzer
+// uses it to auto-detect the input layout.
+func HasSegments(dir string) bool {
+	segs, err := ListSegments(dir)
+	return err == nil && len(segs) > 0
+}

@@ -9,6 +9,7 @@
 package peer
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/netip"
@@ -20,6 +21,7 @@ import (
 	"netsession/internal/content"
 	"netsession/internal/edge"
 	"netsession/internal/id"
+	"netsession/internal/logpipe"
 	"netsession/internal/protocol"
 	"netsession/internal/telemetry"
 )
@@ -80,6 +82,15 @@ type Config struct {
 	// Telemetry is the metrics registry; nil creates a private one
 	// (retrievable via Client.Metrics).
 	Telemetry *telemetry.Registry
+	// LogUploadURL, when set, switches usage reporting from the in-band
+	// StatsReport to the batched log pipeline (§3.4 "uploads logs to the
+	// infrastructure"): per-download records go to a durable spool under
+	// StateDir/logspool and an uploader ships sealed batches to this control
+	// plane operator URL (POST /v1/logs/batch). Requires StateDir.
+	LogUploadURL string
+	// LogUploadInterval paces the background uploader; zero selects 2s,
+	// negative disables the loop (drain explicitly with FlushLogs).
+	LogUploadInterval time.Duration
 	// Logf receives debug logging; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -99,6 +110,11 @@ type Client struct {
 
 	control *controlConn
 	uploads *uploadManager
+
+	// spool/logUploader are the client-log pipeline (nil when LogUploadURL
+	// is unset; the client then reports stats in-band on the control conn).
+	spool       *logpipe.Spool
+	logUploader *logpipe.Uploader
 
 	// blacklist holds peers whose swarm dials failed recently, with the
 	// time each entry expires; entries decay so churned peers that come
@@ -205,6 +221,19 @@ func New(cfg Config) (*Client, error) {
 			return nil, fmt.Errorf("peer: checkpoint dir: %w", err)
 		}
 	}
+	if cfg.LogUploadURL != "" {
+		if cfg.StateDir == "" {
+			return nil, fmt.Errorf("peer: LogUploadURL requires StateDir (the log spool is durable)")
+		}
+		sp, err := logpipe.OpenSpool(logpipe.SpoolConfig{
+			Dir:       filepath.Join(cfg.StateDir, logSpoolDirName),
+			Telemetry: metrics.reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("peer: log spool: %w", err)
+		}
+		c.spool = sp
+	}
 	// A fresh secondary GUID per start (§6.2); with persistent state the
 	// previous window slides forward and is saved, so consecutive starts
 	// report overlapping sequences — and a copied state directory forks
@@ -250,7 +279,47 @@ func New(cfg Config) (*Client, error) {
 	if c.ckptDir != "" {
 		go c.resumeLoop()
 	}
+	if c.spool != nil {
+		up, err := logpipe.StartUploader(logpipe.UploaderConfig{
+			Spool:     c.spool,
+			URL:       cfg.LogUploadURL,
+			GUID:      cfg.GUID.String(),
+			Interval:  cfg.LogUploadInterval,
+			Telemetry: metrics.reg,
+			Logf:      c.logf,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.logUploader = up
+	}
 	return c, nil
+}
+
+// logSpoolDirName is where the durable log spool lives under StateDir.
+const logSpoolDirName = "logspool"
+
+// FlushLogs seals pending usage records and drains the spool to the control
+// plane; a no-op without the log pipeline. Tests and orderly shutdowns use
+// it — a killed process instead relies on the spool's durability and resumes
+// uploading after restart.
+func (c *Client) FlushLogs(ctx context.Context) error {
+	if c.logUploader == nil {
+		return nil
+	}
+	return c.logUploader.Drain(ctx)
+}
+
+// LogsPending reports how much work the durable spool still holds: sealed
+// segments awaiting acknowledgement plus records not yet sealed. Zero means
+// every report has been ingested by the control plane.
+func (c *Client) LogsPending() int {
+	if c.spool == nil {
+		return 0
+	}
+	sealed, open := c.spool.Pending()
+	return sealed + open
 }
 
 // markCached records when an object completed, for cache-TTL eviction.
@@ -331,6 +400,9 @@ func (c *Client) Close() {
 	for _, d := range dls {
 		d.Abort()
 	}
+	if c.logUploader != nil {
+		c.logUploader.Stop()
+	}
 	c.control.stop()
 	c.swarmLn.Close()
 	c.uploads.closeAll()
@@ -355,6 +427,12 @@ func (c *Client) Kill() {
 	close(c.evictStop)
 	for _, d := range dls {
 		d.kill()
+	}
+	// The uploader stops without flushing: everything unacknowledged stays
+	// in the durable spool and is resent after restart, where the CP's dedup
+	// window keeps the accounting exactly-once.
+	if c.logUploader != nil {
+		c.logUploader.Stop()
 	}
 	c.control.stop()
 	c.swarmLn.Close()

@@ -9,6 +9,7 @@ import (
 
 	"netsession/internal/content"
 	"netsession/internal/id"
+	"netsession/internal/logpipe"
 	"netsession/internal/protocol"
 	"netsession/internal/retry"
 	"netsession/internal/telemetry"
@@ -884,5 +885,41 @@ func (d *Download) report() {
 		rep.FromPeers = append(rep.FromPeers, protocol.PeerBytes{GUID: g, Bytes: uint64(b)})
 	}
 	d.mu.Unlock()
+	// With the log pipeline on, the record goes to the durable spool and the
+	// uploader ships it in a batch; otherwise it rides the control connection
+	// in-band. Never both — the collector must see each download once.
+	if d.c.spool != nil {
+		if err := d.c.spool.Append(entryFromStats(d.c, rep)); err != nil {
+			d.c.logf("log spool append failed, falling back to in-band report: %v", err)
+			d.c.control.send(rep)
+		}
+		return
+	}
 	d.c.control.send(rep)
+}
+
+// entryFromStats renders a stats report in the log pipeline's wire schema.
+func entryFromStats(c *Client, rep *protocol.StatsReport) *logpipe.Entry {
+	e := &logpipe.Entry{
+		Kind:          logpipe.EntryKindDownload,
+		GUID:          c.cfg.GUID.String(),
+		IP:            c.cfg.DeclaredIP,
+		Object:        logpipe.EncodeObjectID(rep.Object),
+		URLHash:       rep.URLHash,
+		CP:            rep.CP,
+		Size:          int64(rep.Size),
+		StartMs:       rep.StartUnixMs,
+		EndMs:         rep.EndUnixMs,
+		BytesInfra:    int64(rep.BytesInfra),
+		BytesPeers:    int64(rep.BytesPeers),
+		Outcome:       uint8(rep.Outcome),
+		PeersReturned: int(rep.PeersReturned),
+		Token:         rep.Token,
+	}
+	for _, pb := range rep.FromPeers {
+		e.FromPeers = append(e.FromPeers, logpipe.EntryContribution{
+			GUID: pb.GUID.String(), Bytes: int64(pb.Bytes),
+		})
+	}
+	return e
 }

@@ -1,0 +1,412 @@
+package netsession
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netsession/internal/analysis"
+	"netsession/internal/faults"
+	"netsession/internal/logpipe"
+	"netsession/internal/protocol"
+	"netsession/internal/sim"
+)
+
+const logSpoolSubdir = "logspool"
+
+// copyDir snapshots a flat directory (the spool layout has no subdirs).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func replaceDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.RemoveAll(dst); err != nil {
+		t.Fatal(err)
+	}
+	copyDir(t, src, dst)
+}
+
+// spawnLogpipePeer starts a peer whose usage reports go through the durable
+// log spool and batched uploader (never the in-band stats path), with the
+// background loop disabled so tests control every drain.
+func spawnLogpipePeer(t *testing.T, c *Cluster, stateDir string) *Peer {
+	t.Helper()
+	ip, err := c.AllocateIdentity("JP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPeer(PeerConfig{
+		DeclaredIP:        ip,
+		ControlAddrs:      c.ControlAddrs(),
+		EdgeURL:           c.EdgeURL(),
+		UploadsEnabled:    true,
+		StateDir:          stateDir,
+		LogUploadURL:      c.ControlPlaneURL(),
+		LogUploadInterval: -1,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestCrashLogpipeExactlyOnce kills a peer at the two dangerous points of the
+// log pipeline — after the report reached the spool but before any upload,
+// and after the control plane's ack but before the cursor write — and
+// verifies the control plane accounts the download exactly once: nothing
+// lost, nothing double-counted.
+func TestCrashLogpipeExactlyOnce(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.LogDir = t.TempDir()
+	c, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := NewObject(3001, "logpipe/payload.bin", 1, 600_000, 16<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	stateDir := t.TempDir()
+	victim := spawnLogpipePeer(t, c, stateDir)
+	guid := victim.GUID()
+	res, err := chaosStart(t, victim, obj.ID).Wait(ctx)
+	if err != nil || res.Outcome != protocol.OutcomeCompleted {
+		t.Fatalf("download: res=%+v err=%v", res, err)
+	}
+	if !chaosEventually(10*time.Second, func() bool { return victim.LogsPending() > 0 }) {
+		t.Fatal("completed download never reached the log spool")
+	}
+	if got := len(c.AccountingLog().Downloads); got != 0 {
+		t.Fatalf("CP holds %d downloads before any upload, want 0 (report must be out-of-band)", got)
+	}
+
+	// Crash #1: the report is spooled but never uploaded.
+	victim.Kill()
+
+	// Snapshot the spool now — this is also exactly what the disk holds if a
+	// later crash lands after the CP's ack but before the cursor write.
+	spoolDir := filepath.Join(stateDir, logSpoolSubdir)
+	snapDir := t.TempDir()
+	copyDir(t, spoolDir, snapDir)
+
+	// Restart from the same state directory: the spool must still hold the
+	// report, and one explicit drain delivers it. Zero reports lost.
+	reborn := spawnLogpipePeer(t, c, stateDir)
+	if reborn.GUID() != guid {
+		t.Fatalf("restarted peer has GUID %v, want persisted %v", reborn.GUID(), guid)
+	}
+	if reborn.LogsPending() == 0 {
+		t.Fatal("kill lost the spooled report")
+	}
+	if err := reborn.FlushLogs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	log := c.AccountingLog()
+	if len(log.Downloads) != 1 {
+		t.Fatalf("CP holds %d downloads after the post-crash drain, want exactly 1", len(log.Downloads))
+	}
+	rec := log.Downloads[0]
+	if rec.GUID != guid || rec.Object != obj.ID {
+		t.Fatalf("accounted record %+v does not match the download (guid %v, object %v)",
+			rec, guid, obj.ID)
+	}
+	if rec.BytesInfra+rec.BytesPeers != obj.Size {
+		t.Fatalf("accounted bytes %d+%d, want the object size %d",
+			rec.BytesInfra, rec.BytesPeers, obj.Size)
+	}
+	if reborn.LogsPending() != 0 {
+		t.Fatalf("%d spool segments left after a successful drain", reborn.LogsPending())
+	}
+
+	// Crash #2: the ack-before-cursor window. Restore the pre-upload spool
+	// (cursor write "lost") and drain again from a fresh process: the resend
+	// carries the same idempotent batch ID, so the CP must dedup it.
+	reborn.Kill()
+	replaceDir(t, snapDir, spoolDir)
+	third := spawnLogpipePeer(t, c, stateDir)
+	if third.LogsPending() == 0 {
+		t.Fatal("restored spool shows nothing pending; the resend scenario never ran")
+	}
+	if err := third.FlushLogs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.AccountingLog().Downloads); got != 1 {
+		t.Fatalf("CP holds %d downloads after the resend, want still exactly 1 (no double count)", got)
+	}
+	cpSnap := c.cp.Metrics().Snapshot()
+	if got := cpSnap.Counters["logpipe_ingest_deduped_total"]; got < 1 {
+		t.Errorf("logpipe_ingest_deduped_total = %d, want the resend counted as a dedup", got)
+	}
+	if got := cpSnap.Counters["logpipe_ingest_records_total"]; got != 1 {
+		t.Errorf("logpipe_ingest_records_total = %d, want 1", got)
+	}
+	if got := cpSnap.Counters[`accounting_records_total{kind="download"}`]; got != 1 {
+		t.Errorf(`accounting_records_total{kind="download"} = %d, want 1`, got)
+	}
+
+	// The durable store holds the single accepted record, geo-annotated.
+	if err := c.LogStore().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := logpipe.ReadDownloads(cfg.LogDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 1 {
+		t.Fatalf("segment store holds %d records, want 1", len(stored))
+	}
+	if stored[0].GUID != guid.String() || stored[0].Country != "JP" {
+		t.Fatalf("stored record %+v, want the JP peer's download", stored[0])
+	}
+}
+
+// TestChaosLogpipeIngestStorm drives a hard 503 storm on the live ingest
+// endpoint: the uploader must trip its breaker rather than hammer the CP, the
+// spooled report must survive the storm, and clearing the faults must let the
+// drain complete with exactly-once accounting.
+func TestChaosLogpipeIngestStorm(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.LogDir = t.TempDir()
+	c, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := NewObject(3001, "logpipe/storm.bin", 1, 400_000, 16<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	p := spawnLogpipePeer(t, c, t.TempDir())
+	res, err := chaosStart(t, p, obj.ID).Wait(ctx)
+	if err != nil || res.Outcome != protocol.OutcomeCompleted {
+		t.Fatalf("download: res=%+v err=%v", res, err)
+	}
+	if !chaosEventually(10*time.Second, func() bool { return p.LogsPending() > 0 }) {
+		t.Fatal("completed download never reached the log spool")
+	}
+
+	// Storm: every POST /v1/logs/batch answers an injected 503.
+	c.LogIngest().SetFaults(faults.New(faults.Config{Seed: 11, ErrorRate: 1}, nil))
+	stormCtx, cancelStorm := context.WithTimeout(context.Background(), 2*time.Second)
+	err = p.FlushLogs(stormCtx)
+	cancelStorm()
+	if err == nil {
+		t.Fatal("drain succeeded against a 100% 503 storm")
+	}
+	if p.LogsPending() == 0 {
+		t.Fatal("storm lost the spooled report")
+	}
+	peerSnap := p.Metrics().Snapshot()
+	if got := peerSnap.Counters["logpipe_upload_errors_total"]; got == 0 {
+		t.Error("logpipe_upload_errors_total = 0 after the storm")
+	}
+	if got := peerSnap.Counters["logpipe_upload_breaker_trips_total"]; got == 0 {
+		t.Error("breaker never tripped during the storm; uploader kept hammering the CP")
+	}
+	if got := len(c.AccountingLog().Downloads); got != 0 {
+		t.Fatalf("CP accounted %d downloads during the storm, want 0", got)
+	}
+
+	// Clear the faults: the next drain waits out the breaker cooldown,
+	// half-opens, and delivers the report exactly once.
+	c.LogIngest().SetFaults(nil)
+	if err := p.FlushLogs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p.LogsPending() != 0 {
+		t.Fatalf("%d spool segments left after the storm cleared", p.LogsPending())
+	}
+	if got := len(c.AccountingLog().Downloads); got != 1 {
+		t.Fatalf("CP holds %d downloads after recovery, want exactly 1", got)
+	}
+	if got := c.cp.Metrics().Snapshot().Counters["logpipe_ingest_records_total"]; got != 1 {
+		t.Errorf("logpipe_ingest_records_total = %d, want 1", got)
+	}
+}
+
+// TestLogpipeLiveSimParity runs the same download log through both producers
+// — a live cluster spilling accepted reports to its segment store, and the
+// simulator exporting segments — and consumes both through the identical
+// reader (the netsession-analyze path). Totals must agree with the control
+// plane's /metrics, and the satellite accounting series must be present on
+// the exposition page even at zero.
+func TestLogpipeLiveSimParity(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.LogDir = t.TempDir()
+	c, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := NewObject(3001, "logpipe/parity.bin", 1, 300_000, 16<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const livePeers = 3
+	for i := 0; i < livePeers; i++ {
+		p := spawnLogpipePeer(t, c, t.TempDir())
+		res, err := chaosStart(t, p, obj.ID).Wait(ctx)
+		if err != nil || res.Outcome != protocol.OutcomeCompleted {
+			t.Fatalf("peer %d download: res=%+v err=%v", i, res, err)
+		}
+		if err := p.FlushLogs(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.LogStore().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live segments through the analyzer's reader.
+	live, err := logpipe.ReadDownloads(cfg.LogDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != livePeers {
+		t.Fatalf("live segment store holds %d records, want %d", len(live), livePeers)
+	}
+	for i, d := range live {
+		if d.Country != "JP" || d.ASN == 0 {
+			t.Fatalf("live record %d lacks geo annotation: %+v", i, d)
+		}
+		if d.Outcome != "completed" {
+			t.Fatalf("live record %d outcome %q", i, d.Outcome)
+		}
+	}
+
+	// Totals agree with the CP's own metrics.
+	cpSnap := c.cp.Metrics().Snapshot()
+	for _, key := range []string{
+		"logpipe_ingest_records_total",
+		"logpipe_store_records_total",
+		`accounting_records_total{kind="download"}`,
+	} {
+		if got := cpSnap.Counters[key]; got != int64(livePeers) {
+			t.Errorf("%s = %d, want %d (must match the segment store)", key, got, livePeers)
+		}
+	}
+
+	// The satellite series are on the actual /metrics page, rejects at zero.
+	resp, err := http.Get(c.ControlPlaneURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	for _, want := range []string{
+		`accounting_records_total{kind="download"} 3`,
+		`accounting_rejected_total{reason="unauthorized"} 0`,
+		`accounting_rejected_total{reason="overclaim"} 0`,
+		`accounting_rejected_total{reason="other"} 0`,
+		"logpipe_ingest_records_total 3",
+		"logpipe_ingest_deduped_total 0",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics page missing %q", want)
+		}
+	}
+
+	// Simulated segments: export a small scenario through the same store
+	// format (what `netsession-sim -format segments` does) and read it back
+	// through the same code path.
+	simCfg := sim.SmallScenario()
+	simCfg.NumPeers = 1200
+	simCfg.TotalDownloads = 2500
+	simCfg.Days = 3
+	simRes, err := RunScenario(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDir := t.TempDir()
+	st, err := logpipe.OpenStore(logpipe.StoreConfig{Dir: simDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(ip netip.Addr) (string, uint32) {
+		if rec, ok := simRes.Scape.Lookup(ip); ok {
+			return string(rec.Country), uint32(rec.ASN)
+		}
+		return "", 0
+	}
+	for i := range simRes.Log.Downloads {
+		if err := st.Append(analysis.OfflineFromRecord(&simRes.Log.Downloads[i], lookup)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fromSim, err := logpipe.ReadDownloads(simDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromSim) != len(simRes.Log.Downloads) {
+		t.Fatalf("sim segments hold %d records, want %d", len(fromSim), len(simRes.Log.Downloads))
+	}
+
+	// Both sources summarize through the identical offline analysis; the
+	// summaries must see every record and a populated geo dimension.
+	liveSum := analysis.SummarizeOffline(live)
+	simSum := analysis.SummarizeOffline(fromSim)
+	if liveSum.Downloads != livePeers || simSum.Downloads != len(simRes.Log.Downloads) {
+		t.Fatalf("summaries dropped records: live %d/%d, sim %d/%d",
+			liveSum.Downloads, livePeers, simSum.Downloads, len(simRes.Log.Downloads))
+	}
+	if simSum.Countries < 2 || simSum.ASes < 2 {
+		t.Fatalf("sim summary lost the geo annotation: %+v", simSum)
+	}
+}
