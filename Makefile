@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench bench-smoke chaos crash clean-state
+.PHONY: check build test vet fmt race bench bench-smoke bench-analytics chaos crash clean-state
 
-check: fmt vet build race chaos crash bench-smoke
+check: fmt vet build race chaos crash bench-smoke bench-analytics
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineEvents$$|BenchmarkSimSmall$$|BenchmarkSelect40$$' \
 		-benchtime 2x -benchmem ./internal/sim ./internal/selection
+
+# Streaming-analytics canary: a full streaming pass over a sealed 128k-record
+# segment store must hold bounded live heap (records must not be retained)
+# and keep its decode throughput. Numbers are recorded in
+# BENCH_analytics.json; a regression fails the pre-commit gate.
+bench-analytics:
+	$(GO) test -run 'TestStreamingBoundedMemory$$' -bench 'BenchmarkStreamingSummarize$$' \
+		-benchtime 3x -benchmem -v ./internal/logpipe
 
 # Fault-injection end-to-end: a live cluster with a flapping edge, a dying
 # CN and a poisoned swarm; every download must still complete verified.

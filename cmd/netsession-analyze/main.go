@@ -11,9 +11,16 @@
 //     or under -logs/segments (the control plane's durable log store, or
 //     netsession-sim -format segments)
 //
+// Segment stores are streamed — decoded segment by segment into a running
+// accumulator — so memory stays bounded no matter how many entries the store
+// holds. With -follow the analyzer tails a live log directory instead,
+// printing a rolling live-analytics dashboard as segments land, and resumes
+// from a checkpointed cursor across restarts.
+//
 // Usage:
 //
 //	netsession-analyze -logs DIR
+//	netsession-analyze -logs DIR -follow [-refresh 2s]
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"netsession/internal/analysis"
 	"netsession/internal/logpipe"
@@ -33,43 +42,113 @@ func main() {
 
 	dir := flag.String("logs", "netsession-logs",
 		"log directory: downloads.jsonl (sim export) or seg-*.ndjson.gz segments (log store)")
+	follow := flag.Bool("follow", false,
+		"tail the segment directory live, printing rolling analytics as records land")
+	refresh := flag.Duration("refresh", 2*time.Second, "poll interval in follow mode")
+	cursorPath := flag.String("cursor", "",
+		"tail-cursor checkpoint file in follow mode (default: tail-cursor.json inside the segment directory)")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel segment decoders for the one-shot pass")
 	flag.Parse()
 
-	dls, source, err := loadDownloads(*dir)
-	if err != nil {
-		log.Fatal(err)
+	if *follow {
+		runFollow(*dir, *cursorPath, *refresh)
+		return
 	}
-	if len(dls) == 0 {
-		log.Fatalf("no download records in %s (%s)", *dir, source)
-	}
-	log.Printf("read %d download records from %s", len(dls), source)
-	fmt.Print(analysis.SummarizeOffline(dls).Render())
+	runOnce(*dir, *workers)
 }
 
-// loadDownloads auto-detects the input layout. Both layouts decode into the
-// same offline schema, so a live-cluster segment store and a simulator export
-// flow through one analysis path.
-func loadDownloads(dir string) ([]analysis.OfflineDownload, string, error) {
+// runOnce is the one-shot offline pass: jsonl exports load whole (they are
+// one file), segment stores stream through the accumulator.
+func runOnce(dir string, workers int) {
 	jsonlPath := filepath.Join(dir, "downloads.jsonl")
 	if f, err := os.Open(jsonlPath); err == nil {
 		defer f.Close()
 		dls, rerr := analysis.ReadDownloadsJSONL(f)
 		if rerr != nil {
-			return nil, "", fmt.Errorf("%s: %w", jsonlPath, rerr)
+			log.Fatalf("%s: %v", jsonlPath, rerr)
 		}
-		return dls, jsonlPath, nil
+		if len(dls) == 0 {
+			log.Fatalf("no download records in %s", jsonlPath)
+		}
+		log.Printf("read %d download records from %s", len(dls), jsonlPath)
+		fmt.Print(analysis.SummarizeOffline(dls).Render())
+		return
 	}
+	segDir, ok := findSegmentDir(dir)
+	if !ok {
+		log.Fatal(noLogsErr(dir))
+	}
+	acc := analysis.NewOfflineAccumulator()
+	start := time.Now()
+	n, err := logpipe.ForEachDownload(segDir, workers, func(d *analysis.OfflineDownload) error {
+		acc.Add(d)
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("%s: %v", segDir, err)
+	}
+	if n == 0 {
+		log.Fatalf("no download records in %s (log segments)", segDir)
+	}
+	elapsed := time.Since(start)
+	log.Printf("streamed %d download records from %s (log segments) in %.2fs (%.0f records/sec)",
+		n, segDir, elapsed.Seconds(), float64(n)/elapsed.Seconds())
+	fmt.Print(acc.Summary().Render())
+}
+
+// runFollow tails a live segment directory: every poll folds the new records
+// into a streaming summarizer and re-renders the dashboard. The cursor is
+// checkpointed after each poll, so a restarted follower picks up where it
+// stopped instead of replaying the store.
+func runFollow(dir, cursorPath string, refresh time.Duration) {
+	segDir, ok := findSegmentDir(dir)
+	if !ok {
+		// The store may not have spilled its first segment yet; follow the
+		// configured directory and wait.
+		segDir = dir
+	}
+	if cursorPath == "" {
+		cursorPath = logpipe.DefaultTailCursorPath(segDir)
+	}
+	tl, err := logpipe.OpenTailer(logpipe.TailerConfig{Dir: segDir, CursorPath: cursorPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := analysis.NewStreamingSummarizer(4)
+	log.Printf("following %s (cursor %s, refresh %s)", segDir, cursorPath, refresh)
+	start := time.Now()
+	var total int64
+	for {
+		recs, perr := tl.Poll()
+		if perr != nil {
+			log.Printf("poll: %v", perr)
+		}
+		for i := range recs {
+			sum.Observe(&recs[i])
+		}
+		if len(recs) > 0 {
+			total += int64(len(recs))
+			rate := float64(total) / time.Since(start).Seconds()
+			log.Printf("%s +%d records (%d total, %.0f records/sec, %d torn segments skipped)",
+				time.Now().Format("15:04:05"), len(recs), total, rate, tl.TornSkipped())
+			fmt.Println(sum.Snapshot().Render())
+		}
+		time.Sleep(refresh)
+	}
+}
+
+// findSegmentDir locates the segment layout under dir.
+func findSegmentDir(dir string) (string, bool) {
 	for _, segDir := range []string{dir, filepath.Join(dir, "segments")} {
-		if !logpipe.HasSegments(segDir) {
-			continue
+		if logpipe.HasSegments(segDir) {
+			return segDir, true
 		}
-		dls, rerr := logpipe.ReadDownloads(segDir)
-		if rerr != nil {
-			return nil, "", fmt.Errorf("%s: %w", segDir, rerr)
-		}
-		return dls, segDir + " (log segments)", nil
 	}
-	return nil, "", fmt.Errorf(
+	return "", false
+}
+
+func noLogsErr(dir string) error {
+	return fmt.Errorf(
 		"no logs found in %s: expected either a downloads.jsonl file (netsession-sim export) "+
 			"or seg-*.ndjson.gz log segments in the directory or its segments/ subdirectory "+
 			"(control-plane log store)", dir)

@@ -3,20 +3,32 @@
 // IMC'13 paper's evaluation as text. EXPERIMENTS.md is generated from this
 // command's output.
 //
+// With -live it instead fetches the live-analytics document from a running
+// control plane (GET /v1/analytics on its status address) or from a monitor's
+// merged fleet view, and renders the streaming dashboard: current offload,
+// per-region byte tables, and AS locality, computed from every record the
+// fleet has accepted so far.
+//
 // Usage:
 //
 //	netsession-report [-scale small|default] [-peers N] [-downloads N]
 //	                  [-days N] [-seed N] [-workers N] [-o file]
+//	netsession-report -live http://CP-STATUS-ADDR
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"netsession"
+	"netsession/internal/analysis"
 )
 
 func main() {
@@ -30,7 +42,18 @@ func main() {
 	seed := flag.Int64("seed", 0, "override random seed")
 	workers := flag.Int("workers", 0, "region-shard workers (0: one per CPU, 1: sequential; report is identical either way)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
+	live := flag.String("live", "",
+		"render the live dashboard from this control plane or monitor base URL instead of simulating")
 	flag.Parse()
+
+	if *live != "" {
+		report, err := liveReport(*live)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(report, *out)
+		return
+	}
 
 	var cfg netsession.Scenario
 	switch *scale {
@@ -65,13 +88,42 @@ func main() {
 		*scale, cfg.NumPeers, cfg.TotalDownloads, cfg.Days, cfg.Seed,
 		time.Since(start).Round(time.Millisecond), exp.Result().Events)
 	report := header + exp.Report()
+	emit(report, *out)
+}
 
-	if *out == "" {
+func emit(report, out string) {
+	if out == "" {
 		fmt.Print(report)
 		return
 	}
-	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+	if err := os.WriteFile(out, []byte(report), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s (%d bytes)", *out, len(report))
+	log.Printf("wrote %s (%d bytes)", out, len(report))
+}
+
+// liveReport fetches GET /v1/analytics from a control plane's status server
+// (or a monitor, which serves its merged fleet view on the same path) and
+// renders the streaming dashboard.
+func liveReport(base string) (string, error) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimSuffix(base, "/") + "/v1/analytics"
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var sum analysis.StreamingSummary
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&sum); err != nil {
+		return "", fmt.Errorf("decode %s: %w", url, err)
+	}
+	header := fmt.Sprintf("NetSession live analytics (%s, %s)\n\n",
+		url, time.Now().Format(time.RFC3339))
+	return header + sum.Render(), nil
 }

@@ -23,6 +23,7 @@ import (
 	"netsession"
 	"netsession/internal/accounting"
 	"netsession/internal/analysis"
+	"netsession/internal/geo"
 	"netsession/internal/logpipe"
 	"netsession/internal/telemetry"
 )
@@ -120,13 +121,18 @@ func main() {
 }
 
 // scenarioLookup annotates logged IPs with the generating scape, the way the
-// control plane annotates live reports before spilling them.
+// control plane annotates live reports before spilling them — country, AS,
+// and the network region the per-region analytics aggregate by.
 func scenarioLookup(res *netsession.ScenarioResult) analysis.GeoLookup {
-	return func(ip netip.Addr) (string, uint32) {
+	return func(ip netip.Addr) analysis.GeoTag {
 		if rec, ok := res.Scape.Lookup(ip); ok {
-			return string(rec.Country), uint32(rec.ASN)
+			return analysis.GeoTag{
+				Country: string(rec.Country),
+				ASN:     uint32(rec.ASN),
+				Region:  geo.RegionOf(rec).String(),
+			}
 		}
-		return "", 0
+		return analysis.GeoTag{}
 	}
 }
 

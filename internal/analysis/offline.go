@@ -23,6 +23,7 @@ type OfflineDownload struct {
 	IP         string                `json:"ip"`
 	Country    string                `json:"country"`
 	ASN        uint32                `json:"asn"`
+	Region     string                `json:"region,omitempty"`
 	Object     string                `json:"object"`
 	URLHash    string                `json:"urlHash"`
 	CP         uint32                `json:"cp"`
@@ -42,26 +43,38 @@ type OfflineContribution struct {
 	GUID    string `json:"guid"`
 	Country string `json:"country"`
 	ASN     uint32 `json:"asn"`
+	Region  string `json:"region,omitempty"`
 	Bytes   int64  `json:"bytes"`
 }
 
-// GeoLookup annotates an IP with (country, ASN); it may return zero values
-// for unknown addresses.
-type GeoLookup func(ip netip.Addr) (country string, asn uint32)
+// GeoTag is the geolocation annotation attached to a logged IP: the
+// EdgeScape-style fields the paper's anonymized data set bundles with every
+// record (§4.1). Region is the control plane's network region name; it is
+// carried in the record because it cannot be derived from the country alone
+// (large countries span several regions) and the offline analyses must not
+// need the generating atlas.
+type GeoTag struct {
+	Country string
+	ASN     uint32
+	Region  string
+}
+
+// GeoLookup annotates an IP; it may return a zero tag for unknown addresses.
+type GeoLookup func(ip netip.Addr) GeoTag
 
 // OfflineFromRecord converts one accepted accounting record into the
 // self-contained offline schema, annotating geography through lookup (nil
-// lookup leaves Country/ASN zero). The simulator's log exporter and the
-// control plane's segment store both go through this, so live-cluster and
+// lookup leaves Country/ASN/Region zero). The simulator's log exporter and
+// the control plane's segment store both go through this, so live-cluster and
 // simulated segment files are byte-compatible inputs to the analyses.
 func OfflineFromRecord(d *accounting.DownloadRecord, lookup GeoLookup) OfflineDownload {
 	if lookup == nil {
-		lookup = func(netip.Addr) (string, uint32) { return "", 0 }
+		lookup = func(netip.Addr) GeoTag { return GeoTag{} }
 	}
-	country, asn := lookup(d.IP)
+	tag := lookup(d.IP)
 	out := OfflineDownload{
 		GUID: d.GUID.String(), IP: d.IP.String(),
-		Country: country, ASN: asn,
+		Country: tag.Country, ASN: tag.ASN, Region: tag.Region,
 		Object:  d.Object.String(),
 		URLHash: d.URLHash, CP: uint32(d.CP), Size: d.Size,
 		P2PEnabled: d.P2PEnabled, StartMs: d.StartMs, EndMs: d.EndMs,
@@ -69,9 +82,10 @@ func OfflineFromRecord(d *accounting.DownloadRecord, lookup GeoLookup) OfflineDo
 		Outcome: d.Outcome.String(), Peers: d.PeersReturned,
 	}
 	for _, pc := range d.FromPeers {
-		c, a := lookup(pc.IP)
+		pt := lookup(pc.IP)
 		out.FromPeers = append(out.FromPeers, OfflineContribution{
-			GUID: pc.GUID.String(), Country: c, ASN: a, Bytes: pc.Bytes,
+			GUID: pc.GUID.String(), Country: pt.Country, ASN: pt.ASN,
+			Region: pt.Region, Bytes: pc.Bytes,
 		})
 	}
 	return out
@@ -125,104 +139,152 @@ type OfflineSummary struct {
 	ZipfExponent   float64
 }
 
-// SummarizeOffline computes the summary.
-func SummarizeOffline(dls []OfflineDownload) OfflineSummary {
-	var s OfflineSummary
-	s.Downloads = len(dls)
-	guids := map[string]bool{}
-	urls := map[string]bool{}
-	countries := map[string]bool{}
-	ases := map[uint32]bool{}
+// OfflineAccumulator computes an OfflineSummary one record at a time, so the
+// analyzer can stream a rotated segment store without materializing the whole
+// download set (the ROADMAP's billion-entry target). The arithmetic is
+// record-ordered exactly like the original batch pass, so a streamed summary
+// is bit-identical to SummarizeOffline over the same records in the same
+// order. State grows with the number of *distinct* GUIDs/URLs/ASes and with
+// one float per completed download (the speed medians) — a large constant
+// factor below holding the decoded records themselves; the fully
+// bounded-memory pass is StreamingSummarizer.
+type OfflineAccumulator struct {
+	downloads int
+	guids     map[string]bool
+	urls      map[string]bool
+	countries map[string]bool
+	ases      map[uint32]bool
 
-	var nInfra, nP2P, doneInfra, doneP2P, abInfra, abP2P int
-	var bytesAll, bytesP2P, peerBytes, p2pTotal float64
-	var effSum float64
-	var effN int
-	var speedEdge, speedP2P []float64
-	var intra, totalP2P int64
-	perASUp := map[uint32]int64{}
-	perURL := map[string]int{}
-	for i := range dls {
-		d := &dls[i]
-		guids[d.GUID] = true
-		urls[d.URLHash] = true
-		countries[d.Country] = true
-		ases[d.ASN] = true
-		perURL[d.URLHash]++
-		total := d.BytesInfra + d.BytesPeers
-		bytesAll += float64(total)
+	nInfra, nP2P, doneInfra, doneP2P, abInfra, abP2P int
+	bytesAll, bytesP2P, peerBytes, p2pTotal          float64
+	effSum                                           float64
+	effN                                             int
+	speedEdge, speedP2P                              []float64
+	intra, totalP2P                                  int64
+	perASUp                                          map[uint32]int64
+	perURL                                           map[string]int
+}
+
+// NewOfflineAccumulator creates an empty accumulator.
+func NewOfflineAccumulator() *OfflineAccumulator {
+	return &OfflineAccumulator{
+		guids:     map[string]bool{},
+		urls:      map[string]bool{},
+		countries: map[string]bool{},
+		ases:      map[uint32]bool{},
+		perASUp:   map[uint32]int64{},
+		perURL:    map[string]int{},
+	}
+}
+
+// Add folds one download record into the summary state.
+func (a *OfflineAccumulator) Add(d *OfflineDownload) {
+	a.downloads++
+	a.guids[d.GUID] = true
+	a.urls[d.URLHash] = true
+	a.countries[d.Country] = true
+	a.ases[d.ASN] = true
+	a.perURL[d.URLHash]++
+	total := d.BytesInfra + d.BytesPeers
+	a.bytesAll += float64(total)
+	if d.P2PEnabled {
+		a.nP2P++
+		a.bytesP2P += float64(total)
+		a.peerBytes += float64(d.BytesPeers)
+		a.p2pTotal += float64(total)
+		if total > 0 {
+			a.effSum += 100 * float64(d.BytesPeers) / float64(total)
+			a.effN++
+		}
+	} else {
+		a.nInfra++
+	}
+	switch d.Outcome {
+	case "completed":
 		if d.P2PEnabled {
-			nP2P++
-			bytesP2P += float64(total)
-			peerBytes += float64(d.BytesPeers)
-			p2pTotal += float64(total)
-			if total > 0 {
-				effSum += 100 * float64(d.BytesPeers) / float64(total)
-				effN++
-			}
+			a.doneP2P++
 		} else {
-			nInfra++
+			a.doneInfra++
 		}
-		switch d.Outcome {
-		case "completed":
-			if d.P2PEnabled {
-				doneP2P++
-			} else {
-				doneInfra++
-			}
-			if dur := d.EndMs - d.StartMs; dur > 0 && total > 0 {
-				mbps := float64(total) * 8 / float64(dur) / 1000
-				if d.BytesPeers == 0 {
-					speedEdge = append(speedEdge, mbps)
-				} else if float64(d.BytesPeers) >= 0.5*float64(total) {
-					speedP2P = append(speedP2P, mbps)
-				}
-			}
-		case "aborted":
-			if d.P2PEnabled {
-				abP2P++
-			} else {
-				abInfra++
+		if dur := d.EndMs - d.StartMs; dur > 0 && total > 0 {
+			mbps := float64(total) * 8 / float64(dur) / 1000
+			if d.BytesPeers == 0 {
+				a.speedEdge = append(a.speedEdge, mbps)
+			} else if float64(d.BytesPeers) >= 0.5*float64(total) {
+				a.speedP2P = append(a.speedP2P, mbps)
 			}
 		}
-		for _, pc := range d.FromPeers {
-			totalP2P += pc.Bytes
-			if pc.ASN == d.ASN {
-				intra += pc.Bytes
-			} else {
-				perASUp[pc.ASN] += pc.Bytes
-			}
+	case "aborted":
+		if d.P2PEnabled {
+			a.abP2P++
+		} else {
+			a.abInfra++
 		}
 	}
-	s.DistinctGUIDs = len(guids)
-	s.DistinctURLs = len(urls)
-	s.Countries = len(countries)
-	s.ASes = len(ases)
-	pct := func(a, b int) float64 {
-		if b == 0 {
+	for _, pc := range d.FromPeers {
+		a.totalP2P += pc.Bytes
+		if pc.ASN == d.ASN {
+			a.intra += pc.Bytes
+		} else {
+			a.perASUp[pc.ASN] += pc.Bytes
+		}
+	}
+}
+
+// Records returns how many downloads have been added.
+func (a *OfflineAccumulator) Records() int { return a.downloads }
+
+// Summary derives the summary from the accumulated state. It may be called
+// repeatedly; Add may continue afterwards.
+func (a *OfflineAccumulator) Summary() OfflineSummary {
+	var s OfflineSummary
+	s.Downloads = a.downloads
+	s.DistinctGUIDs = len(a.guids)
+	s.DistinctURLs = len(a.urls)
+	s.Countries = len(a.countries)
+	s.ASes = len(a.ases)
+	pct := func(n, d int) float64 {
+		if d == 0 {
 			return 0
 		}
-		return 100 * float64(a) / float64(b)
+		return 100 * float64(n) / float64(d)
 	}
-	s.CompletionInfraPct = pct(doneInfra, nInfra)
-	s.CompletionP2PPct = pct(doneP2P, nP2P)
-	s.AbortInfraPct = pct(abInfra, nInfra)
-	s.AbortP2PPct = pct(abP2P, nP2P)
-	if bytesAll > 0 {
-		s.PctBytesP2PFiles = 100 * bytesP2P / bytesAll
+	s.CompletionInfraPct = pct(a.doneInfra, a.nInfra)
+	s.CompletionP2PPct = pct(a.doneP2P, a.nP2P)
+	s.AbortInfraPct = pct(a.abInfra, a.nInfra)
+	s.AbortP2PPct = pct(a.abP2P, a.nP2P)
+	if a.bytesAll > 0 {
+		s.PctBytesP2PFiles = 100 * a.bytesP2P / a.bytesAll
 	}
-	if effN > 0 {
-		s.MeanPeerEfficiencyPct = effSum / float64(effN)
+	if a.effN > 0 {
+		s.MeanPeerEfficiencyPct = a.effSum / float64(a.effN)
 	}
-	if p2pTotal > 0 {
-		s.AggregatePeerEfficiencyPct = 100 * peerBytes / p2pTotal
+	if a.p2pTotal > 0 {
+		s.AggregatePeerEfficiencyPct = 100 * a.peerBytes / a.p2pTotal
 	}
-	s.MedianSpeedEdgeMbps = Percentile(speedEdge, 50)
-	s.MedianSpeedP2PMbps = Percentile(speedP2P, 50)
-	if t := intra + sumVals(perASUp); t > 0 {
-		s.IntraASPct = 100 * float64(intra) / float64(t)
+	s.MedianSpeedEdgeMbps = Percentile(a.speedEdge, 50)
+	s.MedianSpeedP2PMbps = Percentile(a.speedP2P, 50)
+	if t := a.intra + sumVals(a.perASUp); t > 0 {
+		s.IntraASPct = 100 * float64(a.intra) / float64(t)
 	}
-	// Heavy uploaders covering 90% of inter-AS bytes.
+	s.HeavyASes, s.HeavySharePct = heavyUploaders(a.perASUp)
+	// Popularity head + slope.
+	counts := make([]int, 0, len(a.perURL))
+	for _, c := range a.perURL {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if len(counts) > 0 {
+		s.TopObjectCount = counts[0]
+	}
+	s.ZipfExponent = Figure3b{Counts: counts}.PowerLawSlope()
+	return s
+}
+
+// heavyUploaders counts the ASes covering 90% of inter-AS upload bytes and
+// the share they carry; shared by the offline and streaming summaries so the
+// equivalence contract holds by construction.
+func heavyUploaders(perASUp map[uint32]int64) (heavy int, sharePct float64) {
 	var ups []int64
 	var upTotal int64
 	for _, b := range perASUp {
@@ -235,23 +297,22 @@ func SummarizeOffline(dls []OfflineDownload) OfflineSummary {
 		if upTotal > 0 && float64(cum) >= 0.9*float64(upTotal) {
 			break
 		}
-		s.HeavyASes++
+		heavy++
 		cum += b
 	}
 	if upTotal > 0 {
-		s.HeavySharePct = 100 * float64(cum) / float64(upTotal)
+		sharePct = 100 * float64(cum) / float64(upTotal)
 	}
-	// Popularity head + slope.
-	counts := make([]int, 0, len(perURL))
-	for _, c := range perURL {
-		counts = append(counts, c)
+	return heavy, sharePct
+}
+
+// SummarizeOffline computes the summary of a fully materialized log set.
+func SummarizeOffline(dls []OfflineDownload) OfflineSummary {
+	acc := NewOfflineAccumulator()
+	for i := range dls {
+		acc.Add(&dls[i])
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
-	if len(counts) > 0 {
-		s.TopObjectCount = counts[0]
-	}
-	s.ZipfExponent = Figure3b{Counts: counts}.PowerLawSlope()
-	return s
+	return acc.Summary()
 }
 
 func sumVals(m map[uint32]int64) int64 {

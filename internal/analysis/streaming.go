@@ -1,0 +1,573 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The streaming mode computes the paper's headline measurements — peer-served
+// fraction (§4's ~70–80% offload), per-region activity, intra-AS vs inter-AS
+// byte splits (§5/§6) — incrementally, in memory bounded by the *geography*
+// (regions, countries, ASes) rather than by the number of log entries. The
+// exact-set quantities that cannot be bounded (GUID and URL populations) are
+// tracked with HyperLogLog sketches. Over a sealed segment store the result
+// is equivalent to SummarizeOffline: identical for count- and byte-derived
+// metrics, within the sketch's ~1.6% standard error for cardinalities. The
+// speed medians and Zipf fit remain offline-only — they need the full sample.
+
+// StreamingSummarizer is a sharded, concurrency-safe aggregator over offline
+// download records. Shards exist to keep concurrent producers (a parallel
+// segment pass, the control plane's CN session loops) off one mutex; Snapshot
+// merges them. Memory is fixed: each shard holds scalar tallies, per-region /
+// per-AS maps bounded by the atlas, and two HLL sketches.
+type StreamingSummarizer struct {
+	shards []*streamShard
+}
+
+type streamShard struct {
+	mu sync.Mutex
+	streamAgg
+}
+
+// streamAgg is the mergeable aggregate state; StreamingSummary embeds its
+// exported mirror.
+type streamAgg struct {
+	downloads                                        int64
+	nInfra, nP2P, doneInfra, doneP2P, abInfra, abP2P int64
+	bytesAll, bytesInfra, bytesPeers                 int64
+	bytesP2PFiles, bytesPeersP2P                     int64
+	effSum                                           float64
+	effN                                             int64
+	intraAS, interAS                                 int64
+	perASUp                                          map[uint32]int64
+	countries                                        map[string]struct{}
+	ases                                             map[uint32]struct{}
+	regions                                          map[string]*regionAgg
+	matrix                                           map[string]map[string]int64
+	guids                                            *HLL
+	urls                                             *HLL
+}
+
+type regionAgg struct {
+	downloads     int64
+	bytesInfra    int64
+	bytesPeers    int64
+	bytesUploaded int64
+}
+
+func newStreamAgg() streamAgg {
+	return streamAgg{
+		perASUp:   map[uint32]int64{},
+		countries: map[string]struct{}{},
+		ases:      map[uint32]struct{}{},
+		regions:   map[string]*regionAgg{},
+		matrix:    map[string]map[string]int64{},
+		guids:     NewHLL(),
+		urls:      NewHLL(),
+	}
+}
+
+// RegionUnknown is the bucket for records without a region annotation
+// (segments written before the region field existed, or IPs EdgeScape could
+// not resolve).
+const RegionUnknown = "unknown"
+
+// NewStreamingSummarizer creates a summarizer with the given shard count
+// (values below 1 select 1).
+func NewStreamingSummarizer(shards int) *StreamingSummarizer {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &StreamingSummarizer{shards: make([]*streamShard, shards)}
+	for i := range s.shards {
+		s.shards[i] = &streamShard{streamAgg: newStreamAgg()}
+	}
+	return s
+}
+
+// Observe folds one download record into the aggregates. Safe for concurrent
+// use; records of the same GUID land on the same shard.
+func (s *StreamingSummarizer) Observe(d *OfflineDownload) {
+	sh := s.shards[fnv64a(d.GUID)%uint64(len(s.shards))]
+	sh.mu.Lock()
+	sh.observe(d)
+	sh.mu.Unlock()
+}
+
+func (a *streamAgg) regionOf(name string) *regionAgg {
+	if name == "" {
+		name = RegionUnknown
+	}
+	r := a.regions[name]
+	if r == nil {
+		r = &regionAgg{}
+		a.regions[name] = r
+	}
+	return r
+}
+
+func (a *streamAgg) observe(d *OfflineDownload) {
+	a.downloads++
+	a.guids.Add(d.GUID)
+	a.urls.Add(d.URLHash)
+	a.countries[d.Country] = struct{}{}
+	a.ases[d.ASN] = struct{}{}
+
+	total := d.BytesInfra + d.BytesPeers
+	a.bytesAll += total
+	a.bytesInfra += d.BytesInfra
+	a.bytesPeers += d.BytesPeers
+	if d.P2PEnabled {
+		a.nP2P++
+		a.bytesP2PFiles += total
+		a.bytesPeersP2P += d.BytesPeers
+		if total > 0 {
+			a.effSum += 100 * float64(d.BytesPeers) / float64(total)
+			a.effN++
+		}
+	} else {
+		a.nInfra++
+	}
+	switch d.Outcome {
+	case "completed":
+		if d.P2PEnabled {
+			a.doneP2P++
+		} else {
+			a.doneInfra++
+		}
+	case "aborted":
+		if d.P2PEnabled {
+			a.abP2P++
+		} else {
+			a.abInfra++
+		}
+	}
+
+	reg := a.regionOf(d.Region)
+	reg.downloads++
+	reg.bytesInfra += d.BytesInfra
+	reg.bytesPeers += d.BytesPeers
+
+	toRegion := d.Region
+	if toRegion == "" {
+		toRegion = RegionUnknown
+	}
+	for _, pc := range d.FromPeers {
+		if pc.ASN == d.ASN {
+			a.intraAS += pc.Bytes
+		} else {
+			a.interAS += pc.Bytes
+			a.perASUp[pc.ASN] += pc.Bytes
+		}
+		a.regionOf(pc.Region).bytesUploaded += pc.Bytes
+		from := pc.Region
+		if from == "" {
+			from = RegionUnknown
+		}
+		row := a.matrix[from]
+		if row == nil {
+			row = map[string]int64{}
+			a.matrix[from] = row
+		}
+		row[toRegion] += pc.Bytes
+	}
+}
+
+// RegionAnalytics is one region's live aggregate.
+type RegionAnalytics struct {
+	Region        string  `json:"region"`
+	Downloads     int64   `json:"downloads"`
+	BytesInfra    int64   `json:"bytesInfra"`
+	BytesPeers    int64   `json:"bytesPeers"`
+	BytesUploaded int64   `json:"bytesUploaded"`
+	OffloadPct    float64 `json:"offloadPct"`
+}
+
+// StreamingSummary is the bounded-memory live analytics document: the raw
+// mergeable tallies (so fleet views combine exactly) plus the derived
+// headline metrics. It is the JSON served on GET /v1/analytics.
+type StreamingSummary struct {
+	Downloads  int64 `json:"downloads"`
+	NInfra     int64 `json:"nInfraOnly"`
+	NP2P       int64 `json:"nP2P"`
+	DoneInfra  int64 `json:"doneInfraOnly"`
+	DoneP2P    int64 `json:"doneP2P"`
+	AbortInfra int64 `json:"abortInfraOnly"`
+	AbortP2P   int64 `json:"abortP2P"`
+
+	BytesAll      int64 `json:"bytesAll"`
+	BytesInfra    int64 `json:"bytesInfra"`
+	BytesPeers    int64 `json:"bytesPeers"`
+	BytesP2PFiles int64 `json:"bytesP2PFiles"`
+	BytesPeersP2P int64 `json:"bytesPeersP2P"`
+
+	EffSum float64 `json:"effSum"`
+	EffN   int64   `json:"effN"`
+
+	IntraASBytes   int64            `json:"intraASBytes"`
+	InterASBytes   int64            `json:"interASBytes"`
+	InterASUploads map[uint32]int64 `json:"interASUploads,omitempty"`
+
+	CountrySet []string `json:"countrySet,omitempty"`
+	ASSet      []uint32 `json:"asSet,omitempty"`
+
+	Regions      []RegionAnalytics           `json:"regions,omitempty"`
+	RegionMatrix map[string]map[string]int64 `json:"regionMatrix,omitempty"`
+
+	GUIDSketch []byte `json:"guidSketch,omitempty"`
+	URLSketch  []byte `json:"urlSketch,omitempty"`
+
+	// Derived headline metrics (recomputed by Finalize after a Merge).
+	ActiveGUIDs                float64 `json:"activeGUIDs"`
+	DistinctURLs               float64 `json:"distinctURLs"`
+	Countries                  int     `json:"countries"`
+	ASes                       int     `json:"ases"`
+	OffloadPct                 float64 `json:"offloadPct"`
+	PctBytesP2PFiles           float64 `json:"pctBytesP2PFiles"`
+	MeanPeerEfficiencyPct      float64 `json:"meanPeerEfficiencyPct"`
+	AggregatePeerEfficiencyPct float64 `json:"aggregatePeerEfficiencyPct"`
+	CompletionInfraPct         float64 `json:"completionInfraPct"`
+	CompletionP2PPct           float64 `json:"completionP2PPct"`
+	AbortInfraPct              float64 `json:"abortInfraPct"`
+	AbortP2PPct                float64 `json:"abortP2PPct"`
+	IntraASPct                 float64 `json:"intraASPct"`
+	HeavyASes                  int     `json:"heavyASes"`
+	HeavySharePct              float64 `json:"heavySharePct"`
+}
+
+// Snapshot merges every shard and returns the finalized summary. It may be
+// called at any time; observation continues concurrently.
+func (s *StreamingSummarizer) Snapshot() StreamingSummary {
+	merged := newStreamAgg()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		merged.merge(&sh.streamAgg)
+		sh.mu.Unlock()
+	}
+	return merged.summary()
+}
+
+// ActiveGUIDs estimates the distinct-GUID population seen so far without
+// building the full summary; the control plane's metrics gauge uses it.
+func (s *StreamingSummarizer) ActiveGUIDs() float64 {
+	g := NewHLL()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		g.Merge(sh.guids)
+		sh.mu.Unlock()
+	}
+	return g.Estimate()
+}
+
+func (a *streamAgg) merge(o *streamAgg) {
+	a.downloads += o.downloads
+	a.nInfra += o.nInfra
+	a.nP2P += o.nP2P
+	a.doneInfra += o.doneInfra
+	a.doneP2P += o.doneP2P
+	a.abInfra += o.abInfra
+	a.abP2P += o.abP2P
+	a.bytesAll += o.bytesAll
+	a.bytesInfra += o.bytesInfra
+	a.bytesPeers += o.bytesPeers
+	a.bytesP2PFiles += o.bytesP2PFiles
+	a.bytesPeersP2P += o.bytesPeersP2P
+	a.effSum += o.effSum
+	a.effN += o.effN
+	a.intraAS += o.intraAS
+	a.interAS += o.interAS
+	for asn, b := range o.perASUp {
+		a.perASUp[asn] += b
+	}
+	for c := range o.countries {
+		a.countries[c] = struct{}{}
+	}
+	for asn := range o.ases {
+		a.ases[asn] = struct{}{}
+	}
+	for name, r := range o.regions {
+		dst := a.regionOf(name)
+		dst.downloads += r.downloads
+		dst.bytesInfra += r.bytesInfra
+		dst.bytesPeers += r.bytesPeers
+		dst.bytesUploaded += r.bytesUploaded
+	}
+	for from, row := range o.matrix {
+		dst := a.matrix[from]
+		if dst == nil {
+			dst = map[string]int64{}
+			a.matrix[from] = dst
+		}
+		for to, b := range row {
+			dst[to] += b
+		}
+	}
+	a.guids.Merge(o.guids)
+	a.urls.Merge(o.urls)
+}
+
+func (a *streamAgg) summary() StreamingSummary {
+	s := StreamingSummary{
+		Downloads: a.downloads,
+		NInfra:    a.nInfra, NP2P: a.nP2P,
+		DoneInfra: a.doneInfra, DoneP2P: a.doneP2P,
+		AbortInfra: a.abInfra, AbortP2P: a.abP2P,
+		BytesAll: a.bytesAll, BytesInfra: a.bytesInfra, BytesPeers: a.bytesPeers,
+		BytesP2PFiles: a.bytesP2PFiles, BytesPeersP2P: a.bytesPeersP2P,
+		EffSum: a.effSum, EffN: a.effN,
+		IntraASBytes: a.intraAS, InterASBytes: a.interAS,
+		GUIDSketch: a.guids.Bytes(), URLSketch: a.urls.Bytes(),
+	}
+	if len(a.perASUp) > 0 {
+		s.InterASUploads = make(map[uint32]int64, len(a.perASUp))
+		for asn, b := range a.perASUp {
+			s.InterASUploads[asn] = b
+		}
+	}
+	s.CountrySet = make([]string, 0, len(a.countries))
+	for c := range a.countries {
+		s.CountrySet = append(s.CountrySet, c)
+	}
+	sort.Strings(s.CountrySet)
+	s.ASSet = make([]uint32, 0, len(a.ases))
+	for asn := range a.ases {
+		s.ASSet = append(s.ASSet, asn)
+	}
+	sort.Slice(s.ASSet, func(i, j int) bool { return s.ASSet[i] < s.ASSet[j] })
+	names := make([]string, 0, len(a.regions))
+	for name := range a.regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := a.regions[name]
+		ra := RegionAnalytics{
+			Region: name, Downloads: r.downloads,
+			BytesInfra: r.bytesInfra, BytesPeers: r.bytesPeers,
+			BytesUploaded: r.bytesUploaded,
+		}
+		if t := r.bytesInfra + r.bytesPeers; t > 0 {
+			ra.OffloadPct = 100 * float64(r.bytesPeers) / float64(t)
+		}
+		s.Regions = append(s.Regions, ra)
+	}
+	if len(a.matrix) > 0 {
+		s.RegionMatrix = make(map[string]map[string]int64, len(a.matrix))
+		for from, row := range a.matrix {
+			dst := make(map[string]int64, len(row))
+			for to, b := range row {
+				dst[to] = b
+			}
+			s.RegionMatrix[from] = dst
+		}
+	}
+	s.Finalize()
+	return s
+}
+
+// Finalize recomputes the derived headline metrics from the raw tallies.
+// Call it after mutating the raw fields (Merge does this itself).
+func (s *StreamingSummary) Finalize() {
+	if g, err := HLLFromBytes(s.GUIDSketch); err == nil {
+		s.ActiveGUIDs = g.Estimate()
+	}
+	if u, err := HLLFromBytes(s.URLSketch); err == nil {
+		s.DistinctURLs = u.Estimate()
+	}
+	s.Countries = len(s.CountrySet)
+	s.ASes = len(s.ASSet)
+	pct := func(n, d int64) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(d)
+	}
+	s.OffloadPct = pct(s.BytesPeers, s.BytesAll)
+	s.PctBytesP2PFiles = pct(s.BytesP2PFiles, s.BytesAll)
+	s.AggregatePeerEfficiencyPct = pct(s.BytesPeersP2P, s.BytesP2PFiles)
+	s.MeanPeerEfficiencyPct = 0
+	if s.EffN > 0 {
+		s.MeanPeerEfficiencyPct = s.EffSum / float64(s.EffN)
+	}
+	s.CompletionInfraPct = pct(s.DoneInfra, s.NInfra)
+	s.CompletionP2PPct = pct(s.DoneP2P, s.NP2P)
+	s.AbortInfraPct = pct(s.AbortInfra, s.NInfra)
+	s.AbortP2PPct = pct(s.AbortP2P, s.NP2P)
+	s.IntraASPct = pct(s.IntraASBytes, s.IntraASBytes+s.InterASBytes)
+	s.HeavyASes, s.HeavySharePct = heavyUploaders(s.InterASUploads)
+}
+
+// Merge folds another summary into this one — the monitor's fleet view over
+// N control planes. Counts and byte totals sum; GUID/URL sketches union, so
+// a peer reporting through two CPs is still counted once; derived metrics
+// are recomputed.
+func (s *StreamingSummary) Merge(o *StreamingSummary) error {
+	s.Downloads += o.Downloads
+	s.NInfra += o.NInfra
+	s.NP2P += o.NP2P
+	s.DoneInfra += o.DoneInfra
+	s.DoneP2P += o.DoneP2P
+	s.AbortInfra += o.AbortInfra
+	s.AbortP2P += o.AbortP2P
+	s.BytesAll += o.BytesAll
+	s.BytesInfra += o.BytesInfra
+	s.BytesPeers += o.BytesPeers
+	s.BytesP2PFiles += o.BytesP2PFiles
+	s.BytesPeersP2P += o.BytesPeersP2P
+	s.EffSum += o.EffSum
+	s.EffN += o.EffN
+	s.IntraASBytes += o.IntraASBytes
+	s.InterASBytes += o.InterASBytes
+	if len(o.InterASUploads) > 0 && s.InterASUploads == nil {
+		s.InterASUploads = map[uint32]int64{}
+	}
+	for asn, b := range o.InterASUploads {
+		s.InterASUploads[asn] += b
+	}
+	s.CountrySet = mergeSortedStrings(s.CountrySet, o.CountrySet)
+	s.ASSet = mergeSortedUint32(s.ASSet, o.ASSet)
+	s.Regions = mergeRegions(s.Regions, o.Regions)
+	if len(o.RegionMatrix) > 0 && s.RegionMatrix == nil {
+		s.RegionMatrix = map[string]map[string]int64{}
+	}
+	for from, row := range o.RegionMatrix {
+		dst := s.RegionMatrix[from]
+		if dst == nil {
+			dst = map[string]int64{}
+			s.RegionMatrix[from] = dst
+		}
+		for to, b := range row {
+			dst[to] += b
+		}
+	}
+	g, err := HLLFromBytes(s.GUIDSketch)
+	if err != nil {
+		return err
+	}
+	og, err := HLLFromBytes(o.GUIDSketch)
+	if err != nil {
+		return err
+	}
+	g.Merge(og)
+	s.GUIDSketch = g.Bytes()
+	u, err := HLLFromBytes(s.URLSketch)
+	if err != nil {
+		return err
+	}
+	ou, err := HLLFromBytes(o.URLSketch)
+	if err != nil {
+		return err
+	}
+	u.Merge(ou)
+	s.URLSketch = u.Bytes()
+	s.Finalize()
+	return nil
+}
+
+func mergeSortedStrings(a, b []string) []string {
+	seen := make(map[string]struct{}, len(a)+len(b))
+	for _, v := range a {
+		seen[v] = struct{}{}
+	}
+	for _, v := range b {
+		seen[v] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mergeSortedUint32(a, b []uint32) []uint32 {
+	seen := make(map[uint32]struct{}, len(a)+len(b))
+	for _, v := range a {
+		seen[v] = struct{}{}
+	}
+	for _, v := range b {
+		seen[v] = struct{}{}
+	}
+	out := make([]uint32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func mergeRegions(a, b []RegionAnalytics) []RegionAnalytics {
+	byName := make(map[string]RegionAnalytics, len(a)+len(b))
+	for _, r := range a {
+		byName[r.Region] = r
+	}
+	for _, r := range b {
+		cur, ok := byName[r.Region]
+		if !ok {
+			byName[r.Region] = r
+			continue
+		}
+		cur.Downloads += r.Downloads
+		cur.BytesInfra += r.BytesInfra
+		cur.BytesPeers += r.BytesPeers
+		cur.BytesUploaded += r.BytesUploaded
+		byName[r.Region] = cur
+	}
+	out := make([]RegionAnalytics, 0, len(byName))
+	for _, r := range byName {
+		if t := r.BytesInfra + r.BytesPeers; t > 0 {
+			r.OffloadPct = 100 * float64(r.BytesPeers) / float64(t)
+		} else {
+			r.OffloadPct = 0
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out
+}
+
+// humanBytes renders a byte count for the dashboard tables.
+func humanBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// Render prints the live-analytics dashboard: the paper's Fig-style headline
+// metrics, the per-region offload table (§4), and the AS-locality split
+// (§6.1). Both `netsession-analyze -follow` and `netsession-report -live`
+// print this block.
+func (s StreamingSummary) Render() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("downloads: %d (%d infra-only, %d peer-assisted) by ~%.0f GUIDs over ~%.0f objects (%d countries, %d ASes)",
+		s.Downloads, s.NInfra, s.NP2P, s.ActiveGUIDs, s.DistinctURLs, s.Countries, s.ASes)
+	w("offload:   %.1f%% of %s served by peers (paper §4: ~70-80%% for p2p-enabled traffic)",
+		s.OffloadPct, humanBytes(s.BytesAll))
+	w("p2p-enabled files carry %.1f%% of bytes; peer efficiency mean %.1f%%, byte-weighted %.1f%% (paper: 57.4%% / 71.4%%)",
+		s.PctBytesP2PFiles, s.MeanPeerEfficiencyPct, s.AggregatePeerEfficiencyPct)
+	w("completion: infra-only %.1f%%, peer-assisted %.1f%%; aborted %.1f%% / %.1f%%",
+		s.CompletionInfraPct, s.CompletionP2PPct, s.AbortInfraPct, s.AbortP2PPct)
+	w("AS locality: intra-AS %s (%.1f%%), inter-AS %s; %d heavy ASes carry %.0f%% of inter-AS bytes",
+		humanBytes(s.IntraASBytes), s.IntraASPct, humanBytes(s.InterASBytes),
+		s.HeavyASes, s.HeavySharePct)
+	if len(s.Regions) > 0 {
+		w("")
+		w("%-10s %10s %12s %12s %12s %9s", "region", "downloads", "infra-bytes", "peer-bytes", "uploaded", "offload")
+		for _, r := range s.Regions {
+			w("%-10s %10d %12s %12s %12s %8.1f%%",
+				r.Region, r.Downloads, humanBytes(r.BytesInfra),
+				humanBytes(r.BytesPeers), humanBytes(r.BytesUploaded), r.OffloadPct)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// synthDownloads fabricates a deterministic, geo-annotated download set with
+// peer contributions spanning several regions and ASes.
+func synthDownloads(n int, seed int64) []OfflineDownload {
+	rng := rand.New(rand.NewSource(seed))
+	regions := []string{"NA-East", "NA-West", "EU-West", "AS-NEA", "OC"}
+	countries := []string{"US", "US", "DE", "JP", "AU"}
+	out := make([]OfflineDownload, 0, n)
+	for i := 0; i < n; i++ {
+		ri := rng.Intn(len(regions))
+		d := OfflineDownload{
+			GUID:    fmt.Sprintf("guid-%04x", rng.Intn(n/2+1)),
+			Country: countries[ri],
+			ASN:     uint32(100 + rng.Intn(40)),
+			Region:  regions[ri],
+			URLHash: fmt.Sprintf("url-%03d", rng.Intn(200)),
+			Size:    int64(rng.Intn(1 << 20)),
+			StartMs: int64(i) * 1000,
+			EndMs:   int64(i)*1000 + int64(rng.Intn(60_000)),
+		}
+		d.P2PEnabled = rng.Intn(3) > 0
+		switch rng.Intn(10) {
+		case 0:
+			d.Outcome = "aborted"
+		case 1:
+			d.Outcome = "failed-system"
+		default:
+			d.Outcome = "completed"
+		}
+		d.BytesInfra = int64(rng.Intn(1 << 20))
+		if d.P2PEnabled {
+			nPeers := rng.Intn(4)
+			for p := 0; p < nPeers; p++ {
+				pi := rng.Intn(len(regions))
+				pc := OfflineContribution{
+					GUID:    fmt.Sprintf("guid-%04x", rng.Intn(n/2+1)),
+					Country: countries[pi],
+					ASN:     uint32(100 + rng.Intn(40)),
+					Region:  regions[pi],
+					Bytes:   int64(rng.Intn(1 << 18)),
+				}
+				d.FromPeers = append(d.FromPeers, pc)
+				d.BytesPeers += pc.Bytes
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// requireEquivalent asserts the streaming/offline equivalence contract:
+// count- and byte-derived metrics match exactly (floats to within float
+// summation-order noise), cardinalities to the sketch's error budget.
+func requireEquivalent(t *testing.T, off OfflineSummary, st StreamingSummary) {
+	t.Helper()
+	if int64(off.Downloads) != st.Downloads {
+		t.Errorf("Downloads: offline %d, streaming %d", off.Downloads, st.Downloads)
+	}
+	if off.Countries != st.Countries || off.ASes != st.ASes {
+		t.Errorf("geo dims: offline (%d countries, %d ASes), streaming (%d, %d)",
+			off.Countries, off.ASes, st.Countries, st.ASes)
+	}
+	if off.HeavyASes != st.HeavyASes {
+		t.Errorf("HeavyASes: offline %d, streaming %d", off.HeavyASes, st.HeavyASes)
+	}
+	closeEnough := func(name string, a, b float64) {
+		t.Helper()
+		if a == b {
+			return
+		}
+		denom := math.Max(math.Abs(a), math.Abs(b))
+		if math.Abs(a-b)/denom > 1e-9 {
+			t.Errorf("%s: offline %v, streaming %v", name, a, b)
+		}
+	}
+	closeEnough("CompletionInfraPct", off.CompletionInfraPct, st.CompletionInfraPct)
+	closeEnough("CompletionP2PPct", off.CompletionP2PPct, st.CompletionP2PPct)
+	closeEnough("AbortInfraPct", off.AbortInfraPct, st.AbortInfraPct)
+	closeEnough("AbortP2PPct", off.AbortP2PPct, st.AbortP2PPct)
+	closeEnough("PctBytesP2PFiles", off.PctBytesP2PFiles, st.PctBytesP2PFiles)
+	closeEnough("MeanPeerEfficiencyPct", off.MeanPeerEfficiencyPct, st.MeanPeerEfficiencyPct)
+	closeEnough("AggregatePeerEfficiencyPct", off.AggregatePeerEfficiencyPct, st.AggregatePeerEfficiencyPct)
+	closeEnough("IntraASPct", off.IntraASPct, st.IntraASPct)
+	closeEnough("HeavySharePct", off.HeavySharePct, st.HeavySharePct)
+	sketchClose := func(name string, exact int, est float64) {
+		t.Helper()
+		if exact == 0 {
+			if est != 0 {
+				t.Errorf("%s: offline 0, streaming estimate %.1f", name, est)
+			}
+			return
+		}
+		if math.Abs(est-float64(exact))/float64(exact) > 0.02 {
+			t.Errorf("%s: offline %d, streaming estimate %.1f (>2%% off)", name, exact, est)
+		}
+	}
+	sketchClose("DistinctGUIDs", off.DistinctGUIDs, st.ActiveGUIDs)
+	sketchClose("DistinctURLs", off.DistinctURLs, st.DistinctURLs)
+}
+
+func TestStreamingEquivalenceSingleShard(t *testing.T) {
+	dls := synthDownloads(20_000, 7)
+	off := SummarizeOffline(dls)
+	s := NewStreamingSummarizer(1)
+	for i := range dls {
+		s.Observe(&dls[i])
+	}
+	requireEquivalent(t, off, s.Snapshot())
+}
+
+func TestStreamingEquivalenceSharded(t *testing.T) {
+	dls := synthDownloads(20_000, 11)
+	off := SummarizeOffline(dls)
+	s := NewStreamingSummarizer(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(dls); i += 4 {
+				s.Observe(&dls[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	requireEquivalent(t, off, s.Snapshot())
+}
+
+func TestStreamingRegionAggregates(t *testing.T) {
+	dls := synthDownloads(5_000, 3)
+	s := NewStreamingSummarizer(4)
+	var wantInfra, wantPeers int64
+	perRegionPeers := map[string]int64{}
+	uploadedTotal := int64(0)
+	for i := range dls {
+		d := &dls[i]
+		s.Observe(d)
+		wantInfra += d.BytesInfra
+		wantPeers += d.BytesPeers
+		perRegionPeers[d.Region] += d.BytesPeers
+		for _, pc := range d.FromPeers {
+			uploadedTotal += pc.Bytes
+		}
+	}
+	sum := s.Snapshot()
+	if sum.BytesInfra != wantInfra || sum.BytesPeers != wantPeers {
+		t.Fatalf("byte totals: got (%d, %d), want (%d, %d)",
+			sum.BytesInfra, sum.BytesPeers, wantInfra, wantPeers)
+	}
+	wantOffload := 100 * float64(wantPeers) / float64(wantInfra+wantPeers)
+	if math.Abs(sum.OffloadPct-wantOffload) > 1e-9 {
+		t.Errorf("OffloadPct %.6f, want %.6f", sum.OffloadPct, wantOffload)
+	}
+	var regionPeers, regionUploaded, matrixTotal int64
+	for _, r := range sum.Regions {
+		if r.BytesPeers != perRegionPeers[r.Region] {
+			t.Errorf("region %s peer bytes %d, want %d", r.Region, r.BytesPeers, perRegionPeers[r.Region])
+		}
+		regionPeers += r.BytesPeers
+		regionUploaded += r.BytesUploaded
+	}
+	for _, row := range sum.RegionMatrix {
+		for _, b := range row {
+			matrixTotal += b
+		}
+	}
+	if regionPeers != wantPeers {
+		t.Errorf("per-region peer bytes sum %d, want %d", regionPeers, wantPeers)
+	}
+	// Every uploaded byte is attributed to exactly one (from, to) matrix cell
+	// and one uploading region.
+	if regionUploaded != uploadedTotal || matrixTotal != uploadedTotal {
+		t.Errorf("upload attribution: regions %d, matrix %d, want %d",
+			regionUploaded, matrixTotal, uploadedTotal)
+	}
+	if sum.IntraASBytes+sum.InterASBytes != uploadedTotal {
+		t.Errorf("AS split %d+%d != %d", sum.IntraASBytes, sum.InterASBytes, uploadedTotal)
+	}
+}
+
+func TestStreamingSummaryMergeFleet(t *testing.T) {
+	all := synthDownloads(12_000, 19)
+	// Split the log across two "control planes" and merge their summaries;
+	// the fleet view must match one summarizer that saw everything.
+	s1, s2, whole := NewStreamingSummarizer(2), NewStreamingSummarizer(2), NewStreamingSummarizer(2)
+	for i := range all {
+		whole.Observe(&all[i])
+		if i%2 == 0 {
+			s1.Observe(&all[i])
+		} else {
+			s2.Observe(&all[i])
+		}
+	}
+	// Round-trip each part through JSON the way the monitor scrapes it.
+	var a, b StreamingSummary
+	for _, rt := range []struct {
+		src StreamingSummary
+		dst *StreamingSummary
+	}{{s1.Snapshot(), &a}, {s2.Snapshot(), &b}} {
+		raw, err := json.Marshal(rt.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, rt.dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := whole.Snapshot()
+	if a.Downloads != want.Downloads || a.BytesPeers != want.BytesPeers ||
+		a.IntraASBytes != want.IntraASBytes || a.InterASBytes != want.InterASBytes {
+		t.Fatalf("merged totals diverge: got (%d dl, %d peer, %d intra, %d inter), want (%d, %d, %d, %d)",
+			a.Downloads, a.BytesPeers, a.IntraASBytes, a.InterASBytes,
+			want.Downloads, want.BytesPeers, want.IntraASBytes, want.InterASBytes)
+	}
+	if a.ActiveGUIDs != want.ActiveGUIDs {
+		t.Errorf("sketch union: merged %.1f, whole %.1f (must be identical registers)",
+			a.ActiveGUIDs, want.ActiveGUIDs)
+	}
+	if a.Countries != want.Countries || a.ASes != want.ASes || a.HeavyASes != want.HeavyASes {
+		t.Errorf("merged dims (%d, %d, %d) != whole (%d, %d, %d)",
+			a.Countries, a.ASes, a.HeavyASes, want.Countries, want.ASes, want.HeavyASes)
+	}
+	if len(a.Regions) != len(want.Regions) {
+		t.Fatalf("merged regions %d != whole %d", len(a.Regions), len(want.Regions))
+	}
+	for i := range a.Regions {
+		if a.Regions[i] != want.Regions[i] {
+			t.Errorf("region %s: merged %+v != whole %+v",
+				a.Regions[i].Region, a.Regions[i], want.Regions[i])
+		}
+	}
+}
+
+func TestStreamingUnknownRegionBucket(t *testing.T) {
+	s := NewStreamingSummarizer(1)
+	s.Observe(&OfflineDownload{GUID: "g", URLHash: "u", BytesInfra: 10, Outcome: "completed"})
+	sum := s.Snapshot()
+	if len(sum.Regions) != 1 || sum.Regions[0].Region != RegionUnknown {
+		t.Fatalf("unannotated record regions = %+v, want one %q bucket", sum.Regions, RegionUnknown)
+	}
+}
+
+func TestStreamingRenderMentionsHeadlines(t *testing.T) {
+	dls := synthDownloads(1_000, 5)
+	s := NewStreamingSummarizer(2)
+	for i := range dls {
+		s.Observe(&dls[i])
+	}
+	out := s.Snapshot().Render()
+	for _, want := range []string{"offload:", "intra-AS", "region", "NA-East"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -134,9 +134,10 @@ func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
 // used to route connect-to instructions between peers on different CNs
 // ("The CN/DN system is interconnected across regions", §3.7).
 type ControlPlane struct {
-	cfg     Config
-	metrics *cpMetrics
-	ingest  *logpipe.Ingest
+	cfg       Config
+	metrics   *cpMetrics
+	ingest    *logpipe.Ingest
+	analytics *cpAnalytics
 
 	dns [geo.NumRegions]*DN
 
@@ -162,6 +163,7 @@ func New(cfg Config) (*ControlPlane, error) {
 		metrics:  newCPMetrics(cfg.Telemetry),
 		sessions: make(map[id.GUID]*session),
 	}
+	cp.analytics = newCPAnalytics(cp.metrics.reg)
 	cp.cfg.Collector.Configure(accounting.Limits{
 		MaxDownloads:     cfg.MaxLogRecords,
 		MaxLogins:        cfg.MaxLogRecords,

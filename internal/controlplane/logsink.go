@@ -7,6 +7,7 @@ import (
 	"netsession/internal/accounting"
 	"netsession/internal/analysis"
 	"netsession/internal/content"
+	"netsession/internal/geo"
 	"netsession/internal/id"
 	"netsession/internal/logpipe"
 	"netsession/internal/protocol"
@@ -25,8 +26,12 @@ func (cp *ControlPlane) recordDownload(rec accounting.DownloadRecord) error {
 	if err := cp.cfg.Collector.AddDownload(rec); err != nil {
 		return err
 	}
+	// Every accepted record feeds the live analytics, whether or not a
+	// durable store is configured; the streaming summarizer is the in-memory
+	// half of the same pipeline.
+	off := analysis.OfflineFromRecord(&rec, cp.geoLookup)
+	cp.analytics.observe(&off)
 	if st := cp.cfg.LogStore; st != nil {
-		off := analysis.OfflineFromRecord(&rec, cp.geoLookup)
 		if err := st.Append(off); err != nil {
 			return fmt.Errorf("controlplane: spill download record: %w", err)
 		}
@@ -35,12 +40,17 @@ func (cp *ControlPlane) recordDownload(rec accounting.DownloadRecord) error {
 }
 
 // geoLookup annotates a logged IP the way the paper's offline data set is
-// annotated with EdgeScape fields (§4.1).
-func (cp *ControlPlane) geoLookup(ip netip.Addr) (string, uint32) {
+// annotated with EdgeScape fields (§4.1), plus the control plane's network
+// region so per-region analytics survive without the atlas.
+func (cp *ControlPlane) geoLookup(ip netip.Addr) analysis.GeoTag {
 	if rec, ok := cp.cfg.Scape.Lookup(ip); ok {
-		return string(rec.Country), uint32(rec.ASN)
+		return analysis.GeoTag{
+			Country: string(rec.Country),
+			ASN:     uint32(rec.ASN),
+			Region:  geo.RegionOf(rec).String(),
+		}
 	}
-	return "", 0
+	return analysis.GeoTag{}
 }
 
 // ingestEntry is the logpipe ingest handler: one uploaded log entry becomes

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"netsession/internal/analysis"
 	"netsession/internal/telemetry"
 )
 
@@ -36,11 +37,15 @@ type Monitor struct {
 	scrapes         *telemetry.Counter
 	scrapeErrors    *telemetry.Counter
 
-	scrapeMu      sync.Mutex
-	scrapeTargets map[string]string // component name -> base URL
-	scraped       map[string]telemetry.Snapshot
-	scrapedAt     map[string]time.Time
-	scrapeStop    func()
+	scrapeMu         sync.Mutex
+	scrapeTargets    map[string]string // component name -> base URL
+	scraped          map[string]telemetry.Snapshot
+	scrapedAnalytics map[string]analysis.StreamingSummary
+	scrapedAt        map[string]time.Time
+	scrapeTimeout    time.Duration
+	staleAfter       time.Duration
+	scrapeStop       func()
+	scrapeEvictions  *telemetry.Counter
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -86,13 +91,18 @@ func NewMonitor(ringSize int) *Monitor {
 			"successful component telemetry scrapes", nil),
 		scrapeErrors: reg.Counter("monitor_scrape_errors_total",
 			"failed component telemetry scrapes", nil),
-		scrapeTargets: make(map[string]string),
-		scraped:       make(map[string]telemetry.Snapshot),
-		scrapedAt:     make(map[string]time.Time),
+		scrapeTargets:    make(map[string]string),
+		scraped:          make(map[string]telemetry.Snapshot),
+		scrapedAnalytics: make(map[string]analysis.StreamingSummary),
+		scrapedAt:        make(map[string]time.Time),
+		scrapeTimeout:    5 * time.Second,
+		scrapeEvictions: reg.Counter("monitor_scrape_evictions_total",
+			"components evicted from the fleet aggregate after going stale", nil),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/report", m.handleReport)
 	mux.HandleFunc("GET /v1/health", m.handleHealth)
+	mux.HandleFunc("GET /v1/analytics", m.handleAnalytics)
 	telemetry.Mount(mux, reg)
 	m.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	return m
@@ -222,29 +232,82 @@ func (m *Monitor) SetScrapeTargets(targets map[string]string) {
 	}
 }
 
-// ScrapeOnce fetches every configured target's /v1/telemetry snapshot.
-// Failures are soft: the previous snapshot for a target is kept, and the
-// error counter advances.
+// SetScrapePolicy configures the per-target scrape timeout and how long a
+// component's last good scrape stays in the fleet aggregate. A target whose
+// last success is at least staleAfter old is evicted, so a dead CP or edge
+// stops polluting Aggregate and FleetAnalytics instead of contributing its
+// final numbers forever. Zero keeps the current value (timeout defaults to
+// 5s; staleAfter defaults to the scrape interval when StartScraping runs,
+// and to "never" for purely manual ScrapeOnce use).
+func (m *Monitor) SetScrapePolicy(timeout, staleAfter time.Duration) {
+	m.scrapeMu.Lock()
+	defer m.scrapeMu.Unlock()
+	if timeout > 0 {
+		m.scrapeTimeout = timeout
+	}
+	if staleAfter > 0 {
+		m.staleAfter = staleAfter
+	}
+}
+
+// ScrapeOnce fetches every configured target's /v1/telemetry snapshot — and,
+// for targets that serve one, the /v1/analytics summary — in parallel, one
+// slow target never delaying the others past its own timeout. Failures are
+// soft: the previous snapshot for a target is kept until it goes stale, and
+// the error counter advances.
 func (m *Monitor) ScrapeOnce() {
 	m.scrapeMu.Lock()
 	targets := make(map[string]string, len(m.scrapeTargets))
 	for k, v := range m.scrapeTargets {
 		targets[k] = v
 	}
+	timeout := m.scrapeTimeout
 	m.scrapeMu.Unlock()
 
-	client := &http.Client{Timeout: 5 * time.Second}
+	client := &http.Client{Timeout: timeout}
+	var wg sync.WaitGroup
 	for name, base := range targets {
-		snap, err := fetchSnapshot(client, base+"/v1/telemetry")
-		if err != nil {
-			m.scrapeErrors.Inc()
-			continue
+		wg.Add(1)
+		go func(name, base string) {
+			defer wg.Done()
+			snap, err := fetchSnapshot(client, base+"/v1/telemetry")
+			if err != nil {
+				m.scrapeErrors.Inc()
+				return
+			}
+			// Analytics is optional per component: the control plane serves
+			// it, edges and peers 404 — which is a skip, not an error.
+			sum, aerr := fetchAnalytics(client, base+"/v1/analytics")
+			m.scrapes.Inc()
+			m.scrapeMu.Lock()
+			m.scraped[name] = snap
+			if aerr == nil {
+				m.scrapedAnalytics[name] = sum
+			}
+			m.scrapedAt[name] = time.Now()
+			m.scrapeMu.Unlock()
+		}(name, base)
+	}
+	wg.Wait()
+	m.evictStale()
+}
+
+// evictStale drops components whose last successful scrape is older than the
+// stale policy, counting each eviction.
+func (m *Monitor) evictStale() {
+	m.scrapeMu.Lock()
+	defer m.scrapeMu.Unlock()
+	if m.staleAfter <= 0 {
+		return
+	}
+	now := time.Now()
+	for name, at := range m.scrapedAt {
+		if now.Sub(at) >= m.staleAfter {
+			delete(m.scraped, name)
+			delete(m.scrapedAnalytics, name)
+			delete(m.scrapedAt, name)
+			m.scrapeEvictions.Inc()
 		}
-		m.scrapes.Inc()
-		m.scrapeMu.Lock()
-		m.scraped[name] = snap
-		m.scrapedAt[name] = time.Now()
-		m.scrapeMu.Unlock()
 	}
 }
 
@@ -262,6 +325,27 @@ func fetchSnapshot(client *http.Client, url string) (telemetry.Snapshot, error) 
 	return snap, err
 }
 
+// errNoAnalytics reports that a target does not expose a live-analytics
+// endpoint; callers treat it as "skip", never as a scrape failure.
+var errNoAnalytics = fmt.Errorf("target serves no analytics endpoint")
+
+func fetchAnalytics(client *http.Client, url string) (analysis.StreamingSummary, error) {
+	var sum analysis.StreamingSummary
+	resp, err := client.Get(url)
+	if err != nil {
+		return sum, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return sum, errNoAnalytics
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sum, fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&sum)
+	return sum, err
+}
+
 // StartScraping scrapes all targets every interval until the monitor closes
 // or the returned stop function runs.
 func (m *Monitor) StartScraping(interval time.Duration) (stop func()) {
@@ -273,6 +357,11 @@ func (m *Monitor) StartScraping(interval time.Duration) (stop func()) {
 	stop = func() { once.Do(func() { close(done) }) }
 	m.scrapeMu.Lock()
 	m.scrapeStop = stop
+	if m.staleAfter <= 0 {
+		// Default stale policy: a component that misses one full scrape
+		// cycle drops out of the fleet aggregates.
+		m.staleAfter = interval
+	}
 	m.scrapeMu.Unlock()
 	go func() {
 		t := time.NewTicker(interval)
@@ -306,6 +395,47 @@ func (m *Monitor) Aggregate() telemetry.Snapshot {
 	return agg
 }
 
+// FleetAnalytics merges the latest analytics summary scraped from every
+// component that serves one (the control planes) into a single fleet view:
+// counts and byte totals sum, GUID/URL sketches union so peers reporting
+// through several CPs are counted once. The bool is false when no analytics
+// have been scraped yet.
+func (m *Monitor) FleetAnalytics() (analysis.StreamingSummary, bool) {
+	m.scrapeMu.Lock()
+	defer m.scrapeMu.Unlock()
+	names := make([]string, 0, len(m.scrapedAnalytics))
+	for name := range m.scrapedAnalytics {
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return analysis.StreamingSummary{}, false
+	}
+	sort.Strings(names)
+	// Merge into a zero summary rather than starting from the first entry:
+	// Merge adds into maps in place, and the stored per-component documents
+	// must stay untouched for the next call.
+	var fleet analysis.StreamingSummary
+	for _, name := range names {
+		sum := m.scrapedAnalytics[name]
+		// A malformed sketch from one CP must not take down the fleet view;
+		// its scalar tallies merged already, the sketch is skipped.
+		_ = fleet.Merge(&sum)
+	}
+	return fleet, true
+}
+
+// handleAnalytics serves the merged fleet analytics on GET /v1/analytics —
+// the same document shape each CP serves, so dashboards point at either.
+func (m *Monitor) handleAnalytics(w http.ResponseWriter, _ *http.Request) {
+	fleet, ok := m.FleetAnalytics()
+	if !ok {
+		http.Error(w, "no analytics scraped yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(fleet)
+}
+
 // componentHealth is one scraped component's entry in the health summary.
 type componentHealth struct {
 	LastScrape time.Time `json:"lastScrape"`
@@ -319,6 +449,7 @@ type healthSummary struct {
 	Alerts     []Alert                    `json:"alerts,omitempty"`
 	Components map[string]componentHealth `json:"components,omitempty"`
 	Fleet      telemetry.Snapshot         `json:"fleet,omitempty"`
+	Analytics  *analysis.StreamingSummary `json:"analytics,omitempty"`
 }
 
 func (m *Monitor) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -341,6 +472,9 @@ func (m *Monitor) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	m.scrapeMu.Unlock()
 	sum.Fleet = m.Aggregate()
+	if fleet, ok := m.FleetAnalytics(); ok {
+		sum.Analytics = &fleet
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(sum)
 }

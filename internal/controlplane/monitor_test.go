@@ -2,12 +2,14 @@ package controlplane
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"netsession/internal/analysis"
 	"netsession/internal/telemetry"
 )
 
@@ -95,6 +97,153 @@ func TestMonitorScrapeAndAggregate(t *testing.T) {
 	buf.ReadFrom(resp.Body)
 	if !strings.Contains(buf.String(), "widget_total") {
 		t.Errorf("health summary missing fleet aggregate: %s", buf.String())
+	}
+}
+
+// TestMonitorScrapeTimeout: a target that hangs past the per-target timeout
+// counts as a scrape error and never blocks the healthy targets' snapshots.
+func TestMonitorScrapeTimeout(t *testing.T) {
+	m := startMonitor(t)
+
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		<-release
+	}))
+	t.Cleanup(func() { close(release); slow.Close() })
+
+	reg := telemetry.NewRegistry()
+	reg.Counter("fast_total", "fast", nil).Inc()
+	mux := http.NewServeMux()
+	telemetry.Mount(mux, reg)
+	fast := httptest.NewServer(mux)
+	t.Cleanup(fast.Close)
+
+	m.SetScrapeTargets(map[string]string{"slow": slow.URL, "fast": fast.URL})
+	m.SetScrapePolicy(50*time.Millisecond, 0)
+	start := time.Now()
+	m.ScrapeOnce()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("ScrapeOnce blocked %v on a hung target", elapsed)
+	}
+	if got := m.Aggregate().Counters["fast_total"]; got != 1 {
+		t.Errorf("healthy target not scraped alongside hung one: %d", got)
+	}
+	snap := m.Metrics().Snapshot()
+	if snap.Counters["monitor_scrape_errors_total"] != 1 {
+		t.Errorf("hung target not counted as scrape error: %+v", snap.Counters)
+	}
+}
+
+// TestMonitorStaleEviction: a component that dies keeps its last snapshot
+// only until the stale deadline; the next scrape cycle after that removes it
+// from the fleet aggregate entirely.
+func TestMonitorStaleEviction(t *testing.T) {
+	m := startMonitor(t)
+	reg := telemetry.NewRegistry()
+	reg.Counter("dying_total", "", nil).Add(9)
+	mux := http.NewServeMux()
+	telemetry.Mount(mux, reg)
+	srv := httptest.NewServer(mux)
+
+	m.SetScrapeTargets(map[string]string{"dying": srv.URL})
+	m.SetScrapePolicy(time.Second, 50*time.Millisecond)
+	m.ScrapeOnce()
+	if got := m.Aggregate().Counters["dying_total"]; got != 9 {
+		t.Fatalf("initial scrape missing: %d", got)
+	}
+
+	srv.Close() // the component dies
+	time.Sleep(60 * time.Millisecond)
+	m.ScrapeOnce() // fails, and the stale snapshot crosses the deadline
+	if got := m.Aggregate().Counters["dying_total"]; got != 0 {
+		t.Errorf("dead component still in fleet aggregate: dying_total=%d", got)
+	}
+	snap := m.Metrics().Snapshot()
+	if snap.Counters["monitor_scrape_evictions_total"] != 1 {
+		t.Errorf("eviction not counted: %+v", snap.Counters)
+	}
+	// A live component scraped on the same cadence is not evicted.
+	reg2 := telemetry.NewRegistry()
+	reg2.Counter("alive_total", "", nil).Inc()
+	mux2 := http.NewServeMux()
+	telemetry.Mount(mux2, reg2)
+	srv2 := httptest.NewServer(mux2)
+	t.Cleanup(srv2.Close)
+	m.SetScrapeTargets(map[string]string{"alive": srv2.URL})
+	m.ScrapeOnce()
+	if got := m.Aggregate().Counters["alive_total"]; got != 1 {
+		t.Errorf("live component evicted: %d", got)
+	}
+}
+
+// TestMonitorFleetAnalytics: analytics documents scraped from several CPs
+// merge into one fleet view — tallies sum, GUID sketches union — and targets
+// without the endpoint are skipped silently.
+func TestMonitorFleetAnalytics(t *testing.T) {
+	m := startMonitor(t)
+
+	mkCP := func(guids []string, peers int64) *httptest.Server {
+		s := analysis.NewStreamingSummarizer(1)
+		for _, g := range guids {
+			s.Observe(&analysis.OfflineDownload{
+				GUID: g, URLHash: "u1", Region: "EU-West",
+				BytesInfra: 100, BytesPeers: peers, Outcome: "completed",
+			})
+		}
+		mux := http.NewServeMux()
+		reg := telemetry.NewRegistry()
+		telemetry.Mount(mux, reg)
+		mux.HandleFunc("GET /v1/analytics", func(w http.ResponseWriter, _ *http.Request) {
+			json.NewEncoder(w).Encode(s.Snapshot())
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	// "g2" reports through both CPs; the fleet must count it once.
+	cp1 := mkCP([]string{"g1", "g2"}, 300)
+	cp2 := mkCP([]string{"g2", "g3"}, 100)
+	// An edge-like target: telemetry only, no analytics endpoint.
+	edgeMux := http.NewServeMux()
+	telemetry.Mount(edgeMux, telemetry.NewRegistry())
+	edge := httptest.NewServer(edgeMux)
+	t.Cleanup(edge.Close)
+
+	m.SetScrapeTargets(map[string]string{"cp1": cp1.URL, "cp2": cp2.URL, "edge": edge.URL})
+	m.ScrapeOnce()
+
+	fleet, ok := m.FleetAnalytics()
+	if !ok {
+		t.Fatal("no fleet analytics after scraping two CPs")
+	}
+	if fleet.Downloads != 4 {
+		t.Errorf("fleet downloads %d, want 4", fleet.Downloads)
+	}
+	if fleet.BytesPeers != 800 || fleet.BytesInfra != 400 {
+		t.Errorf("fleet bytes (peers %d, infra %d), want (800, 400)", fleet.BytesPeers, fleet.BytesInfra)
+	}
+	if est := int(fleet.ActiveGUIDs + 0.5); est != 3 {
+		t.Errorf("fleet ActiveGUIDs %.2f, want ~3 (sketch union, g2 deduped)", fleet.ActiveGUIDs)
+	}
+	if len(fleet.Regions) != 1 || fleet.Regions[0].Region != "EU-West" || fleet.Regions[0].Downloads != 4 {
+		t.Errorf("fleet regions %+v", fleet.Regions)
+	}
+	if snap := m.Metrics().Snapshot(); snap.Counters["monitor_scrape_errors_total"] != 0 {
+		t.Errorf("missing analytics endpoint counted as error: %+v", snap.Counters)
+	}
+
+	// The monitor re-serves the merged view on its own /v1/analytics.
+	resp, err := http.Get("http://" + m.Addr() + "/v1/analytics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var served analysis.StreamingSummary
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	if served.Downloads != 4 || served.OffloadPct != fleet.OffloadPct {
+		t.Errorf("served fleet analytics %+v diverges from FleetAnalytics", served)
 	}
 }
 

@@ -71,6 +71,7 @@ type StatusServer struct {
 func (cp *ControlPlane) StartStatusServer(addr string) (*StatusServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("GET /v1/status", cp.StatusHandler())
+	mux.Handle("GET /v1/analytics", cp.AnalyticsHandler())
 	mux.Handle("POST "+logpipe.BatchPath, cp.ingest.Handler())
 	telemetry.Mount(mux, cp.metrics.reg)
 	ln, err := net.Listen("tcp", addr)

@@ -1,0 +1,152 @@
+package logpipe
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"testing"
+
+	"netsession/internal/analysis"
+)
+
+// writeBenchStore materializes a sealed segment store of synthetic download
+// records by writing segment files directly (MarshalSegment + one write per
+// segment). Store.Append would rewrite the open segment per record — O(n²)
+// gzip work — which is fine for the control plane's trickle but useless for
+// generating hundreds of thousands of records in a test.
+func writeBenchStore(tb testing.TB, dir string, segments, recsPerSeg int) int {
+	tb.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		tb.Fatal(err)
+	}
+	regions := []string{"NA-East", "EU-West", "AS-NEA", "AS-China", "SA", "OC"}
+	n := 0
+	lines := make([][]byte, 0, recsPerSeg)
+	for s := 0; s < segments; s++ {
+		lines = lines[:0]
+		for r := 0; r < recsPerSeg; r++ {
+			d := analysis.OfflineDownload{
+				GUID:       fmt.Sprintf("guid-%07d", n),
+				URLHash:    fmt.Sprintf("url-%04d", n%512),
+				Country:    "US",
+				ASN:        uint32(7000 + n%48),
+				Region:     regions[n%len(regions)],
+				Size:       4 << 16,
+				P2PEnabled: true,
+				StartMs:    int64(n) * 1000,
+				EndMs:      int64(n)*1000 + 800,
+				BytesInfra: 1 << 16,
+				BytesPeers: 3 << 16,
+				Outcome:    "completed",
+				Peers:      2,
+				FromPeers: []analysis.OfflineContribution{
+					{GUID: "srv-a", Country: "US", ASN: uint32(7000 + n%48), Bytes: 2 << 16},
+					{GUID: "srv-b", Country: "US", ASN: uint32(7000 + (n+1)%48), Bytes: 1 << 16},
+				},
+			}
+			line, err := json.Marshal(&d)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			lines = append(lines, line)
+			n++
+		}
+		blob, err := MarshalSegment(lines)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segmentName(uint64(s))), blob, 0o644); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return n
+}
+
+// BenchmarkStreamingSummarize is the throughput canary for the live-analytics
+// path: one full streaming pass (parallel segment decode → streaming
+// summarizer) over a pre-built sealed store. Reports records/sec and the
+// process's peak RSS so BENCH_analytics.json can record both.
+func BenchmarkStreamingSummarize(b *testing.B) {
+	dir := b.TempDir()
+	total := writeBenchStore(b, dir, 64, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := analysis.NewStreamingSummarizer(8)
+		got, err := ForEachDownload(dir, runtime.NumCPU(), func(d *analysis.OfflineDownload) error {
+			sum.Observe(d)
+			return nil
+		})
+		if err != nil || got != total {
+			b.Fatalf("streamed %d records, err=%v (want %d)", got, err, total)
+		}
+		if snap := sum.Snapshot(); snap.Downloads != int64(total) {
+			b.Fatalf("summary downloads %d, want %d", snap.Downloads, total)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(total)*float64(b.N)/elapsed, "records/sec")
+	}
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil {
+		// Linux reports Maxrss in KiB.
+		b.ReportMetric(float64(ru.Maxrss)/1024, "peak-RSS-MB")
+	}
+}
+
+// TestStreamingBoundedMemory proves the streaming pass holds bounded memory
+// no matter how large the store is: live heap (sampled with a forced GC every
+// few segments) must stay far below the decoded size of the store. Retaining
+// the records — what ReadDownloads does by design — would hold the full
+// ~45 MB decoded set live and blow the bound.
+func TestStreamingBoundedMemory(t *testing.T) {
+	dir := t.TempDir()
+	total := writeBenchStore(t, dir, 100, 1500) // 150k records
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	const sampleEvery = 20_000
+	var peak uint64
+	sum := analysis.NewStreamingSummarizer(4)
+	seen := 0
+	got, err := ForEachDownload(dir, 4, func(d *analysis.OfflineDownload) error {
+		sum.Observe(d)
+		if seen++; seen%sampleEvery == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != total {
+		t.Fatalf("streamed %d records, want %d", got, total)
+	}
+	snap := sum.Snapshot()
+	if snap.Downloads != int64(total) {
+		t.Fatalf("summary downloads %d, want %d", snap.Downloads, total)
+	}
+	if est := snap.ActiveGUIDs; est < 0.9*float64(total) || est > 1.1*float64(total) {
+		t.Errorf("ActiveGUIDs %.0f for %d distinct GUIDs (outside 10%%)", est, total)
+	}
+
+	growth := int64(peak) - int64(base)
+	t.Logf("live heap: base %.1f MB, peak %.1f MB, growth %.1f MB over %d records",
+		float64(base)/1e6, float64(peak)/1e6, float64(growth)/1e6, total)
+	const boundMB = 32
+	if growth > boundMB<<20 {
+		t.Errorf("streaming pass grew live heap by %.1f MB (> %d MB bound): records are being retained",
+			float64(growth)/1e6, boundMB)
+	}
+}

@@ -2,26 +2,43 @@ package logpipe
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"netsession/internal/analysis"
 )
+
+// fuzzSeedSegments returns the shared corpus of interesting segment byte
+// streams: valid, torn at several depths, and outright garbage.
+func fuzzSeedSegments() [][]byte {
+	var seeds [][]byte
+	if valid, err := MarshalSegment(testLines(5)); err == nil {
+		seeds = append(seeds, valid)
+		seeds = append(seeds, valid[:len(valid)/2]) // torn tail
+		seeds = append(seeds, valid[:1])            // torn inside the gzip header
+	}
+	if empty, err := MarshalSegment(nil); err == nil {
+		seeds = append(seeds, empty)
+	}
+	seeds = append(seeds,
+		[]byte{},
+		[]byte("plain text, not gzip"),
+		[]byte{0x1f, 0x8b}, // bare gzip magic
+	)
+	return seeds
+}
 
 // FuzzReadSegment feeds arbitrary bytes — and mutations of valid segments —
 // through the segment reader. The invariants: never panic, never return
 // anything but complete newline-delimited lines, and classify every damaged
 // stream as ErrTorn so callers can apply the torn-final-segment policy.
 func FuzzReadSegment(f *testing.F) {
-	if valid, err := MarshalSegment(testLines(5)); err == nil {
-		f.Add(valid)
-		f.Add(valid[:len(valid)/2]) // torn tail
-		f.Add(valid[:1])            // torn inside the gzip header
+	for _, s := range fuzzSeedSegments() {
+		f.Add(s)
 	}
-	if empty, err := MarshalSegment(nil); err == nil {
-		f.Add(empty)
-	}
-	f.Add([]byte{})
-	f.Add([]byte("plain text, not gzip"))
-	f.Add([]byte{0x1f, 0x8b}) // bare gzip magic
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		lines, err := ReadSegment(bytes.NewReader(data))
@@ -55,6 +72,90 @@ func FuzzReadSegment(f *testing.F) {
 					t.Fatalf("re-read line %d = %q, want %q", i, back[i], lines[i])
 				}
 			}
+		}
+	})
+}
+
+// FuzzTailSegments drops arbitrary bytes into a segment directory as the
+// newest segment — between a known-good predecessor and, later, a known-good
+// successor — and tails the store across it. The invariants: the tailer never
+// panics and never returns a non-torn error, never duplicates a delivered
+// record, always delivers every record of the undamaged segments, and never
+// wedges (damage with sealed successors is skipped, not retried forever).
+func FuzzTailSegments(f *testing.F) {
+	for _, s := range fuzzSeedSegments() {
+		f.Add(s)
+	}
+
+	goodSeg := func(t *testing.T, base int) ([]byte, []string) {
+		var lines [][]byte
+		var guids []string
+		for i := 0; i < 3; i++ {
+			d := analysis.OfflineDownload{GUID: string(rune('a'+base)) + "-guid", Size: int64(i)}
+			d.GUID = d.GUID + string(rune('0'+i))
+			raw, err := json.Marshal(&d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines = append(lines, raw)
+			guids = append(guids, d.GUID)
+		}
+		seg, err := MarshalSegment(lines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seg, guids
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		seg0, guids0 := goodSeg(t, 0)
+		if err := os.WriteFile(filepath.Join(dir, segmentName(0)), seg0, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tl, err := OpenTailer(TailerConfig{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := tl.Poll()
+		if err != nil {
+			t.Fatalf("first poll: %v", err)
+		}
+		seen := map[string]int{}
+		for _, d := range first {
+			seen[d.GUID]++
+		}
+		// Re-polling an unchanged store must deliver nothing new.
+		again, err := tl.Poll()
+		if err != nil {
+			t.Fatalf("second poll: %v", err)
+		}
+		if len(again) != 0 {
+			t.Fatalf("unchanged store re-delivered %d records", len(again))
+		}
+		// A good sealed successor lands; the tailer must move past whatever
+		// the fuzzer wrote and deliver the successor in full.
+		seg2, guids2 := goodSeg(t, 2)
+		if err := os.WriteFile(filepath.Join(dir, segmentName(2)), seg2, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rest, err := tl.Poll()
+		if err != nil {
+			t.Fatalf("third poll: %v", err)
+		}
+		for _, d := range rest {
+			seen[d.GUID]++
+		}
+		for _, g := range append(guids0, guids2...) {
+			if seen[g] != 1 {
+				t.Fatalf("good record %q delivered %d times, want exactly once", g, seen[g])
+			}
+		}
+		if tl.TornSkipped() > 1 {
+			t.Fatalf("TornSkipped = %d, want at most 1", tl.TornSkipped())
 		}
 	})
 }

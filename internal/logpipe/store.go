@@ -166,31 +166,12 @@ func (s *Store) Dir() string { return s.cfg.Dir }
 // and is otherwise skipped (the crash left it mid-write); damage anywhere
 // else is corruption and returns an error.
 func ReadDownloads(dir string) ([]analysis.OfflineDownload, error) {
-	segs, err := ListSegments(dir)
-	if err != nil {
-		return nil, err
-	}
-	if len(segs) == 0 {
-		return nil, fmt.Errorf("logpipe: no segments in %s", dir)
-	}
 	var out []analysis.OfflineDownload
-	for i, sf := range segs {
-		last := i == len(segs)-1
-		lines, rerr := ReadSegmentFile(sf.Path)
-		if rerr != nil && !(last && rerr == ErrTorn) {
-			return nil, fmt.Errorf("logpipe: segment %s: %w", sf.Path, rerr)
-		}
-		for j, line := range lines {
-			var d analysis.OfflineDownload
-			if err := json.Unmarshal(line, &d); err != nil {
-				if last {
-					// A torn final record reads as damage only to the tail.
-					break
-				}
-				return nil, fmt.Errorf("logpipe: segment %s record %d: %w", sf.Path, j, err)
-			}
-			out = append(out, d)
-		}
+	if _, err := ForEachDownload(dir, 1, func(d *analysis.OfflineDownload) error {
+		out = append(out, *d)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -2,7 +2,9 @@ package netsession
 
 import (
 	"context"
+	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/netip"
 	"os"
@@ -13,6 +15,7 @@ import (
 
 	"netsession/internal/analysis"
 	"netsession/internal/faults"
+	"netsession/internal/geo"
 	"netsession/internal/logpipe"
 	"netsession/internal/protocol"
 	"netsession/internal/sim"
@@ -319,6 +322,9 @@ func TestLogpipeLiveSimParity(t *testing.T) {
 		if d.Country != "JP" || d.ASN == 0 {
 			t.Fatalf("live record %d lacks geo annotation: %+v", i, d)
 		}
+		if d.Region != "AS-NEA" {
+			t.Fatalf("live record %d region %q, want AS-NEA (JP)", i, d.Region)
+		}
 		if d.Outcome != "completed" {
 			t.Fatalf("live record %d outcome %q", i, d.Outcome)
 		}
@@ -376,11 +382,15 @@ func TestLogpipeLiveSimParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lookup := func(ip netip.Addr) (string, uint32) {
+	lookup := func(ip netip.Addr) analysis.GeoTag {
 		if rec, ok := simRes.Scape.Lookup(ip); ok {
-			return string(rec.Country), uint32(rec.ASN)
+			return analysis.GeoTag{
+				Country: string(rec.Country),
+				ASN:     uint32(rec.ASN),
+				Region:  geo.RegionOf(rec).String(),
+			}
 		}
-		return "", 0
+		return analysis.GeoTag{}
 	}
 	for i := range simRes.Log.Downloads {
 		if err := st.Append(analysis.OfflineFromRecord(&simRes.Log.Downloads[i], lookup)); err != nil {
@@ -408,5 +418,91 @@ func TestLogpipeLiveSimParity(t *testing.T) {
 	}
 	if simSum.Countries < 2 || simSum.ASes < 2 {
 		t.Fatalf("sim summary lost the geo annotation: %+v", simSum)
+	}
+
+	// Streaming equivalence over both segment stores: a tailer feeding the
+	// streaming summarizer must reproduce the offline summary — exactly for
+	// count- and byte-derived metrics, within the sketch budget for the
+	// distinct-GUID population.
+	requireStreamingParity(t, "live", cfg.LogDir, liveSum)
+	requireStreamingParity(t, "sim", simDir, simSum)
+
+	// The control plane serves the same live analytics on GET /v1/analytics.
+	aresp, err := http.Get(c.ControlPlaneURL() + "/v1/analytics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aresp.Body.Close()
+	var cpSum analysis.StreamingSummary
+	if err := json.NewDecoder(aresp.Body).Decode(&cpSum); err != nil {
+		t.Fatal(err)
+	}
+	if cpSum.Downloads != int64(livePeers) {
+		t.Fatalf("CP analytics shows %d downloads, want %d", cpSum.Downloads, livePeers)
+	}
+	if cpSum.BytesInfra+cpSum.BytesPeers == 0 {
+		t.Fatal("CP analytics shows zero bytes for completed downloads")
+	}
+	foundNEA := false
+	for _, r := range cpSum.Regions {
+		if r.Region == "AS-NEA" && r.Downloads == int64(livePeers) {
+			foundNEA = true
+		}
+	}
+	if !foundNEA {
+		t.Fatalf("CP analytics regions missing the JP peers' AS-NEA bucket: %+v", cpSum.Regions)
+	}
+
+	// The monitor scrapes that document into its fleet view.
+	c.Monitor().ScrapeOnce()
+	fleet, ok := c.Monitor().FleetAnalytics()
+	if !ok {
+		t.Fatal("monitor scraped no analytics from the control plane")
+	}
+	if fleet.Downloads != int64(livePeers) {
+		t.Fatalf("fleet analytics shows %d downloads, want %d", fleet.Downloads, livePeers)
+	}
+}
+
+// requireStreamingParity tails a segment store into a StreamingSummarizer and
+// checks the equivalence contract against the offline summary of the same
+// store.
+func requireStreamingParity(t *testing.T, name, dir string, off analysis.OfflineSummary) {
+	t.Helper()
+	tl, err := logpipe.OpenTailer(logpipe.TailerConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := analysis.NewStreamingSummarizer(4)
+	recs, err := tl.Poll()
+	if err != nil {
+		t.Fatalf("%s: tail: %v", name, err)
+	}
+	for i := range recs {
+		s.Observe(&recs[i])
+	}
+	st := s.Snapshot()
+	if int64(off.Downloads) != st.Downloads {
+		t.Fatalf("%s: streaming saw %d downloads, offline %d", name, st.Downloads, off.Downloads)
+	}
+	if off.Countries != st.Countries || off.ASes != st.ASes {
+		t.Errorf("%s: geo dims streaming (%d, %d) != offline (%d, %d)",
+			name, st.Countries, st.ASes, off.Countries, off.ASes)
+	}
+	for _, m := range []struct {
+		label    string
+		off, str float64
+	}{
+		{"PctBytesP2PFiles", off.PctBytesP2PFiles, st.PctBytesP2PFiles},
+		{"AggregatePeerEfficiencyPct", off.AggregatePeerEfficiencyPct, st.AggregatePeerEfficiencyPct},
+		{"IntraASPct", off.IntraASPct, st.IntraASPct},
+		{"CompletionP2PPct", off.CompletionP2PPct, st.CompletionP2PPct},
+	} {
+		if diff := math.Abs(m.off - m.str); diff > 1e-9*math.Max(1, math.Abs(m.off)) {
+			t.Errorf("%s: %s streaming %v != offline %v", name, m.label, m.str, m.off)
+		}
+	}
+	if n := float64(off.DistinctGUIDs); n > 0 && math.Abs(st.ActiveGUIDs-n)/n > 0.02 {
+		t.Errorf("%s: ActiveGUIDs estimate %.1f, offline exact %d (>2%%)", name, st.ActiveGUIDs, off.DistinctGUIDs)
 	}
 }

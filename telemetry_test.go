@@ -181,6 +181,27 @@ func TestClusterTelemetry(t *testing.T) {
 		}
 	}
 
+	// The live-analytics series are eager too: every region's offload gauge
+	// and both AS-locality counters exist before (and regardless of) traffic.
+	// Regions this cluster never touches must expose an exact zero.
+	for _, series := range []string{
+		`cp_offload_fraction{region="EU-West"}`,
+		`cp_offload_fraction{region="AS-NEA"}`,
+		`cp_offload_fraction{region="AF"} 0`,
+		`cp_offload_fraction{region="OC"} 0`,
+		"cp_intra_as_bytes_total",
+		"cp_inter_as_bytes_total",
+		"cp_active_guids_estimate",
+	} {
+		if !strings.Contains(cpBody, series) {
+			t.Errorf("cp /metrics missing analytics series %q", series)
+		}
+	}
+	monBody, _ := get(t, c.MonitorURL()+"/metrics")
+	if !strings.Contains(monBody, "monitor_scrape_evictions_total 0") {
+		t.Error(`monitor /metrics missing eager series "monitor_scrape_evictions_total 0"`)
+	}
+
 	// The monitor aggregates the fleet: after one scrape pass its fleet
 	// view contains both the edge's and the control plane's series.
 	c.Monitor().ScrapeOnce()
