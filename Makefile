@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench bench-smoke bench-analytics chaos crash clean-state
+.PHONY: check build test vet fmt race bench bench-smoke bench-analytics chaos crash failover clean-state
 
-check: fmt vet build race chaos crash bench-smoke bench-analytics
+check: fmt vet build race chaos crash failover bench-smoke bench-analytics
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ chaos:
 # directory from peer RE-ADDs.
 crash:
 	$(GO) test -race -run 'Crash' -v .
+
+# Control-plane failover end-to-end: a three-node CP cluster loses the node
+# owning the busiest region mid-run; every download must complete verified,
+# the ring must converge, and the summed accounting must byte-equal a
+# no-kill baseline run.
+failover:
+	$(GO) test -race -run 'Failover' -v .
 
 # Remove state directories left behind by interrupted live runs (the README
 # examples put netsession-peer -state-dir under ./state/).

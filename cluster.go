@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"netsession/internal/accounting"
+	"netsession/internal/cluster"
 	"netsession/internal/controlplane"
 	"netsession/internal/edge"
 	"netsession/internal/faults"
@@ -23,8 +26,22 @@ type ClusterConfig struct {
 	// Key is the HMAC key shared between the edge tier and the control
 	// plane for authorization tokens; empty selects a fixed demo key.
 	Key []byte
-	// NumCNs is how many connection nodes to start (default 1).
+	// NumCNs is how many connection nodes to start per control-plane node
+	// (default 1).
 	NumCNs int
+	// CPNodes is how many control-plane nodes to run (default 1). With more
+	// than one, a cluster membership layer consistent-hashes each geographic
+	// region to one node: logins for a region another node owns are
+	// redirected, DNs are region-partitioned, and log ingest dedups batches
+	// across nodes so uploader failover stays exactly-once (§3.8).
+	CPNodes int
+	// CPProbeInterval is how often control-plane nodes probe each other's
+	// status endpoints for liveness; zero selects 1s. Only used when
+	// CPNodes > 1.
+	CPProbeInterval time.Duration
+	// CPFailAfter is how many consecutive probe failures mark a node dead
+	// (triggering region handoff); zero selects 3.
+	CPFailAfter int
 	// Atlas controls synthetic world generation.
 	Atlas geo.AtlasConfig
 	// ClientConfig is pushed to peers on login.
@@ -51,7 +68,8 @@ type ClusterConfig struct {
 	CNFaults faults.Config
 	// LogDir, when set, opens a durable segment store there: every accepted
 	// download record is spilled to rotated gzip NDJSON segments that
-	// netsession-analyze reads (the month of logs of §4.1).
+	// netsession-analyze reads (the month of logs of §4.1). With CPNodes > 1
+	// each node writes under its own LogDir/<node-id> subdirectory.
 	LogDir string
 	// MaxLogRecords bounds the collector's in-memory log per record kind;
 	// zero selects the accounting defaults, negative is unbounded.
@@ -76,6 +94,20 @@ func DefaultClusterConfig() ClusterConfig {
 	}
 }
 
+// cpNode is one control-plane node of the deployment: its own collector,
+// CNs, operator HTTP surface, membership observer, and janitor. Nodes share
+// the edge tier, the token key, the world atlas, and the cross-node log
+// dedup index — nothing else.
+type cpNode struct {
+	id      string
+	cp      *controlplane.ControlPlane
+	status  *controlplane.StatusServer
+	cns     []*controlplane.CN
+	member  *cluster.Membership
+	stopJan func()
+	killed  bool
+}
+
 // Cluster is a running in-process deployment.
 type Cluster struct {
 	atlas *geo.Atlas
@@ -84,22 +116,24 @@ type Cluster struct {
 	edgeSrv    *edge.Server
 	monitor    *controlplane.Monitor
 	stun       *nat.Server
-	cp         *controlplane.ControlPlane
-	cpStatus   *controlplane.StatusServer
-	cns        []*controlplane.CN
-	stopJan    func()
+	nodes      []*cpNode
 	stopScrape func()
-	rng        *rand.Rand
+
+	mu  sync.Mutex // guards nodes[i].killed and rng
+	rng *rand.Rand
 }
 
 // StartCluster launches the edge server, the monitoring node and the
-// control plane on loopback addresses.
+// control plane (one or more nodes) on loopback addresses.
 func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if len(cfg.Key) == 0 {
 		cfg.Key = []byte("netsession-demo-key")
 	}
 	if cfg.NumCNs <= 0 {
 		cfg.NumCNs = 1
+	}
+	if cfg.CPNodes <= 0 {
+		cfg.CPNodes = 1
 	}
 	if cfg.Policy.MaxPeers == 0 {
 		cfg.Policy = DefaultSelectionPolicy()
@@ -132,89 +166,148 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	var verifier accounting.Verifier
 	if cfg.VerifyAccounting {
+		// The ledger verifier only reads the shared edge ledger, so one
+		// instance serves every node's collector.
 		verifier = &accounting.LedgerVerifier{Edge: ledger}
 	}
-	// The CN fault injector shares the control plane's registry so its
-	// faults_injected_total counters surface on the same /metrics page.
-	cpReg := telemetry.NewRegistry()
-	cnInj := faults.New(cfg.CNFaults, cpReg)
 	rebuildMs := cfg.DNRebuildWindow.Milliseconds()
 	if cfg.DNRebuildWindow < 0 {
 		rebuildMs = -1 // sub-millisecond negatives still mean "disabled"
 	}
-	var logStore *logpipe.Store
-	if cfg.LogDir != "" {
-		logStore, err = logpipe.OpenStore(logpipe.StoreConfig{
-			Dir: cfg.LogDir, Telemetry: cpReg,
-		})
-		if err != nil {
-			es.Close()
-			mon.Close()
-			stun.Close()
-			return nil, err
-		}
-	}
-	cp, err := controlplane.New(controlplane.Config{
-		Scape:             scape,
-		Minter:            minter,
-		Collector:         accounting.NewCollector(verifier),
-		Policy:            cfg.Policy,
-		ClientConfig:      cfg.ClientConfig,
-		MaxSessionsPerCN:  cfg.MaxSessionsPerCN,
-		DNRebuildWindowMs: rebuildMs,
-		Telemetry:         cpReg,
-		ConnWrap:          cnInj.WrapConn,
-		LogStore:          logStore,
-		MaxLogRecords:     cfg.MaxLogRecords,
-		IngestFaults:      faults.New(cfg.IngestFaults, cpReg),
-	})
-	if err != nil {
-		es.Close()
-		mon.Close()
-		stun.Close()
-		return nil, err
+	// One dedup index shared by every node's ingest is the in-process
+	// stand-in for a replicated ack table: a batch acked by node A and
+	// retried against node B after a failover counts exactly once.
+	var sharedDedup *logpipe.DedupIndex
+	if cfg.CPNodes > 1 {
+		sharedDedup = logpipe.NewDedupIndex(0)
 	}
 	c := &Cluster{
-		atlas: atlas, scape: scape, edgeSrv: es, monitor: mon, stun: stun, cp: cp,
+		atlas: atlas, scape: scape, edgeSrv: es, monitor: mon, stun: stun,
 		rng: rand.New(rand.NewSource(99)),
 	}
-	for i := 0; i < cfg.NumCNs; i++ {
-		cn, err := cp.StartCN("127.0.0.1:0")
+	for i := 0; i < cfg.CPNodes; i++ {
+		nodeID := fmt.Sprintf("cp-%d", i)
+		// Each node has its own registry (metric series would collide) and
+		// its own fault injector, segment store, and collector.
+		cpReg := telemetry.NewRegistry()
+		cnInj := faults.New(cfg.CNFaults, cpReg)
+		var logStore *logpipe.Store
+		if cfg.LogDir != "" {
+			dir := cfg.LogDir
+			if cfg.CPNodes > 1 {
+				dir = filepath.Join(cfg.LogDir, nodeID)
+			}
+			logStore, err = logpipe.OpenStore(logpipe.StoreConfig{
+				Dir: dir, Telemetry: cpReg,
+			})
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		cp, err := controlplane.New(controlplane.Config{
+			NodeID:            nodeID,
+			Scape:             scape,
+			Minter:            minter,
+			Collector:         accounting.NewCollector(verifier),
+			Policy:            cfg.Policy,
+			ClientConfig:      cfg.ClientConfig,
+			MaxSessionsPerCN:  cfg.MaxSessionsPerCN,
+			DNRebuildWindowMs: rebuildMs,
+			Telemetry:         cpReg,
+			ConnWrap:          cnInj.WrapConn,
+			LogStore:          logStore,
+			MaxLogRecords:     cfg.MaxLogRecords,
+			IngestFaults:      faults.New(cfg.IngestFaults, cpReg),
+			LogDedup:          sharedDedup,
+		})
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.cns = append(c.cns, cn)
+		node := &cpNode{id: nodeID, cp: cp}
+		c.nodes = append(c.nodes, node)
+		for j := 0; j < cfg.NumCNs; j++ {
+			cn, err := cp.StartCN("127.0.0.1:0")
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			node.cns = append(node.cns, cn)
+		}
+		node.status, err = cp.StartStatusServer("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		node.stopJan = cp.StartJanitor(time.Minute, int64(cfg.Policy.SoftStateTTLMs))
 	}
-	c.cpStatus, err = cp.StartStatusServer("127.0.0.1:0")
-	if err != nil {
-		c.Close()
-		return nil, err
+	// With several nodes, wire the membership layer: every node probes every
+	// other node's status endpoint and applies its own ring view. All CN and
+	// status addresses are known by now, so the seed list is complete and
+	// the very first view (fired synchronously by Start) partitions the
+	// regions before any peer connects.
+	if cfg.CPNodes > 1 {
+		descs := make([]cluster.Node, len(c.nodes))
+		for i, n := range c.nodes {
+			desc := cluster.Node{ID: n.id, StatusURL: "http://" + n.status.Addr()}
+			for _, cn := range n.cns {
+				desc.CNAddrs = append(desc.CNAddrs, cn.Addr())
+			}
+			descs[i] = desc
+		}
+		for i, n := range c.nodes {
+			seeds := make([]cluster.Node, 0, len(descs)-1)
+			for j, d := range descs {
+				if j != i {
+					seeds = append(seeds, d)
+				}
+			}
+			cp := n.cp
+			n.member = cluster.New(cluster.Config{
+				Self:          descs[i],
+				Seeds:         seeds,
+				ProbeInterval: cfg.CPProbeInterval,
+				FailAfter:     cfg.CPFailAfter,
+				OnChange:      func(v cluster.View) { cp.ApplyRingView(v) },
+			})
+			n.member.Start()
+		}
 	}
 	// The monitor aggregates the fleet's telemetry: "download and upload
-	// performance is constantly monitored" (§3.8).
-	mon.SetScrapeTargets(map[string]string{
-		"edge": c.EdgeURL(),
-		"cp":   c.ControlPlaneURL(),
-	})
+	// performance is constantly monitored" (§3.8). Every node is a scrape
+	// target; a dead node shows up in /v1/health instead of vanishing.
+	targets := map[string]string{"edge": c.EdgeURL()}
+	if cfg.CPNodes == 1 {
+		targets["cp"] = c.ControlPlaneURL()
+	} else {
+		for _, n := range c.nodes {
+			targets[n.id] = "http://" + n.status.Addr()
+		}
+	}
+	mon.SetScrapeTargets(targets)
 	c.stopScrape = mon.StartScraping(5 * time.Second)
-	c.stopJan = cp.StartJanitor(time.Minute, int64(cfg.Policy.SoftStateTTLMs))
 	return c, nil
 }
 
 // Close shuts everything down.
 func (c *Cluster) Close() {
-	if c.stopJan != nil {
-		c.stopJan()
-	}
 	if c.stopScrape != nil {
 		c.stopScrape()
 	}
-	if c.cpStatus != nil {
-		c.cpStatus.Close()
-	}
-	if c.cp != nil {
-		c.cp.Close()
+	for _, n := range c.nodes {
+		if n.member != nil {
+			n.member.Stop()
+		}
+		if n.stopJan != nil {
+			n.stopJan()
+		}
+		if n.status != nil {
+			n.status.Close()
+		}
+		if n.cp != nil {
+			n.cp.Close()
+		}
 	}
 	if c.edgeSrv != nil {
 		c.edgeSrv.Close()
@@ -227,14 +320,56 @@ func (c *Cluster) Close() {
 	}
 }
 
+// KillCPNode abruptly stops node i — the in-process analogue of kill -9 on a
+// control-plane node. Its listeners and every live control session close
+// immediately; nothing is flushed, handed off, or drained. The node stays in
+// the seed lists so survivors detect the death by probe failure, exactly as
+// they would a real crash. In-memory accounting on the killed node is lost
+// (the durable segment store under LogDir is not).
+func (c *Cluster) KillCPNode(i int) {
+	n := c.nodes[i]
+	c.mu.Lock()
+	if n.killed {
+		c.mu.Unlock()
+		return
+	}
+	n.killed = true
+	c.mu.Unlock()
+	if n.member != nil {
+		n.member.Stop()
+	}
+	if n.stopJan != nil {
+		n.stopJan()
+	}
+	n.status.Kill()
+	n.cp.Close()
+}
+
+// liveNodes returns the nodes not yet killed.
+func (c *Cluster) liveNodes() []*cpNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*cpNode
+	for _, n := range c.nodes {
+		if !n.killed {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // EdgeURL returns the edge tier's base URL for PeerConfig.EdgeURL.
 func (c *Cluster) EdgeURL() string { return "http://" + c.edgeSrv.Addr() }
 
-// ControlAddrs returns the CN addresses for PeerConfig.ControlAddrs.
+// ControlAddrs returns every node's CN addresses for
+// PeerConfig.ControlAddrs. Killed nodes' addresses are included — peers are
+// expected to rotate past dead CNs, not to be handed a curated list.
 func (c *Cluster) ControlAddrs() []string {
-	out := make([]string, len(c.cns))
-	for i, cn := range c.cns {
-		out[i] = cn.Addr()
+	var out []string
+	for _, n := range c.nodes {
+		for _, cn := range n.cns {
+			out = append(out, cn.Addr())
+		}
 	}
 	return out
 }
@@ -242,12 +377,29 @@ func (c *Cluster) ControlAddrs() []string {
 // MonitorAddr returns the monitoring node's HTTP address.
 func (c *Cluster) MonitorAddr() string { return c.monitor.Addr() }
 
-// ControlPlaneURL returns the control plane's operator HTTP surface
+// ControlPlaneURL returns the first node's operator HTTP surface
 // (GET /v1/status, /metrics, /v1/telemetry).
-func (c *Cluster) ControlPlaneURL() string { return "http://" + c.cpStatus.Addr() }
+func (c *Cluster) ControlPlaneURL() string { return "http://" + c.nodes[0].status.Addr() }
 
-// ControlPlane exposes the control plane (metrics, status, DN failover).
-func (c *Cluster) ControlPlane() *controlplane.ControlPlane { return c.cp }
+// ControlPlaneURLs returns every node's operator HTTP surface, killed nodes
+// included (log uploaders rotate past dead ones).
+func (c *Cluster) ControlPlaneURLs() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = "http://" + n.status.Addr()
+	}
+	return out
+}
+
+// ControlPlane exposes the first control-plane node (metrics, status, DN
+// failover).
+func (c *Cluster) ControlPlane() *controlplane.ControlPlane { return c.nodes[0].cp }
+
+// ControlPlaneNode exposes node i of the control plane.
+func (c *Cluster) ControlPlaneNode(i int) *controlplane.ControlPlane { return c.nodes[i].cp }
+
+// NumCPNodes returns how many control-plane nodes were started.
+func (c *Cluster) NumCPNodes() int { return len(c.nodes) }
 
 // MonitorURL returns the base URL for PeerConfig.MonitorURL.
 func (c *Cluster) MonitorURL() string { return "http://" + c.monitor.Addr() }
@@ -272,8 +424,10 @@ func (c *Cluster) AllocateIdentity(country string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("netsession: unknown country %q", country)
 	}
+	c.mu.Lock()
 	as := c.atlas.SampleAS(c.rng, cc.Code)
 	loc := cc.Locations[c.rng.Intn(len(cc.Locations))]
+	c.mu.Unlock()
 	ip, err := c.scape.AllocateIP(as.Number, loc)
 	if err != nil {
 		return "", err
@@ -281,20 +435,37 @@ func (c *Cluster) AllocateIdentity(country string) (string, error) {
 	return ip.String(), nil
 }
 
-// AccountingLog returns a snapshot of the collected usage records.
-func (c *Cluster) AccountingLog() *Log { return c.cp.Collector().Snapshot() }
+// AccountingLog returns a snapshot of the collected usage records, merged
+// across every live node. Killed nodes are excluded: their in-memory window
+// died with the process, the same way a real crash loses unflushed state.
+func (c *Cluster) AccountingLog() *Log {
+	out := &accounting.Log{}
+	for _, n := range c.liveNodes() {
+		s := n.cp.Collector().Snapshot()
+		out.Downloads = append(out.Downloads, s.Downloads...)
+		out.Logins = append(out.Logins, s.Logins...)
+		out.Registrations = append(out.Registrations, s.Registrations...)
+	}
+	return out
+}
 
-// LogStore returns the durable log segment store, or nil when LogDir was not
-// configured.
-func (c *Cluster) LogStore() *logpipe.Store { return c.cp.LogStore() }
+// LogStore returns the first node's durable log segment store, or nil when
+// LogDir was not configured.
+func (c *Cluster) LogStore() *logpipe.Store { return c.nodes[0].cp.LogStore() }
 
-// LogIngest returns the control plane's log ingest endpoint; chaos tests use
+// LogIngest returns the first node's log ingest endpoint; chaos tests use
 // it to flip fault injection on the live POST /v1/logs/batch handler.
-func (c *Cluster) LogIngest() *logpipe.Ingest { return c.cp.LogIngest() }
+func (c *Cluster) LogIngest() *logpipe.Ingest { return c.nodes[0].cp.LogIngest() }
 
 // RejectedReports returns how many client usage reports failed edge
-// verification (suspected accounting attacks).
-func (c *Cluster) RejectedReports() int { return c.cp.Collector().Rejected() }
+// verification (suspected accounting attacks), summed across live nodes.
+func (c *Cluster) RejectedReports() int {
+	total := 0
+	for _, n := range c.liveNodes() {
+		total += n.cp.Collector().Rejected()
+	}
+	return total
+}
 
 // Lookup resolves a synthetic identity IP (from AllocateIdentity).
 func (c *Cluster) Lookup(ipStr string) (country string, asn uint32, ok bool) {

@@ -13,7 +13,13 @@
 //
 //	netsession-cp [-cns N] [-key STRING] [-population N] [-identity-seed N]
 //	              [-max-sessions N] [-status ADDR] [-scrape name=URL,...]
-//	              [-debug-addr ADDR]
+//	              [-debug-addr ADDR] [-node-id ID -join ID=URL,...]
+//
+// With -node-id and -join, this process becomes one node of a multi-node
+// control plane: the nodes probe each other's status endpoints for liveness
+// and consistent-hash the network regions across whoever is alive. Logins
+// for a region another node owns are redirected there; when a node dies, its
+// regions are taken over through the DN soft-state rebuild window.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"netsession/internal/accounting"
+	"netsession/internal/cluster"
 	"netsession/internal/controlplane"
 	"netsession/internal/edge"
 	"netsession/internal/geo"
@@ -46,6 +53,9 @@ func main() {
 	statusAddr := flag.String("status", "127.0.0.1:0", "operator HTTP address (/v1/status, /metrics, /v1/telemetry, POST /v1/logs/batch)")
 	logDir := flag.String("log-dir", "", "durable log store directory: accepted download records are spilled to rotated gzip NDJSON segments that netsession-analyze reads")
 	maxLogRecords := flag.Int("max-log-records", 0, "in-memory accounting log cap per record kind (0 = default, negative = unbounded)")
+	nodeID := flag.String("node-id", "", "this node's cluster identity; required with -join")
+	join := flag.String("join", "", "comma-separated id=statusURL seed list of the other control-plane nodes, e.g. cp-1=http://10.0.0.2:7000")
+	probeEvery := flag.Duration("probe-interval", time.Second, "cluster liveness probe interval")
 	scrape := flag.String("scrape", "", "comma-separated name=baseURL telemetry scrape targets for the monitor")
 	scrapeEvery := flag.Duration("scrape-interval", 10*time.Second, "monitor scrape interval")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and the monitor's /metrics on this address")
@@ -67,7 +77,12 @@ func main() {
 		log.Printf("durable log store in %s", *logDir)
 	}
 
+	if *join != "" && *nodeID == "" {
+		log.Fatal("-join requires -node-id")
+	}
+
 	cp, err := controlplane.New(controlplane.Config{
+		NodeID:           *nodeID,
 		Scape:            scape,
 		Minter:           edge.NewTokenMinter([]byte(*key)),
 		Collector:        accounting.NewCollector(nil),
@@ -85,11 +100,13 @@ func main() {
 		defer logStore.Close()
 	}
 
+	var cnAddrs []string
 	for i := 0; i < *numCNs; i++ {
 		cn, err := cp.StartCN("127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
+		cnAddrs = append(cnAddrs, cn.Addr())
 		log.Printf("CN %d listening on %s", i, cn.Addr())
 	}
 	status, err := cp.StartStatusServer(*statusAddr)
@@ -98,6 +115,31 @@ func main() {
 	}
 	defer status.Close()
 	log.Printf("status on http://%s (GET /v1/status, /metrics, /v1/telemetry)", status.Addr())
+
+	// Join the control-plane cluster: probe the seed nodes and route regions
+	// over the alive set. Peers whose region another node owns are
+	// redirected on login; seed CN addresses are learned from each node's
+	// own status document.
+	if *join != "" {
+		var seeds []cluster.Node
+		for _, s := range strings.Split(*join, ",") {
+			id, url, ok := strings.Cut(strings.TrimSpace(s), "=")
+			if !ok {
+				log.Fatalf("-join entry %q is not id=statusURL", s)
+			}
+			seeds = append(seeds, cluster.Node{ID: id, StatusURL: url})
+		}
+		member := cluster.New(cluster.Config{
+			Self:          cluster.Node{ID: *nodeID, StatusURL: "http://" + status.Addr(), CNAddrs: cnAddrs},
+			Seeds:         seeds,
+			ProbeInterval: *probeEvery,
+			OnChange:      cp.ApplyRingView,
+			Logf:          log.Printf,
+		})
+		member.Start()
+		defer member.Stop()
+		log.Printf("cluster node %s joined with %d seeds", *nodeID, len(seeds))
+	}
 
 	mon := controlplane.NewMonitor(0)
 	if err := mon.Start("127.0.0.1:0"); err != nil {

@@ -19,6 +19,7 @@ package main
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,7 +47,7 @@ func main() {
 	serve := flag.Bool("serve", false, "stay resident after the download, serving uploads")
 	monitorURL := flag.String("monitor", "", "monitoring node base URL receiving operational reports")
 	stunAddr := flag.String("stun", "", "STUN server address for reflexive-address discovery")
-	logUpload := flag.String("log-upload", "", "control plane operator URL (the -status address of netsession-cp); usage reports then go through the durable log spool and batched uploader instead of in-band. Requires -state-dir")
+	logUpload := flag.String("log-upload", "", "comma-separated control plane operator URLs (the -status addresses of the netsession-cp nodes); usage reports then go through the durable log spool and batched uploader instead of in-band, failing over across URLs. Requires -state-dir")
 	identity := flag.Int("identity", 0, "index into the deterministic identity plan")
 	identitySeed := flag.Int64("identity-seed", 7, "seed of the identity plan (must match netsession-cp)")
 	population := flag.Int("population", 1000, "size of the identity plan (must match netsession-cp)")
@@ -70,7 +71,7 @@ func main() {
 	me := ids[*identity]
 	log.Printf("identity %d: %s in %s (AS%d)", *identity, me.IP, me.Country, me.ASN)
 
-	cl, err := peer.New(peer.Config{
+	peerCfg := peer.Config{
 		DeclaredIP:     me.IP.String(),
 		ControlAddrs:   strings.Split(*control, ","),
 		EdgeURL:        *edgeURL,
@@ -80,9 +81,23 @@ func main() {
 		StateDir:       *stateDir,
 		LogUploadURL:   *logUpload,
 		Logf:           func(format string, args ...any) {},
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+	// A cluster booting node by node may not answer the first dial; keep
+	// retrying while every configured CN is unreachable instead of dying on
+	// a race the peer's own reconnect logic would have survived.
+	var cl *peer.Client
+	var err2 error
+	for attempt := 1; ; attempt++ {
+		cl, err2 = peer.New(peerCfg)
+		if err2 == nil {
+			break
+		}
+		if !errors.Is(err2, peer.ErrControlUnavailable) || attempt >= 10 {
+			log.Fatal(err2)
+		}
+		wait := time.Duration(attempt) * 500 * time.Millisecond
+		log.Printf("control plane unavailable (attempt %d): %v; retrying in %v", attempt, err2, wait)
+		time.Sleep(wait)
 	}
 	defer cl.Close()
 	if *logUpload != "" {

@@ -224,28 +224,28 @@ func TestCrashDNRebuildConverges(t *testing.T) {
 		}
 	}
 	if !chaosEventually(10*time.Second, func() bool {
-		return c.cp.DN(region).Copies(obj.ID) == holders
+		return c.nodes[0].cp.DN(region).Copies(obj.ID) == holders
 	}) {
-		t.Fatalf("directory holds %d copies, want %d", c.cp.DN(region).Copies(obj.ID), holders)
+		t.Fatalf("directory holds %d copies, want %d", c.nodes[0].cp.DN(region).Copies(obj.ID), holders)
 	}
 
 	// Kill the DN. Its database empties; the rebuild window opens; every
 	// connected peer in the region is asked to RE-ADD.
-	c.cp.FailDN(region)
+	c.nodes[0].cp.FailDN(region)
 	if !chaosEventually(10*time.Second, func() bool {
-		return c.cp.DN(region).Copies(obj.ID) == holders
+		return c.nodes[0].cp.DN(region).Copies(obj.ID) == holders
 	}) {
 		t.Fatalf("directory converged to %d copies after DN kill, want pre-kill %d",
-			c.cp.DN(region).Copies(obj.ID), holders)
+			c.nodes[0].cp.DN(region).Copies(obj.ID), holders)
 	}
 
 	annKey := `dn_rebuild_announces_total{region="` + region.String() + `"}`
-	snap := c.cp.Metrics().Snapshot()
+	snap := c.nodes[0].cp.Metrics().Snapshot()
 	if snap.Counters[annKey] == 0 {
 		t.Errorf("%s = 0, want rebuild announcements counted", annKey)
 	}
 	if !chaosEventually(10*time.Second, func() bool {
-		s := c.cp.Metrics().Snapshot()
+		s := c.nodes[0].cp.Metrics().Snapshot()
 		return s.Histograms["dn_rebuild_ms"].Count > 0 &&
 			s.Gauges[`dn_rebuilding{region="`+region.String()+`"}`] == 0
 	}) {

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+var regionKeys = []string{
+	"NA-East", "NA-West", "NA-Central", "SA", "EU-West", "EU-East",
+	"AS-NEA", "AS-SEA", "AS-South", "ME", "AF", "OC",
+}
+
+func TestRingCoversEveryKey(t *testing.T) {
+	r := NewRing([]string{"cp-0", "cp-1", "cp-2"})
+	owners := make(map[string]int)
+	for _, k := range regionKeys {
+		id, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %q", k)
+		}
+		owners[id]++
+	}
+	// With 64 vnodes per node the 12 regions should not all land on one
+	// member; the exact split is hash-determined but must use >1 node.
+	if len(owners) < 2 {
+		t.Fatalf("degenerate assignment, all regions on one node: %v", owners)
+	}
+}
+
+func TestRingDeterministicAndEmpty(t *testing.T) {
+	a := NewRing([]string{"cp-1", "cp-0"})
+	b := NewRing([]string{"cp-0", "cp-1"})
+	for _, k := range regionKeys {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("ring not order-independent for %q: %q vs %q", k, oa, ob)
+		}
+	}
+	if _, ok := NewRing(nil).Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+}
+
+// TestRingStabilityOnNodeLoss is the property the handoff design leans on:
+// removing one node only reassigns the keys that node owned — surviving
+// nodes keep their regions, so only the dead node's DNs rebuild.
+func TestRingStabilityOnNodeLoss(t *testing.T) {
+	full := NewRing([]string{"cp-0", "cp-1", "cp-2"})
+	without := NewRing([]string{"cp-0", "cp-2"})
+	moved, kept := 0, 0
+	for _, k := range regionKeys {
+		before, _ := full.Owner(k)
+		after, _ := without.Owner(k)
+		if before == "cp-1" {
+			if after == "cp-1" {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved from surviving node %q to %q", k, before, after)
+		}
+		kept++
+	}
+	if kept == 0 {
+		t.Fatal("no key survived on its original node")
+	}
+}
+
+// statusStub serves the /v1/status slice the membership probe reads, and
+// can be flipped dead at runtime.
+type statusStub struct {
+	mu   sync.Mutex
+	dead bool
+	doc  string
+}
+
+func (s *statusStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	dead, doc := s.dead, s.doc
+	s.mu.Unlock()
+	if dead {
+		http.Error(w, "down", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(doc))
+}
+
+func (s *statusStub) setDead(v bool) {
+	s.mu.Lock()
+	s.dead = v
+	s.mu.Unlock()
+}
+
+func TestMembershipDetectsDeathAndRecovery(t *testing.T) {
+	stub := &statusStub{doc: `{"nodeId":"cp-1","cnAddrs":["10.0.0.2:700"]}`}
+	srv := httptest.NewServer(stub)
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var views []View
+	m := New(Config{
+		Self: Node{ID: "cp-0", CNAddrs: []string{"10.0.0.1:700"}},
+		// The seed omits CNAddrs: the probe must learn them from the status
+		// document.
+		Seeds:         []Node{{ID: "cp-1", StatusURL: srv.URL}},
+		ProbeInterval: 10 * time.Millisecond,
+		FailAfter:     2,
+		OnChange: func(v View) {
+			mu.Lock()
+			views = append(views, v)
+			mu.Unlock()
+		},
+	})
+	m.Start()
+	defer m.Stop()
+
+	lastView := func() (View, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(views) == 0 {
+			return View{}, 0
+		}
+		return views[len(views)-1], len(views)
+	}
+	v, n := lastView()
+	if n == 0 || len(v.Nodes) != 2 {
+		t.Fatalf("initial OnChange should list both nodes optimistically, got %+v (%d calls)", v.Nodes, n)
+	}
+
+	// Enrichment: within a couple of probes the seed's CN addresses appear.
+	waitFor(t, "CN enrichment", func() bool {
+		v, _ := lastView()
+		for _, node := range v.Nodes {
+			if node.ID == "cp-1" && len(node.CNAddrs) == 1 {
+				return true
+			}
+		}
+		return false
+	})
+
+	stub.setDead(true)
+	waitFor(t, "death detection", func() bool { return m.AliveCount() == 1 })
+	v, _ = lastView()
+	if len(v.Nodes) != 1 || v.Nodes[0].ID != "cp-0" {
+		t.Fatalf("view after death: %+v", v.Nodes)
+	}
+	if owner, ok := v.Owner("EU-West"); !ok || owner.ID != "cp-0" {
+		t.Fatalf("sole survivor must own every key, got %+v ok=%v", owner, ok)
+	}
+
+	stub.setDead(false)
+	waitFor(t, "recovery detection", func() bool { return m.AliveCount() == 2 })
+}
+
+func TestMembershipSingleFailureDoesNotDemote(t *testing.T) {
+	stub := &statusStub{doc: `{"nodeId":"cp-1"}`}
+	srv := httptest.NewServer(stub)
+	defer srv.Close()
+	m := New(Config{
+		Self:          Node{ID: "cp-0"},
+		Seeds:         []Node{{ID: "cp-1", StatusURL: srv.URL}},
+		ProbeInterval: 5 * time.Millisecond,
+		FailAfter:     50,
+	})
+	m.Start()
+	defer m.Stop()
+	stub.setDead(true)
+	// A few failed probes stay under FailAfter; the node must still be alive.
+	time.Sleep(50 * time.Millisecond)
+	if m.AliveCount() != 2 {
+		t.Fatal("node demoted before FailAfter consecutive failures")
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

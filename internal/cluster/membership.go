@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Node identifies one control-plane member.
+type Node struct {
+	// ID is the stable node identity the ring hashes; it must be unique
+	// across the cluster and survive restarts.
+	ID string
+	// StatusURL is the node's operator HTTP base URL (the surface serving
+	// GET /v1/status and /metrics); liveness probes hit it.
+	StatusURL string
+	// CNAddrs are the node's connection-node addresses — what peers dial and
+	// what login redirects point at. When a seed omits them, the membership
+	// learns them from the node's own status document on the first
+	// successful probe.
+	CNAddrs []string
+}
+
+// View is one consistent observation of the cluster: the alive members and
+// the ring routing keys across them. Views are immutable; take a new one
+// after every change notification.
+type View struct {
+	// Nodes are the alive members, sorted by ID.
+	Nodes []Node
+
+	ring *Ring
+}
+
+// Owner returns the alive node owning a routing key (a region name). The
+// bool is false only when the view is empty.
+func (v View) Owner(key string) (Node, bool) {
+	if v.ring == nil {
+		return Node{}, false
+	}
+	id, ok := v.ring.Owner(key)
+	if !ok {
+		return Node{}, false
+	}
+	for _, n := range v.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Config configures a membership instance.
+type Config struct {
+	// Self is this node. It is always considered alive and is never probed.
+	Self Node
+	// Seeds are the other members from the static join list. Seeds start out
+	// optimistically alive, so a cluster booting in any order converges to
+	// the full ring without spurious handoffs; a seed that is actually down
+	// is demoted after FailAfter failed probes.
+	Seeds []Node
+	// ProbeInterval is how often every seed is probed; zero selects 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe HTTP request; zero selects ProbeInterval.
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures mark a node dead;
+	// zero selects 3. One lost packet must not trigger a region handoff —
+	// clearing a directory on a false positive costs a rebuild window.
+	FailAfter int
+	// OnChange is invoked with the new view whenever the alive set changes
+	// (and once at Start with the initial view). It runs on the probe
+	// goroutine; implementations must not block for long.
+	OnChange func(View)
+	// Logf receives debug logging; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Membership tracks which members of a static seed list are alive by
+// probing their status endpoints, and publishes consistent-hash views over
+// the alive set. It is the deliberately simple stand-in for the gossip or
+// consensus layer a production deployment would run: the seed list is
+// static, and liveness is per-observer — exactly the environment the
+// soft-state control plane is designed to tolerate (§3.8).
+type Membership struct {
+	cfg    Config
+	client *http.Client
+
+	mu      sync.Mutex
+	members map[string]*memberState
+	started bool
+	stopped bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+type memberState struct {
+	node  Node
+	alive bool
+	fails int
+}
+
+// New creates a membership instance; call Start to begin probing.
+func New(cfg Config) *Membership {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	m := &Membership{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: cfg.ProbeTimeout},
+		members: make(map[string]*memberState),
+		stopCh:  make(chan struct{}),
+	}
+	m.members[cfg.Self.ID] = &memberState{node: cfg.Self, alive: true}
+	for _, s := range cfg.Seeds {
+		if s.ID == "" || s.ID == cfg.Self.ID {
+			continue
+		}
+		m.members[s.ID] = &memberState{node: s, alive: true}
+	}
+	return m
+}
+
+// Start fires the initial OnChange (with every seed optimistically alive)
+// and begins the probe loop.
+func (m *Membership) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	if m.cfg.OnChange != nil {
+		m.cfg.OnChange(m.View())
+	}
+	m.wg.Add(1)
+	go m.loop()
+}
+
+// Stop halts probing. It does not notify OnChange — a stopping node is
+// leaving, not observing.
+func (m *Membership) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	close(m.stopCh)
+	m.wg.Wait()
+}
+
+// View returns the current alive view.
+func (m *Membership) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viewLocked()
+}
+
+func (m *Membership) viewLocked() View {
+	v := View{}
+	ids := make([]string, 0, len(m.members))
+	for _, ms := range m.members {
+		if ms.alive {
+			v.Nodes = append(v.Nodes, ms.node)
+			ids = append(ids, ms.node.ID)
+		}
+	}
+	sort.Slice(v.Nodes, func(a, b int) bool { return v.Nodes[a].ID < v.Nodes[b].ID })
+	v.ring = NewRing(ids)
+	return v
+}
+
+// AliveCount returns how many members (including self) are currently alive.
+func (m *Membership) AliveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ms := range m.members {
+		if ms.alive {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Membership) loop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-t.C:
+		}
+		if m.probeAll() {
+			if m.cfg.OnChange != nil {
+				m.cfg.OnChange(m.View())
+			}
+		}
+	}
+}
+
+// statusDoc is the slice of the control plane's /v1/status document the
+// probe needs: the node's self-declared identity and its CN addresses.
+type statusDoc struct {
+	NodeID  string   `json:"nodeId"`
+	CNAddrs []string `json:"cnAddrs"`
+}
+
+// probeAll probes every member but self in parallel and reports whether the
+// view changed (liveness flip or CN-address discovery).
+func (m *Membership) probeAll() (changed bool) {
+	m.mu.Lock()
+	targets := make([]Node, 0, len(m.members))
+	for _, ms := range m.members {
+		if ms.node.ID != m.cfg.Self.ID {
+			targets = append(targets, ms.node)
+		}
+	}
+	m.mu.Unlock()
+
+	type result struct {
+		id  string
+		doc statusDoc
+		err error
+	}
+	results := make([]result, len(targets))
+	var wg sync.WaitGroup
+	for i, n := range targets {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			doc, err := m.probe(n)
+			results[i] = result{id: n.ID, doc: doc, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range results {
+		ms := m.members[r.id]
+		if ms == nil {
+			continue
+		}
+		if r.err != nil {
+			ms.fails++
+			if ms.alive && ms.fails >= m.cfg.FailAfter {
+				ms.alive = false
+				changed = true
+				m.cfg.Logf("cluster: node %s dead after %d failed probes", r.id, ms.fails)
+			}
+			continue
+		}
+		ms.fails = 0
+		if !ms.alive {
+			ms.alive = true
+			changed = true
+			m.cfg.Logf("cluster: node %s back alive", r.id)
+		}
+		if len(ms.node.CNAddrs) == 0 && len(r.doc.CNAddrs) > 0 {
+			ms.node.CNAddrs = append([]string(nil), r.doc.CNAddrs...)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (m *Membership) probe(n Node) (statusDoc, error) {
+	var doc statusDoc
+	resp, err := m.client.Get(n.StatusURL + "/v1/status")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, &probeError{status: resp.Status}
+	}
+	// A decode failure still proves liveness — the node answered 200; the
+	// enrichment just doesn't happen this round.
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc)
+	return doc, nil
+}
+
+type probeError struct{ status string }
+
+func (e *probeError) Error() string { return "probe status " + e.status }

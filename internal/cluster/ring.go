@@ -1,0 +1,88 @@
+// Package cluster implements the membership layer for a multi-node control
+// plane: a static seed list refined by HTTP liveness probing, and a
+// consistent-hash ring that assigns each network region to exactly one live
+// node. The paper ran the control plane on 197 servers (§3.6); its soft-state
+// design (RE-ADD, §3.8) exists precisely so that a node can die and the
+// region it served can be rebuilt on a survivor from the peers themselves.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerNode is how many virtual nodes each member contributes to the
+// ring. With 12 routing keys (the network regions) and a handful of nodes,
+// 64 vnodes keep the assignment near-uniform while a membership change moves
+// only the dead node's keys.
+const vnodesPerNode = 64
+
+// Ring is an immutable consistent-hash ring over node IDs. Build a new one
+// on every membership change; lookups are lock-free.
+type Ring struct {
+	hashes []uint64
+	owners []string
+}
+
+// NewRing builds a ring over the given node IDs. An empty slice yields an
+// empty ring whose Owner always reports false.
+func NewRing(ids []string) *Ring {
+	r := &Ring{
+		hashes: make([]uint64, 0, len(ids)*vnodesPerNode),
+		owners: make([]string, 0, len(ids)*vnodesPerNode),
+	}
+	type vnode struct {
+		h  uint64
+		id string
+	}
+	vns := make([]vnode, 0, len(ids)*vnodesPerNode)
+	for _, id := range ids {
+		for i := 0; i < vnodesPerNode; i++ {
+			vns = append(vns, vnode{h: hash64(id + "#" + strconv.Itoa(i)), id: id})
+		}
+	}
+	sort.Slice(vns, func(a, b int) bool {
+		if vns[a].h != vns[b].h {
+			return vns[a].h < vns[b].h
+		}
+		// Hash collisions between different nodes' vnodes are vanishingly
+		// rare but must break deterministically, or two members could
+		// disagree about ownership with identical inputs.
+		return vns[a].id < vns[b].id
+	})
+	for _, v := range vns {
+		r.hashes = append(r.hashes, v.h)
+		r.owners = append(r.owners, v.id)
+	}
+	return r
+}
+
+// Owner returns the node ID owning a key — the first virtual node clockwise
+// from the key's hash. The bool is false only for an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.hashes) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owners[i], true
+}
+
+// hash64 is FNV-1a with a splitmix64-style finalizer on top: FNV alone
+// clusters for short, similar strings (node IDs differ in one digit), and a
+// clustered ring assigns regions lopsidedly.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	x := f.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

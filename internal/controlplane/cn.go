@@ -118,6 +118,18 @@ func (cn *CN) serveConn(conn net.Conn) {
 	}
 
 	s := &session{cn: cn, conn: conn}
+	s.guid = login.GUID
+	s.rec = cn.cp.locate(login.DeclaredIP)
+	s.region = geo.RegionOf(s.rec)
+	// Region ownership: in a multi-node control plane each region is served
+	// by its ring owner. Logins for regions this node does not own are
+	// bounced with the owner's CN address, so peers rebalance themselves
+	// after every membership change.
+	if redirect, owned := cn.cp.loginRoute(s.region); !owned {
+		cn.cp.metrics.loginsRedirected.Inc()
+		s.send(&protocol.LoginAck{OK: false, RetryAfterMs: 250, RedirectAddr: redirect})
+		return
+	}
 	// Shed load when over capacity, telling the peer when to retry; this
 	// is the rate-limited reconnection of §3.8.
 	cn.mu.Lock()
@@ -139,9 +151,6 @@ func (cn *CN) serveConn(conn net.Conn) {
 		cn.cp.unregister(s)
 	}()
 
-	s.guid = login.GUID
-	s.rec = cn.cp.locate(login.DeclaredIP)
-	s.region = geo.RegionOf(s.rec)
 	s.uploadsEnabled = login.UploadsEnabled
 	s.info = protocol.PeerInfo{
 		GUID:     login.GUID,
@@ -169,6 +178,13 @@ func (cn *CN) serveConn(conn net.Conn) {
 		CacheTTLSec:        uint32(cc.CacheTTLSec),
 		TargetVersion:      cc.TargetVersion,
 	})
+	// A region mid-rebuild (DN loss or ring handoff) asks every arriving
+	// peer to RE-ADD right away: peers rebalancing from a dead node
+	// repopulate the new owner's directory without waiting for another
+	// failure event (§3.8).
+	if cn.dn(s).Rebuilding(cn.cp.now()) {
+		s.send(&protocol.ReAdd{})
+	}
 
 	for {
 		// Healthy clients ping every 30s; a five-minute silence means the
@@ -259,6 +275,12 @@ func (cn *CN) handleQuery(s *session, q *protocol.Query) {
 func (cn *CN) handleRegister(s *session, m *protocol.Register) {
 	if !s.uploadsEnabled {
 		return // peers appear in the database only with uploads enabled (§3.6)
+	}
+	if !cn.cp.OwnsRegion(s.region) {
+		// The region moved to another node between this session's login and
+		// now; its registrations belong to the new owner's rebuild. The
+		// session is about to be dropped by releaseRegion anyway.
+		return
 	}
 	cn.cp.metrics.registers.Inc()
 	if cn.dn(s).Rebuilding(cn.cp.now()) {

@@ -26,6 +26,10 @@ import (
 
 // Config assembles a control plane.
 type Config struct {
+	// NodeID names this node in a multi-node cluster; ApplyRingView compares
+	// ring owners against it. Empty is fine for single-node deployments,
+	// which own every region forever.
+	NodeID string
 	// Scape resolves declared peer IPs to (location, AS) for region routing
 	// and selection locality.
 	Scape *geo.EdgeScape
@@ -64,6 +68,11 @@ type Config struct {
 	// the log ingest endpoint; it can also be swapped at runtime through
 	// LogIngest().SetFaults.
 	IngestFaults *faults.Injector
+	// LogDedup, when set, is the batch-ID dedup window the log ingest
+	// endpoint consults. A cluster shares one index across its nodes so a
+	// batch acked by one node and retried against another after a failover
+	// still counts exactly once. Nil gives the node a private window.
+	LogDedup *logpipe.DedupIndex
 	// ConnWrap, when set, wraps every accepted CN connection — the hook
 	// fault-injection harnesses use to make control sessions drop or lag
 	// (chaos testing the §3.8 reconnect path). Nil leaves conns untouched.
@@ -91,6 +100,12 @@ type cpMetrics struct {
 	rebuildAnnounces [geo.NumRegions]*telemetry.Counter
 	rebuilding       [geo.NumRegions]*telemetry.Gauge
 	rebuildMs        *telemetry.Histogram
+
+	// Cluster series, eager for the same reason: ring size, per-region
+	// ownership handoffs, and logins redirected to another node's CN.
+	ringNodes        *telemetry.Gauge
+	regionHandoffs   [geo.NumRegions]*telemetry.Counter
+	loginsRedirected *telemetry.Counter
 }
 
 func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
@@ -118,6 +133,10 @@ func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
 		rebuildMs: reg.Histogram("dn_rebuild_ms",
 			"duration of DN directory rebuild windows in milliseconds",
 			telemetry.DurationBucketsMs, nil),
+		ringNodes: reg.Gauge("cp_ring_nodes",
+			"control-plane nodes alive on the cluster ring", nil),
+		loginsRedirected: reg.Counter("cp_logins_redirected_total",
+			"logins redirected to the ring owner of the peer's region", nil),
 	}
 	for r := 0; r < geo.NumRegions; r++ {
 		label := telemetry.Labels{"region": geo.NetworkRegion(r).String()}
@@ -125,7 +144,11 @@ func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
 			"registrations absorbed while the region's DN was rebuilding", label)
 		m.rebuilding[r] = reg.Gauge("dn_rebuilding",
 			"1 while the region's DN is inside a rebuild window", label)
+		m.regionHandoffs[r] = reg.Counter("cp_region_handoffs_total",
+			"times this node took over the region from the cluster ring", label)
 	}
+	// A control plane that never joins a cluster is a ring of one.
+	m.ringNodes.Set(1)
 	return m
 }
 
@@ -145,6 +168,13 @@ type ControlPlane struct {
 	cns      []*CN
 	sessions map[id.GUID]*session
 	epoch    uint32
+
+	// Ring-ownership state. Everything starts owned (the single-node case);
+	// ApplyRingView flips regions as the cluster view changes.
+	ownMu       sync.Mutex
+	owned       [geo.NumRegions]bool
+	ownerCN     [geo.NumRegions]string // redirect target when not owned
+	ringApplied bool
 }
 
 // New creates a control plane with one DN per region and no CNs yet.
@@ -171,8 +201,12 @@ func New(cfg Config) (*ControlPlane, error) {
 	}, cp.metrics.reg)
 	cp.ingest = logpipe.NewIngest(logpipe.IngestConfig{
 		Handle:    cp.ingestEntry,
+		Dedup:     cfg.LogDedup,
 		Telemetry: cp.metrics.reg,
 	})
+	for r := 0; r < geo.NumRegions; r++ {
+		cp.owned[r] = true
+	}
 	cp.ingest.SetFaults(cfg.IngestFaults)
 	if cp.cfg.DNRebuildWindowMs == 0 {
 		cp.cfg.DNRebuildWindowMs = 2000

@@ -148,14 +148,7 @@ func (h *harness) token(g id.GUID, oid content.ObjectID, p2p bool) []byte {
 
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("timeout waiting for %s", what)
+	waitUntil(t, 5*time.Second, cond, "timeout waiting for %s", what)
 }
 
 func TestLoginRecordsAndSession(t *testing.T) {
@@ -247,7 +240,10 @@ func TestRegisterRequiresUploadsEnabled(t *testing.T) {
 	p := h.dialPeer("US", false) // uploads disabled
 	expect[*protocol.LoginAck](p)
 	p.send(&protocol.Register{Object: oid, NumPieces: 1, HaveCount: 1, Complete: true})
-	time.Sleep(100 * time.Millisecond)
+	// The session handles messages in order, so a ping-pong round trip
+	// proves the register was processed — no fixed sleep.
+	p.send(&protocol.Ping{Nonce: 1})
+	expect[*protocol.Pong](p)
 	if got := h.cp.DN(geo.RegionOf(p.rec)).Copies(oid); got != 0 {
 		t.Fatalf("upload-disabled peer registered: copies=%d", got)
 	}
@@ -395,10 +391,7 @@ func TestStatsVerificationFiltersForgedReports(t *testing.T) {
 
 	// Forged: never authorized by the edge.
 	p.send(&protocol.StatsReport{Object: oid, CP: 7, Size: 100, BytesInfra: 100})
-	time.Sleep(100 * time.Millisecond)
-	if got := collector.Rejected(); got != 1 {
-		t.Fatalf("Rejected=%d, want 1", got)
-	}
+	waitFor(t, "rejected report", func() bool { return collector.Rejected() == 1 })
 
 	// Legitimate: authorized, and claimed infra bytes within what the edge
 	// served.

@@ -26,10 +26,11 @@ func TestJanitorExpiresSoftState(t *testing.T) {
 	stop := h.cp.StartJanitor(20*time.Millisecond, 1000)
 	defer stop()
 
-	// Within TTL the entry stays.
+	// Within TTL the entry stays: watch several janitor ticks and fail the
+	// moment the entry disappears (instead of sleeping and hoping the purge
+	// would have happened by now).
 	nowMs.Store(500)
-	time.Sleep(100 * time.Millisecond)
-	if h.cp.DN(region).Copies(oid) != 1 {
+	if eventually(100*time.Millisecond, func() bool { return h.cp.DN(region).Copies(oid) == 0 }) {
 		t.Fatal("fresh entry expired")
 	}
 	// Past TTL the janitor purges it.

@@ -42,10 +42,16 @@ type Monitor struct {
 	scraped          map[string]telemetry.Snapshot
 	scrapedAnalytics map[string]analysis.StreamingSummary
 	scrapedAt        map[string]time.Time
-	scrapeTimeout    time.Duration
-	staleAfter       time.Duration
-	scrapeStop       func()
-	scrapeEvictions  *telemetry.Counter
+	// scrapeErrs / scrapeErrAt hold each target's last scrape failure. They
+	// are cleared on success but survive stale eviction, so a dead CP node
+	// stays visible in /v1/health with its error instead of silently
+	// disappearing from the fleet view.
+	scrapeErrs      map[string]string
+	scrapeErrAt     map[string]time.Time
+	scrapeTimeout   time.Duration
+	staleAfter      time.Duration
+	scrapeStop      func()
+	scrapeEvictions *telemetry.Counter
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -95,6 +101,8 @@ func NewMonitor(ringSize int) *Monitor {
 		scraped:          make(map[string]telemetry.Snapshot),
 		scrapedAnalytics: make(map[string]analysis.StreamingSummary),
 		scrapedAt:        make(map[string]time.Time),
+		scrapeErrs:       make(map[string]string),
+		scrapeErrAt:      make(map[string]time.Time),
 		scrapeTimeout:    5 * time.Second,
 		scrapeEvictions: reg.Counter("monitor_scrape_evictions_total",
 			"components evicted from the fleet aggregate after going stale", nil),
@@ -273,6 +281,10 @@ func (m *Monitor) ScrapeOnce() {
 			snap, err := fetchSnapshot(client, base+"/v1/telemetry")
 			if err != nil {
 				m.scrapeErrors.Inc()
+				m.scrapeMu.Lock()
+				m.scrapeErrs[name] = err.Error()
+				m.scrapeErrAt[name] = time.Now()
+				m.scrapeMu.Unlock()
 				return
 			}
 			// Analytics is optional per component: the control plane serves
@@ -285,6 +297,8 @@ func (m *Monitor) ScrapeOnce() {
 				m.scrapedAnalytics[name] = sum
 			}
 			m.scrapedAt[name] = time.Now()
+			delete(m.scrapeErrs, name)
+			delete(m.scrapeErrAt, name)
 			m.scrapeMu.Unlock()
 		}(name, base)
 	}
@@ -436,10 +450,15 @@ func (m *Monitor) handleAnalytics(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(fleet)
 }
 
-// componentHealth is one scraped component's entry in the health summary.
+// componentHealth is one configured target's entry in the health summary. A
+// healthy target carries its last scrape time; a failing one carries the
+// last error and when it happened — a dead CP node shows up here even after
+// stale eviction removed it from the fleet aggregates.
 type componentHealth struct {
-	LastScrape time.Time `json:"lastScrape"`
-	Counters   int       `json:"counters"`
+	LastScrape  time.Time `json:"lastScrape,omitempty"`
+	Counters    int       `json:"counters,omitempty"`
+	LastError   string    `json:"lastError,omitempty"`
+	LastErrorAt time.Time `json:"lastErrorAt,omitempty"`
 }
 
 // healthSummary is the GET /v1/health document: the report counters the
@@ -461,13 +480,21 @@ func (m *Monitor) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	sum.Alerts = append(sum.Alerts, m.alerts...)
 	m.mu.Unlock()
 	m.scrapeMu.Lock()
-	if len(m.scraped) > 0 {
-		sum.Components = make(map[string]componentHealth, len(m.scraped))
+	if len(m.scraped) > 0 || len(m.scrapeErrs) > 0 {
+		sum.Components = make(map[string]componentHealth, len(m.scraped)+len(m.scrapeErrs))
 		for name, snap := range m.scraped {
 			sum.Components[name] = componentHealth{
 				LastScrape: m.scrapedAt[name],
 				Counters:   len(snap.Counters),
 			}
+		}
+		// Failing targets appear (or are annotated) with their last error;
+		// a target can carry both a stale-but-kept snapshot and an error.
+		for name, errStr := range m.scrapeErrs {
+			ch := sum.Components[name]
+			ch.LastError = errStr
+			ch.LastErrorAt = m.scrapeErrAt[name]
+			sum.Components[name] = ch
 		}
 	}
 	m.scrapeMu.Unlock()

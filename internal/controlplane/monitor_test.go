@@ -153,14 +153,14 @@ func TestMonitorStaleEviction(t *testing.T) {
 	}
 
 	srv.Close() // the component dies
-	time.Sleep(60 * time.Millisecond)
-	m.ScrapeOnce() // fails, and the stale snapshot crosses the deadline
+	// Keep scraping until the stale snapshot crosses the 50ms deadline and
+	// is evicted — bounded polling instead of a fixed sleep on the budget.
+	waitUntil(t, 5*time.Second, func() bool {
+		m.ScrapeOnce()
+		return m.Metrics().Snapshot().Counters["monitor_scrape_evictions_total"] == 1
+	}, "dead component never evicted (eviction not counted)")
 	if got := m.Aggregate().Counters["dying_total"]; got != 0 {
 		t.Errorf("dead component still in fleet aggregate: dying_total=%d", got)
-	}
-	snap := m.Metrics().Snapshot()
-	if snap.Counters["monitor_scrape_evictions_total"] != 1 {
-		t.Errorf("eviction not counted: %+v", snap.Counters)
 	}
 	// A live component scraped on the same cadence is not evicted.
 	reg2 := telemetry.NewRegistry()
@@ -247,6 +247,75 @@ func TestMonitorFleetAnalytics(t *testing.T) {
 	}
 }
 
+// TestMonitorHealthShowsDeadTarget: a scrape target that stops answering
+// must stay visible on /v1/health with its last error and timestamp — a
+// dead control-plane node is an operator-facing fact, not something to
+// silently drop from the fleet view.
+func TestMonitorHealthShowsDeadTarget(t *testing.T) {
+	m := startMonitor(t)
+	reg := telemetry.NewRegistry()
+	reg.Counter("ok_total", "", nil).Inc()
+	mux := http.NewServeMux()
+	telemetry.Mount(mux, reg)
+	alive := httptest.NewServer(mux)
+	t.Cleanup(alive.Close)
+	reg2 := telemetry.NewRegistry()
+	mux2 := http.NewServeMux()
+	telemetry.Mount(mux2, reg2)
+	dead := httptest.NewServer(mux2)
+
+	m.SetScrapeTargets(map[string]string{"alive": alive.URL, "dead": dead.URL})
+	m.SetScrapePolicy(time.Second, 50*time.Millisecond)
+	m.ScrapeOnce() // both healthy
+	dead.Close()   // then one dies
+	m.ScrapeOnce() // records the scrape error
+
+	resp, err := http.Get("http://" + m.Addr() + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum struct {
+		Components map[string]struct {
+			LastScrape  time.Time `json:"lastScrape"`
+			LastError   string    `json:"lastError"`
+			LastErrorAt time.Time `json:"lastErrorAt"`
+		} `json:"components"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	dc, ok := sum.Components["dead"]
+	if !ok {
+		t.Fatalf("dead target missing from /v1/health components: %+v", sum.Components)
+	}
+	if dc.LastError == "" || dc.LastErrorAt.IsZero() {
+		t.Errorf("dead target lacks error annotation: %+v", dc)
+	}
+	ac, ok := sum.Components["alive"]
+	if !ok || ac.LastError != "" || ac.LastScrape.IsZero() {
+		t.Errorf("alive target misreported: %+v (ok=%v)", ac, ok)
+	}
+
+	// Even after the stale snapshot is evicted from the aggregate, the
+	// error annotation survives: the operator still sees why.
+	waitUntil(t, 5*time.Second, func() bool {
+		m.ScrapeOnce()
+		return m.Metrics().Snapshot().Counters["monitor_scrape_evictions_total"] >= 1
+	}, "stale dead-target snapshot never evicted")
+	resp2, err := http.Get("http://" + m.Addr() + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if dc, ok := sum.Components["dead"]; !ok || dc.LastError == "" {
+		t.Errorf("dead target's error vanished after eviction: %+v (ok=%v)", dc, ok)
+	}
+}
+
 func TestMonitorStartScrapingLoop(t *testing.T) {
 	m := startMonitor(t)
 	reg := telemetry.NewRegistry()
@@ -259,12 +328,7 @@ func TestMonitorStartScrapingLoop(t *testing.T) {
 	m.SetScrapeTargets(map[string]string{"c": srv.URL})
 	stop := m.StartScraping(20 * time.Millisecond)
 	defer stop()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if m.Aggregate().Counters["tick_total"] == 1 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatal("periodic scrape never delivered a snapshot")
+	waitUntil(t, 5*time.Second, func() bool {
+		return m.Aggregate().Counters["tick_total"] == 1
+	}, "periodic scrape never delivered a snapshot")
 }

@@ -1,0 +1,110 @@
+package controlplane
+
+import (
+	"netsession/internal/cluster"
+	"netsession/internal/geo"
+)
+
+// ApplyRingView reacts to a cluster membership change: regions the ring now
+// assigns to this node are taken over (directory cleared, soft-state rebuild
+// window opened, connected peers asked to RE-ADD), regions assigned away are
+// released (directory cleared, their sessions dropped so the peers reconnect
+// and get redirected to the new owner). The very first view only records the
+// assignment — booting into a region is not a handoff.
+//
+// It runs on the membership's probe goroutine; each node applies its own
+// observations independently, which is safe because the directory is soft
+// state: a transiently split view costs at most a rebuild window, never
+// correctness (§3.8).
+func (cp *ControlPlane) ApplyRingView(v cluster.View) {
+	cp.metrics.ringNodes.Set(float64(len(v.Nodes)))
+	var gained, lost []geo.NetworkRegion
+	cp.ownMu.Lock()
+	first := !cp.ringApplied
+	cp.ringApplied = true
+	for r := 0; r < geo.NumRegions; r++ {
+		region := geo.NetworkRegion(r)
+		owner, ok := v.Owner(region.String())
+		mine := ok && owner.ID == cp.cfg.NodeID
+		if !mine && ok && len(owner.CNAddrs) > 0 {
+			cp.ownerCN[r] = owner.CNAddrs[0]
+		} else {
+			cp.ownerCN[r] = ""
+		}
+		if mine == cp.owned[r] {
+			continue
+		}
+		cp.owned[r] = mine
+		if first {
+			// Initial assignment: just mark regions we don't serve; nothing
+			// to rebuild, nobody to kick.
+			continue
+		}
+		if mine {
+			gained = append(gained, region)
+		} else {
+			lost = append(lost, region)
+		}
+	}
+	// Propagate ownership to the directories even on the first view, so
+	// Select never answers from an unowned region.
+	for r := 0; r < geo.NumRegions; r++ {
+		cp.dns[r].dir.SetOwned(cp.owned[r])
+	}
+	cp.ownMu.Unlock()
+
+	for _, region := range lost {
+		cp.releaseRegion(region)
+	}
+	for _, region := range gained {
+		cp.takeoverRegion(region)
+	}
+}
+
+// takeoverRegion makes this node the region's directory authority: whatever
+// stale entries survived from a previous ownership are cleared, and the PR 4
+// rebuild window opens so arriving peers RE-ADD their holdings before the
+// directory answers queries — the same recovery path a DN crash takes.
+func (cp *ControlPlane) takeoverRegion(r geo.NetworkRegion) {
+	cp.metrics.regionHandoffs[int(r)].Inc()
+	cp.FailDN(r)
+}
+
+// releaseRegion drops a region this node no longer owns: the directory is
+// cleared (its contents belong to the new owner's rebuild, not to us) and
+// the region's control sessions are closed, which sends each peer through
+// its reconnect path — rotation plus login redirect lands it on the owner.
+func (cp *ControlPlane) releaseRegion(r geo.NetworkRegion) {
+	cp.dns[int(r)].dir.Clear()
+	cp.mu.Lock()
+	var toDrop []*session
+	for _, s := range cp.sessions {
+		if s.region == r {
+			toDrop = append(toDrop, s)
+		}
+	}
+	cp.mu.Unlock()
+	for _, s := range toDrop {
+		s.closeConn()
+	}
+}
+
+// OwnsRegion reports whether this node currently owns a region on the ring.
+func (cp *ControlPlane) OwnsRegion(r geo.NetworkRegion) bool {
+	cp.ownMu.Lock()
+	defer cp.ownMu.Unlock()
+	return cp.owned[int(r)]
+}
+
+// loginRoute decides what to do with a login from a region: serve it (owned
+// is true), or reject it with the owner's CN address for the peer to
+// reconnect to. The redirect may be empty when the owner's CN addresses are
+// not yet known; the peer then falls back to its retry-after pacing.
+func (cp *ControlPlane) loginRoute(r geo.NetworkRegion) (redirect string, owned bool) {
+	cp.ownMu.Lock()
+	defer cp.ownMu.Unlock()
+	if cp.owned[int(r)] {
+		return "", true
+	}
+	return cp.ownerCN[int(r)], false
+}

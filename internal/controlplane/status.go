@@ -17,6 +17,10 @@ import (
 // performance is constantly monitored" (§3.8). It is cheap to compute and
 // safe to expose on an internal HTTP port.
 type Status struct {
+	// NodeID and CNAddrs identify this node to the cluster membership layer:
+	// liveness probes read them to learn where the node's CNs listen.
+	NodeID   string       `json:"nodeId,omitempty"`
+	CNAddrs  []string     `json:"cnAddrs,omitempty"`
 	Sessions int          `json:"sessions"`
 	CNs      int          `json:"cns"`
 	Regions  []RegionInfo `json:"regions"`
@@ -34,7 +38,10 @@ type RegionInfo struct {
 // Status computes the current snapshot.
 func (cp *ControlPlane) Status() Status {
 	cp.mu.Lock()
-	st := Status{Sessions: len(cp.sessions), CNs: len(cp.cns)}
+	st := Status{NodeID: cp.cfg.NodeID, Sessions: len(cp.sessions), CNs: len(cp.cns)}
+	for _, cn := range cp.cns {
+		st.CNAddrs = append(st.CNAddrs, cn.Addr())
+	}
 	cp.mu.Unlock()
 	for r := 0; r < geo.NumRegions; r++ {
 		st.Regions = append(st.Regions, RegionInfo{
@@ -95,3 +102,9 @@ func (s *StatusServer) Close() error {
 	defer cancel()
 	return s.httpSrv.Shutdown(ctx)
 }
+
+// Kill closes the listener and every active connection immediately — the
+// SIGKILL analogue for a control-plane node. In-flight requests are cut off
+// mid-response; nothing is flushed or drained. Failover tests use this so
+// the surviving nodes see a node vanish, not say goodbye.
+func (s *StatusServer) Kill() { s.httpSrv.Close() }

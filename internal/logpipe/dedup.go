@@ -1,0 +1,50 @@
+package logpipe
+
+import "sync"
+
+// DedupIndex is a bounded window of recently seen batch IDs. One index can
+// back several Ingest instances — a multi-node control plane shares one so a
+// batch acknowledged by node A and retried against node B after a failover
+// still counts exactly once. It is the in-process stand-in for the
+// replicated acknowledgement table a production cluster would keep.
+type DedupIndex struct {
+	mu    sync.Mutex
+	seen  map[string]bool
+	order []string
+	next  int
+}
+
+// NewDedupIndex creates an index remembering the last `window` batch IDs;
+// non-positive selects 4096.
+func NewDedupIndex(window int) *DedupIndex {
+	if window <= 0 {
+		window = 4096
+	}
+	return &DedupIndex{
+		seen:  make(map[string]bool, window),
+		order: make([]string, window),
+	}
+}
+
+// Seen reports whether a batch key is inside the window.
+func (d *DedupIndex) Seen(key string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seen[key]
+}
+
+// Mark adds a batch key to the window, evicting the oldest beyond the
+// window size.
+func (d *DedupIndex) Mark(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seen[key] {
+		return
+	}
+	if old := d.order[d.next]; old != "" {
+		delete(d.seen, old)
+	}
+	d.order[d.next] = key
+	d.next = (d.next + 1) % len(d.order)
+	d.seen[key] = true
+}

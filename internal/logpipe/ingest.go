@@ -9,7 +9,6 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,7 +42,13 @@ type IngestConfig struct {
 	MaxDecodedBytes int64
 	// DedupWindow is how many recent batch IDs are remembered for
 	// exactly-once ingestion across uploader crashes; zero selects 4096.
+	// Ignored when Dedup is set.
 	DedupWindow int
+	// Dedup, when set, is the batch-ID window this endpoint consults and
+	// feeds. A multi-node control plane shares one index across its nodes so
+	// a batch acked by one node and retried against another after failover
+	// still ingests exactly once. Nil gives the endpoint a private index.
+	Dedup *DedupIndex
 	// MaxInflight bounds concurrently processed batches; beyond it the
 	// endpoint answers 429 with Retry-After — explicit backpressure instead
 	// of queue growth. Zero selects 4.
@@ -66,10 +71,7 @@ type Ingest struct {
 	// off mid-run to drive 503 storms and stalls through a live endpoint).
 	inj atomic.Pointer[faults.Injector]
 
-	mu    sync.Mutex
-	seen  map[string]bool
-	order []string
-	next  int
+	dedup *DedupIndex
 
 	batches      *telemetry.Counter
 	records      *telemetry.Counter
@@ -100,8 +102,10 @@ func NewIngest(cfg IngestConfig) *Ingest {
 	in := &Ingest{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxInflight),
-		seen:  make(map[string]bool, cfg.DedupWindow),
-		order: make([]string, cfg.DedupWindow),
+		dedup: cfg.Dedup,
+	}
+	if in.dedup == nil {
+		in.dedup = NewDedupIndex(cfg.DedupWindow)
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		in.batches = reg.Counter("logpipe_ingest_batches_total",
@@ -177,7 +181,7 @@ func (in *Ingest) serve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := guid.String() + "/" + strconv.FormatUint(seq, 10)
-	if in.isDuplicate(key) {
+	if in.dedup.Seen(key) {
 		// The uploader crashed between our ack and its cursor write; its
 		// resend is byte-identical, so acknowledging without re-ingesting
 		// preserves exactly-once accounting.
@@ -204,7 +208,7 @@ func (in *Ingest) serve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	in.markSeen(key)
+	in.dedup.Mark(key)
 	in.inc(in.batches)
 	if in.records != nil {
 		in.records.Add(int64(accepted))
@@ -270,29 +274,6 @@ func (in *Ingest) ingest(guid id.GUID, raw []byte) (accepted, rejected int, err 
 		return 0, 0, &tooLargeError{"batch exceeds decoded size cap"}
 	}
 	return accepted, rejected, nil
-}
-
-// isDuplicate reports whether a batch key is inside the dedup window.
-func (in *Ingest) isDuplicate(key string) bool {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.seen[key]
-}
-
-// markSeen adds a batch key to the window, evicting the oldest beyond the
-// window size.
-func (in *Ingest) markSeen(key string) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.seen[key] {
-		return
-	}
-	if old := in.order[in.next]; old != "" {
-		delete(in.seen, old)
-	}
-	in.order[in.next] = key
-	in.next = (in.next + 1) % len(in.order)
-	in.seen[key] = true
 }
 
 func (in *Ingest) inc(c *telemetry.Counter) {

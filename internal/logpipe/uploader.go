@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netsession/internal/retry"
@@ -18,8 +19,15 @@ type UploaderConfig struct {
 	// Spool is the durable segment source.
 	Spool *Spool
 	// URL is the control plane's operator HTTP base URL (the surface that
-	// serves /metrics); batches POST to URL+BatchPath.
+	// serves /metrics); batches POST to URL+BatchPath. When URLs is also
+	// set, URL is ignored.
 	URL string
+	// URLs lists every control-plane node's operator base URL. The uploader
+	// sticks to one until it fails (transport error or 5xx), then rotates to
+	// the next — a dead CP node never wedges the pipeline, and the cluster's
+	// shared dedup window turns the cross-node retry into exactly-once
+	// ingestion. Empty falls back to the single URL.
+	URLs []string
 	// GUID identifies the uploading installation; together with each
 	// segment's sequence number it forms the idempotent batch ID.
 	GUID string
@@ -52,6 +60,11 @@ type Uploader struct {
 	cfg     UploaderConfig
 	breaker *retry.Breaker
 
+	// urlIdx is the index into cfg.URLs of the node currently uploaded to;
+	// it advances on transport errors and 5xx so retries land on another
+	// node (the batch ID keeps the failover exactly-once).
+	urlIdx atomic.Uint32
+
 	uploaded      *telemetry.Counter
 	uploadedRecs  *telemetry.Counter
 	errors        *telemetry.Counter
@@ -72,7 +85,10 @@ func StartUploader(cfg UploaderConfig) (*Uploader, error) {
 	if cfg.Spool == nil {
 		return nil, fmt.Errorf("logpipe: uploader needs a spool")
 	}
-	if cfg.URL == "" {
+	if len(cfg.URLs) == 0 && cfg.URL != "" {
+		cfg.URLs = []string{cfg.URL}
+	}
+	if len(cfg.URLs) == 0 {
 		return nil, fmt.Errorf("logpipe: uploader needs a control plane URL")
 	}
 	if cfg.Interval == 0 {
@@ -253,8 +269,9 @@ func (u *Uploader) uploadBatch(ctx context.Context, b Batch) (uploadResult, erro
 	if !u.breaker.Allow() {
 		return uploadResult{}, fmt.Errorf("ingest breaker open")
 	}
+	base := u.cfg.URLs[int(u.urlIdx.Load())%len(u.cfg.URLs)]
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		u.cfg.URL+BatchPath, bytes.NewReader(b.Data))
+		base+BatchPath, bytes.NewReader(b.Data))
 	if err != nil {
 		return uploadResult{}, err
 	}
@@ -264,6 +281,7 @@ func (u *Uploader) uploadBatch(ctx context.Context, b Batch) (uploadResult, erro
 	req.Header.Set(HeaderSeq, strconv.FormatUint(b.Seq, 10))
 	resp, err := u.cfg.Client.Do(req)
 	if err != nil {
+		u.rotate()
 		return uploadResult{}, err
 	}
 	defer resp.Body.Close()
@@ -280,7 +298,17 @@ func (u *Uploader) uploadBatch(ctx context.Context, b Batch) (uploadResult, erro
 		u.breaker.Success()
 		return uploadResult{dropBatch: true}, nil
 	default:
+		u.rotate()
 		return uploadResult{}, fmt.Errorf("ingest returned %s", resp.Status)
+	}
+}
+
+// rotate moves the uploader to the next configured control-plane node. 429
+// and 413 never rotate — backpressure and poison batches are the node
+// working as designed, not a node failure.
+func (u *Uploader) rotate() {
+	if len(u.cfg.URLs) > 1 {
+		u.urlIdx.Add(1)
 	}
 }
 

@@ -151,6 +151,56 @@ func TestUploaderCrashResendDeduped(t *testing.T) {
 // TestUploaderHonorsBackpressure verifies a 429 + Retry-After pauses the
 // uploader (without tripping its breaker) and the batch goes through on the
 // next attempt.
+// TestUploaderFailsOverAcrossURLs points the uploader at a dead node first:
+// the transport error rotates it to the live node and the drain completes —
+// a single dead CP never strands the pipeline.
+func TestUploaderFailsOverAcrossURLs(t *testing.T) {
+	handled := &countingHandler{}
+	reg := telemetry.NewRegistry()
+	ingest := NewIngest(IngestConfig{Handle: handled.handle})
+	mux := http.NewServeMux()
+	mux.Handle("POST "+BatchPath, ingest.Handler())
+	live := httptest.NewServer(mux)
+	defer live.Close()
+	// A listener that is already closed refuses connections immediately.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	spool, err := OpenSpool(SpoolConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := StartUploader(UploaderConfig{
+		Spool: spool, URLs: []string{deadURL, live.URL},
+		GUID: id.NewGUID().String(), Interval: -1, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Stop()
+	for i := 0; i < 3; i++ {
+		if err := spool.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := up.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if handled.count() != 3 {
+		t.Fatalf("live node handled %d entries, want 3", handled.count())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["logpipe_upload_errors_total"] == 0 {
+		t.Fatal("expected at least one failed attempt against the dead node")
+	}
+	if sealed, open := spool.Pending(); sealed != 0 || open != 0 {
+		t.Fatalf("spool not drained: sealed=%d open=%d", sealed, open)
+	}
+}
+
 func TestUploaderHonorsBackpressure(t *testing.T) {
 	var rejected atomic.Int32
 	reg := telemetry.NewRegistry()

@@ -15,6 +15,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -86,7 +87,9 @@ type Config struct {
 	// StatsReport to the batched log pipeline (§3.4 "uploads logs to the
 	// infrastructure"): per-download records go to a durable spool under
 	// StateDir/logspool and an uploader ships sealed batches to this control
-	// plane operator URL (POST /v1/logs/batch). Requires StateDir.
+	// plane operator URL (POST /v1/logs/batch). Comma-separate several URLs
+	// to let the uploader fail over across control-plane nodes; batch IDs
+	// keep cross-node retries exactly-once. Requires StateDir.
 	LogUploadURL string
 	// LogUploadInterval paces the background uploader; zero selects 2s,
 	// negative disables the loop (drain explicitly with FlushLogs).
@@ -282,7 +285,7 @@ func New(cfg Config) (*Client, error) {
 	if c.spool != nil {
 		up, err := logpipe.StartUploader(logpipe.UploaderConfig{
 			Spool:     c.spool,
-			URL:       cfg.LogUploadURL,
+			URLs:      splitList(cfg.LogUploadURL),
 			GUID:      cfg.GUID.String(),
 			Interval:  cfg.LogUploadInterval,
 			Telemetry: metrics.reg,
@@ -299,6 +302,18 @@ func New(cfg Config) (*Client, error) {
 
 // logSpoolDirName is where the durable log spool lives under StateDir.
 const logSpoolDirName = "logspool"
+
+// splitList parses a comma-separated list, trimming whitespace and dropping
+// empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
 
 // FlushLogs seals pending usage records and drains the spool to the control
 // plane; a no-op without the log pipeline. Tests and orderly shutdowns use

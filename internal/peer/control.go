@@ -26,7 +26,11 @@ type controlConn struct {
 	connUp  bool
 	sawUp   bool // the current session reached connUp at least once
 	stopped bool
-	waiters map[content.ObjectID][]chan *protocol.QueryResult
+	// lastGoodAddr is the CN address of the most recent accepted login. It
+	// is tried first on reconnect (the peer sticks to its CN until the CN
+	// fails, §3.4) and may be a redirect target outside the configured list.
+	lastGoodAddr string
+	waiters      map[content.ObjectID][]chan *protocol.QueryResult
 	// retryAfter is the server-directed minimum reconnect delay from a
 	// rejected login ("reconnections can be rate-limited", §3.8).
 	retryAfter time.Duration
@@ -45,11 +49,17 @@ func newControlConn(c *Client) *controlConn {
 
 // start dials the control plane once synchronously (so callers get a fast
 // failure on misconfiguration) and then keeps the session alive in the
-// background.
+// background. A control plane that is up but shedding load is not a
+// misconfiguration: the client starts anyway and retries in the background,
+// honouring the server's retry-after.
 func (cc *controlConn) start() error {
 	conn, err := cc.dialAndLogin()
 	if err != nil {
-		return err
+		var shed *shedError
+		if !errors.As(err, &shed) {
+			return fmt.Errorf("%w: %v", ErrControlUnavailable, err)
+		}
+		conn = nil
 	}
 	cc.wg.Add(1)
 	go cc.run(conn)
@@ -78,41 +88,126 @@ func (cc *controlConn) connected() bool {
 	return cc.connUp
 }
 
-// dialAndLogin opens a session with any configured CN.
+// ErrControlUnavailable wraps connect failures where no configured control
+// plane address produced a session. Launchers can match it with errors.Is to
+// keep retrying startup while a cluster comes up.
+var ErrControlUnavailable = errors.New("peer: control plane unavailable")
+
+// shedError is a login the control plane rejected to rate-limit recovery
+// ("reconnections can be rate-limited", §3.8). It aborts the dial round —
+// hopping to the next CN would just shift the stampede sideways.
+type shedError struct{ retryAfter time.Duration }
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("peer: control plane shedding load (retry after %v)", e.retryAfter)
+}
+
+// maxLoginRedirects bounds redirect chases during a handoff, when two nodes
+// may transiently each believe the other owns the region.
+const maxLoginRedirects = 4
+
+// dialAndLogin opens a session with any configured CN, starting from the
+// address that last accepted us — "simply reconnects to another one" (§3.8)
+// — and following login redirects to a region's current owner.
 func (cc *controlConn) dialAndLogin() (net.Conn, error) {
+	cc.mu.Lock()
+	last := cc.lastGoodAddr
+	cc.mu.Unlock()
+	addrs := make([]string, 0, len(cc.c.cfg.ControlAddrs)+1)
+	if last != "" {
+		addrs = append(addrs, last)
+	}
+	for _, a := range cc.c.cfg.ControlAddrs {
+		if a != last {
+			addrs = append(addrs, a)
+		}
+	}
 	var lastErr error
-	for _, addr := range cc.c.cfg.ControlAddrs {
-		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-		if err != nil {
-			lastErr = err
-			continue
+	for _, addr := range addrs {
+		conn, err := cc.loginAt(addr, 0)
+		if err == nil {
+			return conn, nil
 		}
-		cc.c.secMu.Lock()
-		secs := cc.c.secondaries.Window
-		cc.c.secMu.Unlock()
-		login := &protocol.Login{
-			GUID:            cc.c.cfg.GUID,
-			Secondaries:     secs,
-			SoftwareVersion: cc.c.SoftwareVersion(),
-			UploadsEnabled:  cc.c.prefs.UploadsEnabled(),
-			SwarmAddr:       cc.c.SwarmAddr(),
-			NAT:             cc.c.cfg.NAT,
-			DeclaredIP:      cc.c.cfg.DeclaredIP,
+		lastErr = err
+		var shed *shedError
+		if errors.As(err, &shed) {
+			return nil, err
 		}
-		if err := protocol.WriteMessage(conn, login); err != nil {
-			conn.Close()
-			lastErr = err
-			continue
-		}
-		cc.mu.Lock()
-		cc.conn = conn
-		cc.mu.Unlock()
-		return conn, nil
 	}
 	if lastErr == nil {
 		lastErr = errors.New("no control plane addresses")
 	}
 	return nil, fmt.Errorf("peer: control connect: %w", lastErr)
+}
+
+// loginAt dials one CN and completes the login handshake synchronously, so
+// the caller knows whether this address actually accepted the session before
+// committing to it. A rejected login with a RedirectAddr is chased to the
+// region's owner; a rejection without one records the server's retry-after
+// and aborts the round via shedError.
+func (cc *controlConn) loginAt(addr string, hops int) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	cc.c.secMu.Lock()
+	secs := cc.c.secondaries.Window
+	cc.c.secMu.Unlock()
+	login := &protocol.Login{
+		GUID:            cc.c.cfg.GUID,
+		Secondaries:     secs,
+		SoftwareVersion: cc.c.SoftwareVersion(),
+		UploadsEnabled:  cc.c.prefs.UploadsEnabled(),
+		SwarmAddr:       cc.c.SwarmAddr(),
+		NAT:             cc.c.cfg.NAT,
+		DeclaredIP:      cc.c.cfg.DeclaredIP,
+	}
+	if err := protocol.WriteMessage(conn, login); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	msg, err := protocol.ReadMessage(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, ok := msg.(*protocol.LoginAck)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("peer: unexpected %T before login ack", msg)
+	}
+	if !ack.OK {
+		conn.Close()
+		if ack.RedirectAddr != "" && ack.RedirectAddr != addr && hops < maxLoginRedirects {
+			return cc.loginAt(ack.RedirectAddr, hops+1)
+		}
+		shed := &shedError{retryAfter: time.Duration(ack.RetryAfterMs) * time.Millisecond}
+		cc.mu.Lock()
+		cc.retryAfter = shed.retryAfter
+		cc.mu.Unlock()
+		return nil, shed
+	}
+	cc.mu.Lock()
+	if cc.stopped {
+		cc.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("peer: client closed")
+	}
+	cc.conn = conn
+	cc.connUp = true
+	cc.sawUp = true
+	prev := cc.lastGoodAddr
+	cc.lastGoodAddr = addr
+	cc.mu.Unlock()
+	if prev != "" && prev != addr {
+		cc.c.metrics.cpFailovers.Inc()
+	}
+	// Re-announce local content after every (re)login; the directory is
+	// soft state.
+	go cc.c.registerStoredObjects()
+	return conn, nil
 }
 
 // run services one session at a time, reconnecting until stopped. A peer
@@ -204,6 +299,9 @@ func (cc *controlConn) readLoop(conn net.Conn) {
 		}
 		switch m := msg.(type) {
 		case *protocol.LoginAck:
+			// The handshake is completed synchronously in loginAt; a
+			// LoginAck here is the server revoking the session mid-stream
+			// (e.g. shedding after a mass reconnect).
 			if !m.OK {
 				cc.mu.Lock()
 				cc.retryAfter = time.Duration(m.RetryAfterMs) * time.Millisecond
@@ -211,13 +309,6 @@ func (cc *controlConn) readLoop(conn net.Conn) {
 				conn.Close()
 				return
 			}
-			cc.mu.Lock()
-			cc.connUp = true
-			cc.sawUp = true
-			cc.mu.Unlock()
-			// Re-announce local content after every (re)login; the
-			// directory is soft state.
-			go cc.c.registerStoredObjects()
 		case *protocol.ConfigUpdate:
 			cc.c.applyConfig(m)
 		case *protocol.QueryResult:

@@ -43,6 +43,7 @@ type clientMetrics struct {
 	// reason.
 	retriesEdge      *telemetry.Counter
 	retriesControl   *telemetry.Counter
+	cpFailovers      *telemetry.Counter
 	breakerTripsEdge *telemetry.Counter
 	swarmBlacklist   *telemetry.Counter
 	degradeStall     *telemetry.Counter
@@ -97,6 +98,8 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 			"retried operations, by operation", telemetry.Labels{"op": "edge_fetch"}),
 		retriesControl: reg.Counter("peer_retries_total",
 			"retried operations, by operation", telemetry.Labels{"op": "control_reconnect"}),
+		cpFailovers: reg.Counter("peer_cp_failovers_total",
+			"control sessions re-established on a different CP node than the last one", nil),
 		breakerTripsEdge: reg.Counter("peer_breaker_trips_total",
 			"circuit-breaker trips, by target", telemetry.Labels{"target": "edge"}),
 		swarmBlacklist: reg.Counter("peer_swarm_blacklist_total",

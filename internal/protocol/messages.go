@@ -121,6 +121,11 @@ type LoginAck struct {
 	OK           bool
 	RetryAfterMs uint32
 	ConfigEpoch  uint32
+	// RedirectAddr, when non-empty on a rejected login, is the CN address of
+	// the control-plane node that owns the peer's region; the peer should
+	// reconnect there instead of waiting out RetryAfterMs. This is how a
+	// multi-node control plane steers each region's peers to the ring owner.
+	RedirectAddr string
 }
 
 func (*LoginAck) Type() MsgType { return TLoginAck }
@@ -129,12 +134,14 @@ func (m *LoginAck) encodeTo(e *encoder) {
 	e.boolean(m.OK)
 	e.u32(m.RetryAfterMs)
 	e.u32(m.ConfigEpoch)
+	e.str(m.RedirectAddr)
 }
 
 func (m *LoginAck) decodeFrom(d *decoder) {
 	m.OK = d.boolean()
 	m.RetryAfterMs = d.u32()
 	m.ConfigEpoch = d.u32()
+	m.RedirectAddr = d.str()
 }
 
 // Query asks the control plane for peers that hold an object. The token was

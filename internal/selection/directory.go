@@ -44,6 +44,11 @@ type Directory struct {
 	// peerObjects tracks, per peer, which objects it has registered, so a
 	// peer's departure can be cleaned up in one call.
 	peerObjects map[id.GUID]map[content.ObjectID]bool
+	// owned reports whether the local control-plane node currently owns this
+	// region on the cluster ring. A directory that lost ownership answers
+	// Select with no candidates, so stale state left from before a handoff
+	// can never steer a swarm. Single-node deployments stay owned forever.
+	owned bool
 }
 
 // dirEntry is one peer's registration plus the directory's bookkeeping for
@@ -104,11 +109,26 @@ func NewDirectory(region geo.NetworkRegion) *Directory {
 		region:      region,
 		objects:     make(map[content.ObjectID]*objectEntry),
 		peerObjects: make(map[id.GUID]map[content.ObjectID]bool),
+		owned:       true,
 	}
 }
 
 // Region returns the network region this directory serves.
 func (d *Directory) Region() geo.NetworkRegion { return d.region }
+
+// SetOwned flips whether the local node owns this directory's region.
+func (d *Directory) SetOwned(owned bool) {
+	d.mu.Lock()
+	d.owned = owned
+	d.mu.Unlock()
+}
+
+// Owned reports whether the local node owns this directory's region.
+func (d *Directory) Owned() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.owned
+}
 
 // Register adds or refreshes a peer's registration for an object. Peers
 // appear here only when uploads are enabled and they hold content (§3.6);

@@ -121,6 +121,28 @@ func TestSelectPrefersLocality(t *testing.T) {
 	}
 }
 
+// TestSelectRequiresOwnership: a directory whose region moved to another
+// control-plane node must answer with no candidates — its entries are stale
+// by definition — and resume answering when ownership returns.
+func TestSelectRequiresOwnership(t *testing.T) {
+	f := newFixture(t)
+	for i := 0; i < 5; i++ {
+		f.addPeer(t, "US", 0, protocol.NATNone, 0)
+	}
+	req := f.requesterIn(t, "US", 0)
+	if got := f.dir.Select(DefaultPolicy(), f.query(req, protocol.NATNone, 5)); len(got) == 0 {
+		t.Fatal("owned directory returned no peers")
+	}
+	f.dir.SetOwned(false)
+	if got := f.dir.Select(DefaultPolicy(), f.query(req, protocol.NATNone, 5)); len(got) != 0 {
+		t.Fatalf("disowned directory returned %d peers, want 0", len(got))
+	}
+	f.dir.SetOwned(true)
+	if got := f.dir.Select(DefaultPolicy(), f.query(req, protocol.NATNone, 5)); len(got) == 0 {
+		t.Fatal("re-owned directory returned no peers")
+	}
+}
+
 func TestSelectFairnessRotation(t *testing.T) {
 	f := newFixture(t)
 	for i := 0; i < 6; i++ {

@@ -133,6 +133,11 @@ func (d *Directory) Select(p Policy, q Query) []protocol.PeerInfo {
 	if max <= 0 {
 		return nil
 	}
+	if !d.Owned() {
+		// Ownership moved to another node; whatever entries remain here are
+		// stale and must not steer swarms.
+		return nil
+	}
 	sc := selPool.Get().(*selScratch)
 	sets := geo.SetsFor(q.Requester)
 	if p.LocalityAware {

@@ -56,6 +56,12 @@ func replaceDir(t *testing.T, src, dst string) {
 // log spool and batched uploader (never the in-band stats path), with the
 // background loop disabled so tests control every drain.
 func spawnLogpipePeer(t *testing.T, c *Cluster, stateDir string) *Peer {
+	return spawnLogpipePeerURL(t, c, stateDir, c.ControlPlaneURL())
+}
+
+// spawnLogpipePeerURL is spawnLogpipePeer with an explicit upload target, so
+// cross-node tests can pin the uploader to one control-plane node.
+func spawnLogpipePeerURL(t *testing.T, c *Cluster, stateDir, uploadURL string) *Peer {
 	t.Helper()
 	ip, err := c.AllocateIdentity("JP")
 	if err != nil {
@@ -67,7 +73,7 @@ func spawnLogpipePeer(t *testing.T, c *Cluster, stateDir string) *Peer {
 		EdgeURL:           c.EdgeURL(),
 		UploadsEnabled:    true,
 		StateDir:          stateDir,
-		LogUploadURL:      c.ControlPlaneURL(),
+		LogUploadURL:      uploadURL,
 		LogUploadInterval: -1,
 		Logf:              t.Logf,
 	})
@@ -170,7 +176,7 @@ func TestCrashLogpipeExactlyOnce(t *testing.T) {
 	if got := len(c.AccountingLog().Downloads); got != 1 {
 		t.Fatalf("CP holds %d downloads after the resend, want still exactly 1 (no double count)", got)
 	}
-	cpSnap := c.cp.Metrics().Snapshot()
+	cpSnap := c.nodes[0].cp.Metrics().Snapshot()
 	if got := cpSnap.Counters["logpipe_ingest_deduped_total"]; got < 1 {
 		t.Errorf("logpipe_ingest_deduped_total = %d, want the resend counted as a dedup", got)
 	}
@@ -194,6 +200,79 @@ func TestCrashLogpipeExactlyOnce(t *testing.T) {
 	}
 	if stored[0].GUID != guid.String() || stored[0].Country != "JP" {
 		t.Fatalf("stored record %+v, want the JP peer's download", stored[0])
+	}
+}
+
+// TestCrashLogpipeCrossCPDedup replays the ack-before-cursor crash across
+// control-plane nodes: a batch acked by node A is resent — after a peer
+// crash restores the pre-upload spool — to node B. The nodes share a batch
+// dedup index (the stand-in for a replicated ack table), so the record must
+// be accounted exactly once cluster-wide, with node B counting the dedup.
+func TestCrashLogpipeCrossCPDedup(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.CPNodes = 2
+	c, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := NewObject(3001, "logpipe/crosscp.bin", 1, 500_000, 16<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	urls := c.ControlPlaneURLs()
+	stateDir := t.TempDir()
+	victim := spawnLogpipePeerURL(t, c, stateDir, urls[0])
+	res, err := chaosStart(t, victim, obj.ID).Wait(ctx)
+	if err != nil || res.Outcome != protocol.OutcomeCompleted {
+		t.Fatalf("download: res=%+v err=%v", res, err)
+	}
+	if !chaosEventually(10*time.Second, func() bool { return victim.LogsPending() > 0 }) {
+		t.Fatal("completed download never reached the log spool")
+	}
+
+	// Snapshot the spool before the drain — the disk image of a crash that
+	// lands after node A's ack but before the cursor write.
+	spoolDir := filepath.Join(stateDir, logSpoolSubdir)
+	snapDir := t.TempDir()
+	copyDir(t, spoolDir, snapDir)
+
+	// Node A accepts the batch.
+	if err := victim.FlushLogs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.AccountingLog().Downloads); got != 1 {
+		t.Fatalf("cluster holds %d downloads after node A's drain, want 1", got)
+	}
+
+	// Crash, restore the pre-upload spool, and come back pointed at node B
+	// only — the failover case where the original ingest node is gone.
+	victim.Kill()
+	replaceDir(t, snapDir, spoolDir)
+	reborn := spawnLogpipePeerURL(t, c, stateDir, urls[1])
+	if reborn.LogsPending() == 0 {
+		t.Fatal("restored spool shows nothing pending; the resend scenario never ran")
+	}
+	if err := reborn.FlushLogs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.AccountingLog().Downloads); got != 1 {
+		t.Fatalf("cluster holds %d downloads after the cross-node resend, want still 1", got)
+	}
+	bSnap := c.ControlPlaneNode(1).Metrics().Snapshot()
+	if got := bSnap.Counters["logpipe_ingest_deduped_total"]; got < 1 {
+		t.Errorf("node B logpipe_ingest_deduped_total = %d, want >= 1", got)
+	}
+	if got := bSnap.Counters["logpipe_ingest_records_total"]; got != 0 {
+		t.Errorf("node B accepted %d records from a batch node A already acked", got)
 	}
 }
 
@@ -264,7 +343,7 @@ func TestChaosLogpipeIngestStorm(t *testing.T) {
 	if got := len(c.AccountingLog().Downloads); got != 1 {
 		t.Fatalf("CP holds %d downloads after recovery, want exactly 1", got)
 	}
-	if got := c.cp.Metrics().Snapshot().Counters["logpipe_ingest_records_total"]; got != 1 {
+	if got := c.nodes[0].cp.Metrics().Snapshot().Counters["logpipe_ingest_records_total"]; got != 1 {
 		t.Errorf("logpipe_ingest_records_total = %d, want 1", got)
 	}
 }
@@ -331,7 +410,7 @@ func TestLogpipeLiveSimParity(t *testing.T) {
 	}
 
 	// Totals agree with the CP's own metrics.
-	cpSnap := c.cp.Metrics().Snapshot()
+	cpSnap := c.nodes[0].cp.Metrics().Snapshot()
 	for _, key := range []string{
 		"logpipe_ingest_records_total",
 		"logpipe_store_records_total",

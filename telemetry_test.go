@@ -160,6 +160,7 @@ func TestClusterTelemetry(t *testing.T) {
 		`peer_p2p_degradations_total{reason="stall"}`,
 		`peer_resume_total`,
 		`peer_pieces_recovered_total`,
+		`peer_cp_failovers_total`,
 		`store_recovery_corrupt_total`,
 	} {
 		if !strings.Contains(expo.String(), series) {
@@ -192,6 +193,20 @@ func TestClusterTelemetry(t *testing.T) {
 		"cp_intra_as_bytes_total",
 		"cp_inter_as_bytes_total",
 		"cp_active_guids_estimate",
+	} {
+		if !strings.Contains(cpBody, series) {
+			t.Errorf("cp /metrics missing analytics series %q", series)
+		}
+	}
+
+	// The cluster series are eager as well: a single-node deployment reports
+	// a one-node ring and zero handoffs for every region, so multi-node
+	// dashboards work unchanged against one node.
+	for _, series := range []string{
+		"cp_ring_nodes 1",
+		`cp_region_handoffs_total{region="AS-NEA"} 0`,
+		`cp_region_handoffs_total{region="AF"} 0`,
+		"cp_logins_redirected_total 0",
 	} {
 		if !strings.Contains(cpBody, series) {
 			t.Errorf("cp /metrics missing analytics series %q", series)
