@@ -29,10 +29,18 @@ bench:
 
 # Quick allocation/throughput canary on the two hot paths (engine event loop,
 # whole-sim small scale, DN selection); part of `make check` so a hot-path
-# regression fails the pre-commit gate, not just the nightly bench.
+# regression fails the pre-commit gate, not just the nightly bench. Besides
+# the human-readable text, the run is converted to machine-readable timing
+# JSON ($(BENCH_SMOKE_JSON)) so CI can archive it as a workflow artifact and
+# trend the numbers across commits.
+BENCH_SMOKE_JSON ?= bench-smoke.json
+
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineEvents$$|BenchmarkSimSmall$$|BenchmarkSelect40$$' \
-		-benchtime 2x -benchmem ./internal/sim ./internal/selection
+		-benchtime 2x -benchmem ./internal/sim ./internal/selection > bench-smoke.txt \
+		|| { cat bench-smoke.txt; exit 1; }
+	@cat bench-smoke.txt
+	$(GO) run ./tools/benchjson -in bench-smoke.txt -out $(BENCH_SMOKE_JSON)
 
 # Streaming-analytics canary: a full streaming pass over a sealed 128k-record
 # segment store must hold bounded live heap (records must not be retained)

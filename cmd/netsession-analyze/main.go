@@ -24,6 +24,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -48,52 +49,64 @@ func main() {
 	cursorPath := flag.String("cursor", "",
 		"tail-cursor checkpoint file in follow mode (default: tail-cursor.json inside the segment directory)")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel segment decoders for the one-shot pass")
+	figures := flag.Bool("figures", false,
+		"also print the streaming figure passes (size CDFs, popularity, abort rates, per-region offload)")
 	flag.Parse()
 
 	if *follow {
 		runFollow(*dir, *cursorPath, *refresh)
 		return
 	}
-	runOnce(*dir, *workers)
+	runOnce(*dir, *workers, *figures)
 }
 
-// runOnce is the one-shot offline pass: jsonl exports load whole (they are
-// one file), segment stores stream through the accumulator.
-func runOnce(dir string, workers int) {
+// runOnce is the one-shot offline pass. Both input layouts stream: a jsonl
+// export scans record by record into a sharded accumulator, a segment store
+// goes through the parallel decode-and-fold pass — either way memory scales
+// with distinct GUIDs/URLs/ASes, never with record count, so a paper-scale
+// store analyzes on one box.
+func runOnce(dir string, workers int, figures bool) {
+	start := time.Now()
+	var (
+		sum    logpipe.StoreSummary
+		source string
+	)
 	jsonlPath := filepath.Join(dir, "downloads.jsonl")
 	if f, err := os.Open(jsonlPath); err == nil {
 		defer f.Close()
-		dls, rerr := analysis.ReadDownloadsJSONL(f)
-		if rerr != nil {
-			log.Fatalf("%s: %v", jsonlPath, rerr)
+		source = jsonlPath
+		acc := analysis.NewShardedOfflineAccumulator(4*workers, figures)
+		br := bufio.NewReaderSize(f, 1<<20)
+		if err := analysis.ScanDownloadsJSONL(br, func(d *analysis.OfflineDownload) error {
+			acc.Add(d)
+			sum.Records++
+			return nil
+		}); err != nil {
+			log.Fatalf("%s: %v", jsonlPath, err)
 		}
-		if len(dls) == 0 {
-			log.Fatalf("no download records in %s", jsonlPath)
+		sum.Summary, sum.Figures = acc.Summary(), acc.Figures()
+	} else {
+		segDir, ok := findSegmentDir(dir)
+		if !ok {
+			log.Fatal(noLogsErr(dir))
 		}
-		log.Printf("read %d download records from %s", len(dls), jsonlPath)
-		fmt.Print(analysis.SummarizeOffline(dls).Render())
-		return
+		source = segDir + " (log segments)"
+		s, err := logpipe.SummarizeStore(segDir, workers)
+		if err != nil {
+			log.Fatalf("%s: %v", segDir, err)
+		}
+		sum = s
 	}
-	segDir, ok := findSegmentDir(dir)
-	if !ok {
-		log.Fatal(noLogsErr(dir))
-	}
-	acc := analysis.NewOfflineAccumulator()
-	start := time.Now()
-	n, err := logpipe.ForEachDownload(segDir, workers, func(d *analysis.OfflineDownload) error {
-		acc.Add(d)
-		return nil
-	})
-	if err != nil {
-		log.Fatalf("%s: %v", segDir, err)
-	}
-	if n == 0 {
-		log.Fatalf("no download records in %s (log segments)", segDir)
+	if sum.Records == 0 {
+		log.Fatalf("no download records in %s", source)
 	}
 	elapsed := time.Since(start)
-	log.Printf("streamed %d download records from %s (log segments) in %.2fs (%.0f records/sec)",
-		n, segDir, elapsed.Seconds(), float64(n)/elapsed.Seconds())
-	fmt.Print(acc.Summary().Render())
+	log.Printf("streamed %d download records from %s in %.2fs (%.0f records/sec)",
+		sum.Records, source, elapsed.Seconds(), float64(sum.Records)/elapsed.Seconds())
+	fmt.Print(sum.Summary.Render())
+	if figures && sum.Figures != nil {
+		fmt.Print(sum.Figures.Render())
+	}
 }
 
 // runFollow tails a live segment directory: every poll folds the new records

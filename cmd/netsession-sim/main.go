@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	netsession-sim [-peers N] [-downloads N] [-days N] [-seed N]
-//	               [-workers N] [-debug-addr ADDR] -out DIR
+//	netsession-sim [-scenario default|small|xl|m|xxl] [-peers N] [-downloads N]
+//	               [-days N] [-seed N] [-workers N] [-debug-addr ADDR]
+//	               [-cpuprofile FILE] [-memprofile FILE] -out DIR
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"netsession"
@@ -32,6 +35,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netsession-sim: ")
 
+	scenario := flag.String("scenario", "default",
+		"base scenario tier: default (20k peers), small (4k), xl (60k), m (250k), or xxl (1M peers / 31 days)")
 	peers := flag.Int("peers", 0, "peer population size")
 	downloads := flag.Int("downloads", 0, "total downloads")
 	days := flag.Int("days", 0, "trace length in days")
@@ -45,9 +50,25 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault-injection RNG (0: fixed default)")
 	faultServerFail := flag.Float64("fault-server-fail", 0,
 		"probability a serving peer is killed mid-download (0 disables fault injection)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
-	cfg := netsession.DefaultScenario()
+	var cfg netsession.Scenario
+	switch *scenario {
+	case "default":
+		cfg = netsession.DefaultScenario()
+	case "small":
+		cfg = netsession.SmallScenario()
+	case "xl":
+		cfg = netsession.XLScenario()
+	case "m":
+		cfg = netsession.MScenario()
+	case "xxl":
+		cfg = netsession.XXLScenario()
+	default:
+		log.Fatalf("unknown -scenario %q (want default, small, xl, m, or xxl)", *scenario)
+	}
 	if *peers > 0 {
 		cfg.NumPeers = *peers
 	}
@@ -75,6 +96,18 @@ func main() {
 	}
 	cfg.Faults = netsession.SimFaults{Seed: *faultSeed, ServerFailProb: *faultServerFail}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
 	res, err := netsession.RunScenario(cfg)
 	if err != nil {
@@ -83,6 +116,22 @@ func main() {
 	log.Printf("simulated %d downloads / %d logins / %d registrations in %s",
 		len(res.Log.Downloads), len(res.Log.Logins), len(res.Log.Registrations),
 		time.Since(start).Round(time.Millisecond))
+
+	if *memProfile != "" {
+		// The profile captures what the finished run retains (the log set,
+		// directories, population) — the memory-model numbers DESIGN.md's
+		// paper-scale section reasons about.
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("wrote heap profile to %s", *memProfile)
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
@@ -149,20 +198,22 @@ func writeDownloads(path string, res *netsession.ScenarioResult) error {
 
 // writeSegments exports the download log in the control plane's durable
 // segment format (gzip-compressed NDJSON), so simulated and live-cluster
-// log sets are byte-compatible inputs to netsession-analyze.
+// log sets are byte-compatible inputs to netsession-analyze. The bulk
+// writer compresses each segment once, so the XXL tier's millions of
+// records export in linear time.
 func writeSegments(dir string, res *netsession.ScenarioResult) error {
-	st, err := logpipe.OpenStore(logpipe.StoreConfig{Dir: dir})
+	w, err := logpipe.NewBulkWriter(dir, 20_000)
 	if err != nil {
 		return err
 	}
 	l := res.Log
 	lookup := scenarioLookup(res)
 	for i := range l.Downloads {
-		if err := st.Append(analysis.OfflineFromRecord(&l.Downloads[i], lookup)); err != nil {
+		if err := w.Append(analysis.OfflineFromRecord(&l.Downloads[i], lookup)); err != nil {
 			return err
 		}
 	}
-	return st.Close()
+	return w.Close()
 }
 
 type jsonLogin struct {

@@ -94,6 +94,18 @@ func OfflineFromRecord(d *accounting.DownloadRecord, lookup GeoLookup) OfflineDo
 // ReadDownloadsJSONL parses an exported downloads file.
 func ReadDownloadsJSONL(r io.Reader) ([]OfflineDownload, error) {
 	var out []OfflineDownload
+	err := ScanDownloadsJSONL(r, func(d *OfflineDownload) error {
+		out = append(out, *d)
+		return nil
+	})
+	return out, err
+}
+
+// ScanDownloadsJSONL streams an exported downloads file through fn one
+// record at a time — the jsonl equivalent of the segment store's streaming
+// readers, so a multi-gigabyte export analyzes without materializing.
+// Returning an error from fn stops the scan.
+func ScanDownloadsJSONL(r io.Reader, fn func(*OfflineDownload) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
@@ -104,11 +116,13 @@ func ReadDownloadsJSONL(r io.Reader) ([]OfflineDownload, error) {
 		}
 		var d OfflineDownload
 		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
-			return nil, fmt.Errorf("analysis: downloads line %d: %w", line, err)
+			return fmt.Errorf("analysis: downloads line %d: %w", line, err)
 		}
-		out = append(out, d)
+		if err := fn(&d); err != nil {
+			return err
+		}
 	}
-	return out, sc.Err()
+	return sc.Err()
 }
 
 // OfflineSummary is the standalone trace analysis: the subset of the
@@ -233,6 +247,51 @@ func (a *OfflineAccumulator) Add(d *OfflineDownload) {
 
 // Records returns how many downloads have been added.
 func (a *OfflineAccumulator) Records() int { return a.downloads }
+
+// Merge folds another accumulator's state into this one, as if its records
+// had been added here. Count-, set- and sort-derived quantities (distinct
+// counts, medians, heavy-uploader cut, Zipf fit) are exact — they depend
+// only on the combined multiset — while float sums may differ from a
+// single-accumulator pass in the last bits, since addition order changes.
+// This is what lets a sharded parallel pass over a segment store reduce to
+// one summary.
+func (a *OfflineAccumulator) Merge(o *OfflineAccumulator) {
+	a.downloads += o.downloads
+	for k := range o.guids {
+		a.guids[k] = true
+	}
+	for k := range o.urls {
+		a.urls[k] = true
+	}
+	for k := range o.countries {
+		a.countries[k] = true
+	}
+	for k := range o.ases {
+		a.ases[k] = true
+	}
+	a.nInfra += o.nInfra
+	a.nP2P += o.nP2P
+	a.doneInfra += o.doneInfra
+	a.doneP2P += o.doneP2P
+	a.abInfra += o.abInfra
+	a.abP2P += o.abP2P
+	a.bytesAll += o.bytesAll
+	a.bytesP2P += o.bytesP2P
+	a.peerBytes += o.peerBytes
+	a.p2pTotal += o.p2pTotal
+	a.effSum += o.effSum
+	a.effN += o.effN
+	a.speedEdge = append(a.speedEdge, o.speedEdge...)
+	a.speedP2P = append(a.speedP2P, o.speedP2P...)
+	a.intra += o.intra
+	a.totalP2P += o.totalP2P
+	for asn, b := range o.perASUp {
+		a.perASUp[asn] += b
+	}
+	for u, c := range o.perURL {
+		a.perURL[u] += c
+	}
+}
 
 // Summary derives the summary from the accumulated state. It may be called
 // repeatedly; Add may continue afterwards.

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OfflineFigures computes the figure-style passes that previously required
+// the materialized download slice — the size CDFs (Figure 3a), content
+// popularity (Figure 3b), and abort rates by size class (Figure 7) — one
+// record at a time, plus a per-region offload table. Together with
+// OfflineAccumulator this makes every offline report derivable from a
+// single streaming pass over a segment store of any size.
+//
+// Exactness: Figure 3a is evaluated only at the 25 fixed log-spaced edges a
+// plot draws, so instead of retaining every sample the accumulator keeps one
+// counter per edge — for a value v it increments the bucket of the smallest
+// edge >= v (v <= edges[k] ⟺ bucket(v) <= k), and the CDF at edge k is the
+// prefix sum divided by the total. That is integer arithmetic over the same
+// multiset the batch NewCDF(...).Points(...) pass sorts, so the output is
+// bit-identical, not approximate. The >500MB headline keeps its own exact
+// counter because 0.5GB is not an edge. Figures 3b and 7 are plain tallies.
+type OfflineFigures struct {
+	edges []float64
+
+	// Per-class edge buckets and overflow (values above the last edge).
+	infraB, allB, p2pB    []int64
+	infraOv, allOv, p2pOv int64
+	// p2pLE05 counts peer-assisted downloads of <= 0.5 GB, the complement
+	// of the §4.4 "82% over 500MB" headline.
+	p2pLE05 int64
+
+	perURL map[string]int
+
+	fig7Aborted [numSizeClasses][3]int64
+	fig7Total   [numSizeClasses][3]int64
+
+	regions map[string]*regionOffload
+}
+
+type regionOffload struct {
+	downloads  int64
+	bytesInfra int64
+	bytesPeers int64
+}
+
+// RegionOffloadRow is one row of the per-region offload table.
+type RegionOffloadRow struct {
+	Region     string
+	Downloads  int64
+	BytesInfra int64
+	BytesPeers int64
+	OffloadPct float64
+}
+
+// NewOfflineFigures creates an empty figures accumulator.
+func NewOfflineFigures() *OfflineFigures {
+	edges := LogSpace(0.01, 10, 25)
+	return &OfflineFigures{
+		edges:   edges,
+		infraB:  make([]int64, len(edges)),
+		allB:    make([]int64, len(edges)),
+		p2pB:    make([]int64, len(edges)),
+		perURL:  map[string]int{},
+		regions: map[string]*regionOffload{},
+	}
+}
+
+// Add folds one download record in.
+func (f *OfflineFigures) Add(d *OfflineDownload) {
+	gb := float64(d.Size) / 1e9
+	k := sort.SearchFloat64s(f.edges, gb)
+	bump := func(b []int64, ov *int64) {
+		if k < len(b) {
+			b[k]++
+		} else {
+			*ov++
+		}
+	}
+	bump(f.allB, &f.allOv)
+	if d.P2PEnabled {
+		bump(f.p2pB, &f.p2pOv)
+		if gb <= 0.5 {
+			f.p2pLE05++
+		}
+	} else {
+		bump(f.infraB, &f.infraOv)
+	}
+
+	f.perURL[d.URLHash]++
+
+	sc := classifySize(d.Size)
+	cols := [2]int{2, 0}
+	if d.P2PEnabled {
+		cols[1] = 1
+	}
+	for _, c := range cols {
+		f.fig7Total[sc][c]++
+		if d.Outcome == "aborted" {
+			f.fig7Aborted[sc][c]++
+		}
+	}
+
+	name := d.Region
+	if name == "" {
+		name = RegionUnknown
+	}
+	r := f.regions[name]
+	if r == nil {
+		r = &regionOffload{}
+		f.regions[name] = r
+	}
+	r.downloads++
+	r.bytesInfra += d.BytesInfra
+	r.bytesPeers += d.BytesPeers
+}
+
+// Merge folds another accumulator's state into this one. All state is
+// integer tallies, so a sharded parallel pass merges to exactly the
+// sequential result.
+func (f *OfflineFigures) Merge(o *OfflineFigures) {
+	for i := range f.edges {
+		f.infraB[i] += o.infraB[i]
+		f.allB[i] += o.allB[i]
+		f.p2pB[i] += o.p2pB[i]
+	}
+	f.infraOv += o.infraOv
+	f.allOv += o.allOv
+	f.p2pOv += o.p2pOv
+	f.p2pLE05 += o.p2pLE05
+	for u, c := range o.perURL {
+		f.perURL[u] += c
+	}
+	for sc := 0; sc < int(numSizeClasses); sc++ {
+		for c := 0; c < 3; c++ {
+			f.fig7Aborted[sc][c] += o.fig7Aborted[sc][c]
+			f.fig7Total[sc][c] += o.fig7Total[sc][c]
+		}
+	}
+	for name, r := range o.regions {
+		mine := f.regions[name]
+		if mine == nil {
+			mine = &regionOffload{}
+			f.regions[name] = mine
+		}
+		mine.downloads += r.downloads
+		mine.bytesInfra += r.bytesInfra
+		mine.bytesPeers += r.bytesPeers
+	}
+}
+
+func cdfPoints(edges []float64, buckets []int64, overflow int64) []Point {
+	total := overflow
+	for _, b := range buckets {
+		total += b
+	}
+	out := make([]Point, len(edges))
+	var cum int64
+	for i, x := range edges {
+		cum += buckets[i]
+		y := 0.0
+		if total > 0 {
+			// Grouped exactly like 100*CDF.FractionBelow so the points are
+			// bit-identical to the batch pass, not merely close.
+			y = 100 * (float64(cum) / float64(total))
+		}
+		out[i] = Point{X: x, Y: y}
+	}
+	return out
+}
+
+// Figure3a derives the size-CDF figure from the edge buckets.
+func (f *OfflineFigures) Figure3a() Figure3a {
+	out := Figure3a{
+		InfraOnly:    cdfPoints(f.edges, f.infraB, f.infraOv),
+		All:          cdfPoints(f.edges, f.allB, f.allOv),
+		PeerAssisted: cdfPoints(f.edges, f.p2pB, f.p2pOv),
+	}
+	var p2pN int64 = f.p2pOv
+	for _, b := range f.p2pB {
+		p2pN += b
+	}
+	frac := 0.0
+	if p2pN > 0 {
+		frac = float64(f.p2pLE05) / float64(p2pN)
+	}
+	out.PctPeerAssistedOver500MB = 100 * (1 - frac)
+	return out
+}
+
+// Figure3b derives the popularity ranking from the per-URL tallies.
+func (f *OfflineFigures) Figure3b() Figure3b {
+	counts := make([]int, 0, len(f.perURL))
+	for _, c := range f.perURL {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return Figure3b{Counts: counts}
+}
+
+// Figure7 derives the abort-rate table.
+func (f *OfflineFigures) Figure7() Figure7 {
+	var out Figure7
+	for sc := 0; sc < int(numSizeClasses); sc++ {
+		for c := 0; c < 3; c++ {
+			out.N[sc][c] = int(f.fig7Total[sc][c])
+			if f.fig7Total[sc][c] > 0 {
+				out.PauseRatePct[sc][c] = 100 * float64(f.fig7Aborted[sc][c]) / float64(f.fig7Total[sc][c])
+			}
+		}
+	}
+	return out
+}
+
+// RegionOffload returns the per-region traffic table, largest regions first.
+func (f *OfflineFigures) RegionOffload() []RegionOffloadRow {
+	out := make([]RegionOffloadRow, 0, len(f.regions))
+	for name, r := range f.regions {
+		row := RegionOffloadRow{
+			Region: name, Downloads: r.downloads,
+			BytesInfra: r.bytesInfra, BytesPeers: r.bytesPeers,
+		}
+		if t := r.bytesInfra + r.bytesPeers; t > 0 {
+			row.OffloadPct = 100 * float64(r.bytesPeers) / float64(t)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi := out[i].BytesInfra + out[i].BytesPeers
+		bj := out[j].BytesInfra + out[j].BytesPeers
+		if bi != bj {
+			return bi > bj
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}
+
+// Render prints the figure passes as text.
+func (f *OfflineFigures) Render() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	f3a := f.Figure3a()
+	w("figure 3a: %.1f%% of peer-assisted requests are for objects >500MB (paper: 82%%)",
+		f3a.PctPeerAssistedOver500MB)
+	f3b := f.Figure3b()
+	top := 0
+	if len(f3b.Counts) > 0 {
+		top = f3b.Counts[0]
+	}
+	w("figure 3b: %d objects, top object %d downloads, Zipf exponent %.2f",
+		len(f3b.Counts), top, f3b.PowerLawSlope())
+	f7 := f.Figure7()
+	w("figure 7 abort rate %% (infra / p2p / all):")
+	for sc := 0; sc < int(numSizeClasses); sc++ {
+		w("  %-10s %6.2f / %6.2f / %6.2f  (n=%d)", SizeClass(sc),
+			f7.PauseRatePct[sc][0], f7.PauseRatePct[sc][1], f7.PauseRatePct[sc][2], f7.N[sc][2])
+	}
+	w("per-region offload:")
+	for _, row := range f.RegionOffload() {
+		w("  %-14s %9d dls  infra %s  peers %s  offload %.1f%%", row.Region,
+			row.Downloads, humanBytes(row.BytesInfra), humanBytes(row.BytesPeers), row.OffloadPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import "sync"
+
+// ShardedOfflineAccumulator is the concurrency-safe front of the offline
+// summary: records are routed to one of N independently locked
+// OfflineAccumulators by GUID hash (the same partitioning the PR-6
+// streaming summarizer uses), so a parallel segment pass aggregates
+// without a global mutex and without materializing a download slice.
+// Summary() merges the shards into one accumulator and derives the
+// summary; the shard states are left intact, so observation may continue.
+//
+// Routing by GUID — not by arrival order — makes the per-shard record
+// multisets a pure function of the input set. Every count-, set- and
+// sort-derived output is therefore identical to a sequential
+// SummarizeOffline pass; float sums agree to within accumulation-order
+// rounding (see OfflineAccumulator.Merge).
+type ShardedOfflineAccumulator struct {
+	shards []offlineShard
+}
+
+type offlineShard struct {
+	mu  sync.Mutex
+	acc *OfflineAccumulator
+	fig *OfflineFigures
+	// pad the struct to a cache line so neighboring shard locks don't
+	// false-share under parallel Add storms.
+	_ [24]byte
+}
+
+// NewShardedOfflineAccumulator creates an accumulator with the given shard
+// count (values below 1 select 1). When figures is true each shard also
+// feeds an OfflineFigures, retrievable from Figures().
+func NewShardedOfflineAccumulator(shards int, figures bool) *ShardedOfflineAccumulator {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardedOfflineAccumulator{shards: make([]offlineShard, shards)}
+	for i := range s.shards {
+		s.shards[i].acc = NewOfflineAccumulator()
+		if figures {
+			s.shards[i].fig = NewOfflineFigures()
+		}
+	}
+	return s
+}
+
+// Add folds one record in. Safe for concurrent use; records of the same
+// GUID land on the same shard.
+func (s *ShardedOfflineAccumulator) Add(d *OfflineDownload) {
+	sh := &s.shards[fnv64a(d.GUID)%uint64(len(s.shards))]
+	sh.mu.Lock()
+	sh.acc.Add(d)
+	if sh.fig != nil {
+		sh.fig.Add(d)
+	}
+	sh.mu.Unlock()
+}
+
+// Records returns how many downloads have been added across all shards.
+func (s *ShardedOfflineAccumulator) Records() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.acc.Records()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Summary merges the shards and derives the offline summary.
+func (s *ShardedOfflineAccumulator) Summary() OfflineSummary {
+	merged := NewOfflineAccumulator()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		merged.Merge(sh.acc)
+		sh.mu.Unlock()
+	}
+	return merged.Summary()
+}
+
+// Figures merges and returns the streaming figure passes, or nil when the
+// accumulator was built without them.
+func (s *ShardedOfflineAccumulator) Figures() *OfflineFigures {
+	if s.shards[0].fig == nil {
+		return nil
+	}
+	merged := NewOfflineFigures()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		merged.Merge(sh.fig)
+		sh.mu.Unlock()
+	}
+	return merged
+}

@@ -98,6 +98,30 @@ func BenchmarkStreamingSummarize(b *testing.B) {
 	}
 }
 
+// BenchmarkSummarizeStore is the throughput canary for the offline analyzer's
+// parallel streaming pass: concurrent segment decode into the GUID-sharded
+// accumulator with the figure passes enabled — the path netsession-analyze
+// takes over a segment store.
+func BenchmarkSummarizeStore(b *testing.B) {
+	dir := b.TempDir()
+	total := writeBenchStore(b, dir, 64, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := SummarizeStore(dir, runtime.NumCPU())
+		if err != nil || sum.Records != total {
+			b.Fatalf("streamed %d records, err=%v (want %d)", sum.Records, err, total)
+		}
+	}
+	b.StopTimer()
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(total)*float64(b.N)/elapsed, "records/sec")
+	}
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil {
+		b.ReportMetric(float64(ru.Maxrss)/1024, "peak-RSS-MB")
+	}
+}
+
 // TestStreamingBoundedMemory proves the streaming pass holds bounded memory
 // no matter how large the store is: live heap (sampled with a forced GC every
 // few segments) must stay far below the decoded size of the store. Retaining

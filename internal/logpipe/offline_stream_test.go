@@ -1,0 +1,355 @@
+package logpipe
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"netsession/internal/analysis"
+)
+
+// writeVariedStore materializes a sealed store whose records exercise every
+// branch of the offline accumulator and figure passes: mixed outcomes,
+// p2p-enabled and infra-only downloads, edge-only and peer-heavy byte
+// splits, all four Figure 7 size classes, repeated GUIDs, and records with
+// and without region annotations.
+func writeVariedStore(tb testing.TB, dir string, segments, recsPerSeg int) int {
+	tb.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		tb.Fatal(err)
+	}
+	regions := []string{"NA-East", "EU-West", "AS-NEA", ""}
+	outcomes := []string{"completed", "completed", "completed", "aborted", "failed-system"}
+	sizes := []int64{5e6, 50e6, 500e6, 2e9}
+	n := 0
+	lines := make([][]byte, 0, recsPerSeg)
+	for s := 0; s < segments; s++ {
+		lines = lines[:0]
+		for r := 0; r < recsPerSeg; r++ {
+			p2p := n%3 != 0
+			d := analysis.OfflineDownload{
+				GUID:       fmt.Sprintf("guid-%05d", n%4096), // repeats: distinct-count paths
+				URLHash:    fmt.Sprintf("url-%04d", n%277),
+				Country:    []string{"US", "DE", "JP"}[n%3],
+				ASN:        uint32(7000 + n%48),
+				Region:     regions[n%len(regions)],
+				Size:       sizes[n%len(sizes)],
+				P2PEnabled: p2p,
+				StartMs:    int64(n) * 997,
+				EndMs:      int64(n)*997 + int64(200+n%1700),
+				Outcome:    outcomes[n%len(outcomes)],
+				Peers:      n % 7,
+			}
+			switch {
+			case !p2p:
+				d.BytesInfra = d.Size
+			case n%5 == 0: // p2p-enabled but served entirely by the edge
+				d.BytesInfra = d.Size
+			default: // peer-heavy
+				d.BytesInfra = d.Size / 4
+				d.BytesPeers = d.Size - d.Size/4
+				d.FromPeers = []analysis.OfflineContribution{
+					{GUID: "srv-a", ASN: uint32(7000 + n%48), Bytes: d.BytesPeers / 2, Region: regions[(n+1)%len(regions)]},
+					{GUID: "srv-b", ASN: uint32(7000 + (n+13)%48), Bytes: d.BytesPeers - d.BytesPeers/2},
+				}
+			}
+			line, err := json.Marshal(&d)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			lines = append(lines, line)
+			n++
+		}
+		blob, err := MarshalSegment(lines)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segmentName(uint64(s))), blob, 0o644); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return n
+}
+
+// equalSummaries compares two OfflineSummary values field by field:
+// integer-typed fields must match exactly, float fields to relative 1e-9 —
+// the sharded pass changes float accumulation order, nothing else.
+func equalSummaries(t *testing.T, got, want analysis.OfflineSummary) {
+	t.Helper()
+	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
+	for i := 0; i < gv.NumField(); i++ {
+		name := gv.Type().Field(i).Name
+		switch gv.Field(i).Kind() {
+		case reflect.Int:
+			if gv.Field(i).Int() != wv.Field(i).Int() {
+				t.Errorf("%s: got %d, want %d", name, gv.Field(i).Int(), wv.Field(i).Int())
+			}
+		case reflect.Float64:
+			g, w := gv.Field(i).Float(), wv.Field(i).Float()
+			if diff := math.Abs(g - w); diff > 1e-9*math.Max(1, math.Abs(w)) {
+				t.Errorf("%s: got %v, want %v (diff %g)", name, g, w, diff)
+			}
+		default:
+			t.Fatalf("%s: unhandled kind %s", name, gv.Field(i).Kind())
+		}
+	}
+}
+
+// TestSummarizeStoreMatchesOffline is the tentpole equivalence contract:
+// the one-pass parallel streaming analysis of a segment store must
+// reproduce the batch SummarizeOffline over the same records, and the
+// streaming figure passes must reproduce the batch CDF/tally figures
+// bit-for-bit.
+func TestSummarizeStoreMatchesOffline(t *testing.T) {
+	dir := t.TempDir()
+	total := writeVariedStore(t, dir, 30, 300)
+
+	dls, err := ReadDownloads(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dls) != total {
+		t.Fatalf("batch read %d records, want %d", len(dls), total)
+	}
+	want := analysis.SummarizeOffline(dls)
+
+	// Batch figure references, computed the pre-streaming way: sort-based
+	// CDFs over the fully materialized value sets.
+	var infra, all, p2p []float64
+	for i := range dls {
+		gb := float64(dls[i].Size) / 1e9
+		all = append(all, gb)
+		if dls[i].P2PEnabled {
+			p2p = append(p2p, gb)
+		} else {
+			infra = append(infra, gb)
+		}
+	}
+	xs := analysis.LogSpace(0.01, 10, 25)
+	p2pCDF := analysis.NewCDF(p2p)
+	wantF3a := analysis.Figure3a{
+		InfraOnly:                analysis.NewCDF(infra).Points(xs),
+		All:                      analysis.NewCDF(all).Points(xs),
+		PeerAssisted:             p2pCDF.Points(xs),
+		PctPeerAssistedOver500MB: 100 * (1 - p2pCDF.FractionBelow(0.5)),
+	}
+
+	for _, workers := range []int{1, 4} {
+		got, err := SummarizeStore(dir, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Records != total {
+			t.Fatalf("workers=%d: %d records, want %d", workers, got.Records, total)
+		}
+		equalSummaries(t, got.Summary, want)
+		if got.Figures == nil {
+			t.Fatal("SummarizeStore returned no figures")
+		}
+		if f3a := got.Figures.Figure3a(); !reflect.DeepEqual(f3a, wantF3a) {
+			t.Errorf("workers=%d: streaming Figure3a differs from the batch CDF pass:\n%+v\nvs\n%+v",
+				workers, f3a, wantF3a)
+		}
+		if f3b := got.Figures.Figure3b(); f3b.Counts[0] != want.TopObjectCount ||
+			len(f3b.Counts) != want.DistinctURLs {
+			t.Errorf("workers=%d: Figure3b head %d over %d objects, want %d over %d",
+				workers, f3b.Counts[0], len(f3b.Counts), want.TopObjectCount, want.DistinctURLs)
+		}
+		rows := got.Figures.RegionOffload()
+		var rowDls int64
+		for _, row := range rows {
+			rowDls += row.Downloads
+		}
+		if int(rowDls) != total {
+			t.Errorf("workers=%d: region table covers %d downloads, want %d", workers, rowDls, total)
+		}
+		if got.Figures.Render() == "" {
+			t.Error("empty figures rendering")
+		}
+	}
+}
+
+// TestOfflineFiguresFigure7Tallies pins the Figure 7 streaming tallies
+// against hand-computed expectations on a tiny input.
+func TestOfflineFiguresFigure7Tallies(t *testing.T) {
+	f := analysis.NewOfflineFigures()
+	add := func(size int64, p2p bool, outcome string) {
+		f.Add(&analysis.OfflineDownload{Size: size, P2PEnabled: p2p, Outcome: outcome})
+	}
+	add(5e6, false, "completed")
+	add(5e6, false, "aborted")
+	add(50e6, true, "aborted")
+	add(2e9, true, "completed")
+	f7 := f.Figure7()
+	if f7.N[0][0] != 2 || f7.PauseRatePct[0][0] != 50 {
+		t.Errorf("<10MB infra: n=%d rate=%v, want 2 and 50%%", f7.N[0][0], f7.PauseRatePct[0][0])
+	}
+	if f7.N[1][1] != 1 || f7.PauseRatePct[1][1] != 100 {
+		t.Errorf("10-100MB p2p: n=%d rate=%v, want 1 and 100%%", f7.N[1][1], f7.PauseRatePct[1][1])
+	}
+	if f7.N[3][2] != 1 || f7.PauseRatePct[3][2] != 0 {
+		t.Errorf(">1GB all: n=%d rate=%v, want 1 and 0%%", f7.N[3][2], f7.PauseRatePct[3][2])
+	}
+}
+
+// TestBulkWriterRoundtrip: the bulk exporter's output must be
+// layout-compatible with the rotating Store — same readers, same records,
+// correct segment sizing.
+func TestBulkWriterRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewBulkWriter(dir, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 23
+	for i := 0; i < total; i++ {
+		if err := w.Append(tailRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := w.Append(tailRec(0)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 4 { // ceil(23/7)
+		t.Fatalf("%d segments, want 4", len(segs))
+	}
+	for _, sf := range segs {
+		if sf.Open {
+			t.Fatalf("segment %s left open", sf.Path)
+		}
+	}
+	got, err := ReadDownloads(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("read %d records, want %d", len(got), total)
+	}
+	for i := range got {
+		if want := tailRec(i); !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("record %d differs after bulk roundtrip", i)
+		}
+	}
+}
+
+// TestForEachDownloadParallelMatches: the concurrent-callback variant must
+// deliver exactly the store's record multiset (per-segment order preserved,
+// global interleaving free) and propagate callback errors.
+func TestForEachDownloadParallelMatches(t *testing.T) {
+	dir := t.TempDir()
+	total := writeBenchStore(t, dir, 20, 50) // distinct GUIDs
+
+	want := make([]string, 0, total)
+	if _, err := ForEachDownload(dir, 1, func(d *analysis.OfflineDownload) error {
+		want = append(want, d.GUID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		var mu sync.Mutex
+		var got []string
+		n, err := ForEachDownloadParallel(dir, workers, func(d *analysis.OfflineDownload) error {
+			mu.Lock()
+			got = append(got, d.GUID)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil || n != total {
+			t.Fatalf("workers=%d: n=%d err=%v, want %d records", workers, n, err, total)
+		}
+		sort.Strings(got)
+		wantSorted := append([]string(nil), want...)
+		sort.Strings(wantSorted)
+		if !reflect.DeepEqual(got, wantSorted) {
+			t.Fatalf("workers=%d: record multiset differs from the sequential pass", workers)
+		}
+	}
+
+	sentinel := fmt.Errorf("parallel consumer failure")
+	_, err := ForEachDownloadParallel(dir, 4, func(d *analysis.OfflineDownload) error {
+		if d.GUID == "guid-0000500" {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("err=%v, want the callback's sentinel", err)
+	}
+}
+
+// TestOfflineStreamingBoundedMemory extends the TestStreamingBoundedMemory
+// contract to the full offline analysis: a parallel SummarizeStore-style
+// pass must hold live heap far below the decoded store size — its state
+// scales with distinct GUIDs/URLs/ASes plus one float per completed
+// download, never with raw record bytes.
+func TestOfflineStreamingBoundedMemory(t *testing.T) {
+	dir := t.TempDir()
+	total := writeBenchStore(t, dir, 100, 1500) // 150k records, ~45 MB decoded
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	const sampleEvery = 20_000
+	var (
+		mu   sync.Mutex
+		seen int
+		peak uint64
+	)
+	acc := analysis.NewShardedOfflineAccumulator(8, true)
+	got, err := ForEachDownloadParallel(dir, 4, func(d *analysis.OfflineDownload) error {
+		acc.Add(d)
+		mu.Lock()
+		seen++
+		sample := seen%sampleEvery == 0
+		mu.Unlock()
+		if sample {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			mu.Lock()
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != total {
+		t.Fatalf("streamed %d records, want %d", got, total)
+	}
+	sum := acc.Summary()
+	if sum.Downloads != total || sum.DistinctGUIDs != total {
+		t.Fatalf("summary covers %d downloads / %d GUIDs, want %d of each", sum.Downloads, sum.DistinctGUIDs, total)
+	}
+
+	growth := int64(peak) - int64(base)
+	t.Logf("live heap: base %.1f MB, peak %.1f MB, growth %.1f MB over %d records",
+		float64(base)/1e6, float64(peak)/1e6, float64(growth)/1e6, total)
+	const boundMB = 32
+	if growth > boundMB<<20 {
+		t.Errorf("offline streaming pass grew live heap by %.1f MB (> %d MB bound): records are being retained",
+			float64(growth)/1e6, boundMB)
+	}
+}

@@ -1,0 +1,80 @@
+package logpipe
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netsession/internal/fsutil"
+)
+
+// BulkWriter materializes a sealed segment store in one pass: records are
+// JSON-encoded, buffered, and written as full sealed segments of perSeg
+// records each. The rotating Store recompresses its open segment on every
+// append — the right durability trade for the control plane's trickle, but
+// quadratic gzip work when exporting millions of simulated records at once.
+// BulkWriter compresses each segment exactly once, so a million-peer month
+// exports in time linear in its size. The output is byte-compatible with
+// the Store's layout: the same sealed names, the same readers.
+type BulkWriter struct {
+	dir    string
+	perSeg int
+	seq    uint64
+	lines  [][]byte
+	closed bool
+}
+
+// NewBulkWriter creates a writer over dir (created if missing). perSeg
+// values below 1 select 10000 records per segment.
+func NewBulkWriter(dir string, perSeg int) (*BulkWriter, error) {
+	if perSeg < 1 {
+		perSeg = 10_000
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logpipe: bulk writer dir: %w", err)
+	}
+	return &BulkWriter{dir: dir, perSeg: perSeg, lines: make([][]byte, 0, perSeg)}, nil
+}
+
+// Append encodes one record into the current segment, sealing it when full.
+func (w *BulkWriter) Append(rec any) error {
+	if w.closed {
+		return fmt.Errorf("logpipe: bulk writer closed")
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("logpipe: bulk encode: %w", err)
+	}
+	w.lines = append(w.lines, line)
+	if len(w.lines) >= w.perSeg {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *BulkWriter) flush() error {
+	if len(w.lines) == 0 {
+		return nil
+	}
+	blob, err := MarshalSegment(w.lines)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(w.dir, segmentName(w.seq))
+	if err := fsutil.WriteFileAtomic(path, blob, 0o644); err != nil {
+		return fmt.Errorf("logpipe: write segment %s: %w", path, err)
+	}
+	w.seq++
+	w.lines = w.lines[:0]
+	return nil
+}
+
+// Close seals the final partial segment. The writer is unusable afterwards.
+func (w *BulkWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.flush()
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netsession/internal/analysis"
@@ -236,6 +237,11 @@ func ForEachDownload(dir string, workers int, fn func(*analysis.OfflineDownload)
 	for i := 0; i < workers; i++ {
 		admit <- struct{}{}
 	}
+	// stop cancels the pipeline at the first error: the feeder stops handing
+	// out segments and closes next, so in-flight decodes are the only work
+	// that still completes. Without this, an error on segment 3 of a
+	// million-segment store would decode the other 999,997 for nothing.
+	stop := make(chan struct{})
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -244,28 +250,38 @@ func ForEachDownload(dir string, workers int, fn func(*analysis.OfflineDownload)
 			defer wg.Done()
 			for i := range next {
 				recs, derr := decodeSegment(dir, segs[i], i == len(segs)-1)
+				// Buffered and written at most once per segment: never blocks.
 				results[i] <- decoded{recs, derr}
 			}
 		}()
 	}
 	go func() {
+		defer close(next)
 		for i := range segs {
-			<-admit
-			next <- i
+			select {
+			case <-admit:
+			case <-stop:
+				return
+			}
+			select {
+			case next <- i:
+			case <-stop:
+				return
+			}
 		}
-		close(next)
 	}()
 
+	// The consumer delivers results strictly in segment order, so the error
+	// it surfaces is deterministic — the lowest-indexed decode failure, or
+	// fn's error at a fixed record — regardless of worker count or timing.
 	n := 0
 	var ferr error
 	for i := range segs {
 		d := <-results[i]
 		admit <- struct{}{}
-		if d.err != nil && ferr == nil {
+		if d.err != nil {
 			ferr = d.err
-		}
-		if ferr != nil {
-			continue // drain remaining workers without delivering
+			break
 		}
 		for j := range d.recs {
 			if err := fn(&d.recs[j]); err != nil {
@@ -274,9 +290,123 @@ func ForEachDownload(dir string, workers int, fn func(*analysis.OfflineDownload)
 			}
 			n++
 		}
+		if ferr != nil {
+			break
+		}
+	}
+	if ferr != nil {
+		// Nothing can wedge: result channels are buffered and written at
+		// most once, and the feeder bails out of its admit wait on stop.
+		close(stop)
 	}
 	wg.Wait()
 	return n, ferr
+}
+
+// ForEachDownloadParallel streams every download record in a sealed segment
+// directory through fn, calling it concurrently from workers goroutines —
+// fn must be safe for concurrent use (e.g. a ShardedOfflineAccumulator or a
+// StreamingSummarizer). Unlike ForEachDownload there is no ordered hand-off
+// back to a single consumer, so decode AND aggregation parallelize; within
+// one segment records are still delivered in order. On error the pipeline
+// cancels and the lowest-segment-indexed error observed is returned; the
+// returned count is the number of records delivered before cancellation.
+func ForEachDownloadParallel(dir string, workers int, fn func(*analysis.OfflineDownload) error) (int, error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, fmt.Errorf("logpipe: no segments in %s", dir)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+
+	var (
+		n        atomic.Int64
+		mu       sync.Mutex
+		stopOnce sync.Once
+		ferrSeg  = -1
+		ferr     error
+	)
+	stop := make(chan struct{})
+	fail := func(seg int, err error) {
+		mu.Lock()
+		if ferr == nil || seg < ferrSeg {
+			ferrSeg, ferr = seg, err
+		}
+		mu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				recs, derr := decodeSegment(dir, segs[i], i == len(segs)-1)
+				if derr != nil {
+					fail(i, derr)
+					continue
+				}
+				for j := range recs {
+					if err := fn(&recs[j]); err != nil {
+						fail(i, err)
+						break
+					}
+					n.Add(1)
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(next)
+		for i := range segs {
+			select {
+			case next <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	return int(n.Load()), ferr
+}
+
+// StoreSummary is the result of one parallel streaming pass over a segment
+// store: the offline summary, the figure passes, and the record count.
+type StoreSummary struct {
+	Summary analysis.OfflineSummary
+	Figures *analysis.OfflineFigures
+	Records int
+}
+
+// SummarizeStore runs the full offline analysis over a sealed segment store
+// in one parallel streaming pass: workers goroutines decode segments and
+// fold records into a GUID-sharded accumulator, so a store of any size
+// analyzes in memory proportional to its distinct GUIDs/URLs/ASes — never
+// to its record count. The summary matches SummarizeOffline over the same
+// records (count-, set- and sort-derived fields exactly; float sums to
+// accumulation-order rounding), and the figures match the batch passes
+// exactly.
+func SummarizeStore(dir string, workers int) (StoreSummary, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	acc := analysis.NewShardedOfflineAccumulator(4*workers, true)
+	n, err := ForEachDownloadParallel(dir, workers, func(d *analysis.OfflineDownload) error {
+		acc.Add(d)
+		return nil
+	})
+	if err != nil {
+		return StoreSummary{}, err
+	}
+	return StoreSummary{Summary: acc.Summary(), Figures: acc.Figures(), Records: n}, nil
 }
 
 // decodeSegment reads and unmarshals one segment under the shared damage

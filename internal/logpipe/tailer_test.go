@@ -1,10 +1,12 @@
 package logpipe
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"netsession/internal/analysis"
@@ -303,5 +305,90 @@ func TestForEachDownloadMatchesReadDownloads(t *testing.T) {
 	}
 	if _, err := ForEachDownload(dir, 4, func(*analysis.OfflineDownload) error { return nil }); err == nil {
 		t.Fatal("ForEachDownload accepted a torn middle segment")
+	}
+}
+
+// sealedTestStore writes total records into a sealed store with small
+// segments and returns the segment listing.
+func sealedTestStore(t *testing.T, dir string, total, perSeg int) []SegmentFile {
+	t.Helper()
+	st, err := OpenStore(StoreConfig{Dir: dir, MaxSegmentRecords: perSeg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if err := st.Append(tailRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs
+}
+
+// TestForEachDownloadCallbackError: a callback error mid-stream must cancel
+// the pipeline — the call returns promptly with exactly that error and with
+// the count of records delivered before it — deterministically, at every
+// worker count and on every run. Run under -race this also proves the
+// cancellation path has no worker/feeder races.
+func TestForEachDownloadCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	sealedTestStore(t, dir, 200, 5) // 40 segments
+	sentinel := errors.New("synthetic mid-stream failure")
+	const failAt = 57 // record index inside segment 11
+	for _, workers := range []int{1, 4, 16} {
+		for run := 0; run < 3; run++ {
+			calls := 0
+			n, err := ForEachDownload(dir, workers, func(d *analysis.OfflineDownload) error {
+				if d.GUID == tailRec(failAt).GUID {
+					return sentinel
+				}
+				calls++
+				return nil
+			})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("workers=%d run=%d: err=%v, want the callback's sentinel", workers, run, err)
+			}
+			if n != failAt || calls != failAt {
+				t.Fatalf("workers=%d run=%d: delivered n=%d calls=%d, want exactly %d before the error",
+					workers, run, n, calls, failAt)
+			}
+		}
+	}
+}
+
+// TestForEachDownloadFirstErrorDeterministic: with damage in several
+// non-final segments, the error surfaced must always be the lowest-indexed
+// one — the ordered consumer makes the result independent of worker count
+// and decode timing.
+func TestForEachDownloadFirstErrorDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	segs := sealedTestStore(t, dir, 200, 5)
+	tear := func(i int) {
+		raw, err := os.ReadFile(segs[i].Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(segs[i].Path, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tear(23)
+	tear(7)
+	for _, workers := range []int{1, 4, 32} {
+		for run := 0; run < 3; run++ {
+			n, err := ForEachDownload(dir, workers, func(*analysis.OfflineDownload) error { return nil })
+			if err == nil || !strings.Contains(err.Error(), segs[7].Path) {
+				t.Fatalf("workers=%d run=%d: err=%v, want the segment-7 tear (first in order)", workers, run, err)
+			}
+			if n != 7*5 {
+				t.Fatalf("workers=%d run=%d: delivered %d records, want the 35 before the tear", workers, run, n)
+			}
+		}
 	}
 }

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"os"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -10,11 +12,12 @@ import (
 // run one million no-op events.
 func BenchmarkEngineEvents(b *testing.B) {
 	b.ReportAllocs()
+	nop := func(uint64) {}
 	for i := 0; i < b.N; i++ {
 		var e Engine
 		const n = 1_000_000
 		for k := 0; k < n; k++ {
-			e.At(int64(k%1000), func() {})
+			e.At(int64(k%1000), nop, uint64(k))
 		}
 		if got := e.Run(1000); got != n {
 			b.Fatalf("ran %d events", got)
@@ -51,23 +54,71 @@ func BenchmarkSimWorkers(b *testing.B) {
 	}
 }
 
-// xlWallBudget is the wall-clock ceiling for one XL-scale run in `make
-// bench`; blowing it means a hot-path regression, not a slow machine — the
-// budget is ~5x the post-sharding wall time on one CPU.
-const xlWallBudget = 120 * time.Second
+// megaSimGate is the environment variable that unlocks the M and XXL tiers:
+// they run for minutes to tens of minutes, so they only run when asked for
+// explicitly (NETSESSION_MEGASIM=1), never in routine CI.
+const megaSimGate = "NETSESSION_MEGASIM"
 
-// BenchmarkSimXL runs the 60k-peer / 300k-download month — the scale target
-// of the region-sharded simulator — and fails if it exceeds the wall-clock
-// budget.
-func BenchmarkSimXL(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		start := time.Now()
-		if _, err := Run(XLScenario()); err != nil {
-			b.Fatal(err)
-		}
-		if wall := time.Since(start); wall > xlWallBudget {
-			b.Fatalf("XL scenario took %s, budget %s", wall, xlWallBudget)
-		}
+// simTiers is the scenario ladder with per-tier wall-clock and peak-RSS
+// budgets. Blowing a budget means a hot-path or memory regression, not a
+// slow machine — each wall budget is several times the measured time on one
+// CPU. Tiers whose budget exceeds shortTierBudget are skipped (not failed)
+// under -short; gated tiers are skipped unless megaSimGate is set.
+var simTiers = []struct {
+	name  string
+	cfg   func() ScenarioConfig
+	wall  time.Duration
+	rssMB int64 // peak-RSS ceiling; 0 = report only
+	gated bool
+}{
+	{name: "XL", cfg: XLScenario, wall: 120 * time.Second},
+	{name: "M", cfg: MScenario, wall: 600 * time.Second, rssMB: 6144, gated: true},
+	{name: "XXL", cfg: XXLScenario, wall: 1800 * time.Second, rssMB: 20480, gated: true},
+}
+
+// shortTierBudget is the largest tier wall budget `go test -short -bench`
+// is willing to pay.
+const shortTierBudget = 150 * time.Second
+
+// peakRSSMB reads the process's lifetime peak resident set.
+func peakRSSMB(tb testing.TB) int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		tb.Fatalf("getrusage: %v", err)
+	}
+	return ru.Maxrss / 1024 // Maxrss is KiB on Linux
+}
+
+// BenchmarkSimTiers runs the scenario ladder, enforcing each tier's wall
+// and memory budget. `make bench` runs the ungated tiers; the M and XXL
+// paper-scale tiers need NETSESSION_MEGASIM=1.
+func BenchmarkSimTiers(b *testing.B) {
+	for _, tier := range simTiers {
+		b.Run(tier.name, func(b *testing.B) {
+			if tier.gated && os.Getenv(megaSimGate) == "" {
+				b.Skipf("set %s=1 to run the %s tier", megaSimGate, tier.name)
+			}
+			if testing.Short() && tier.wall > shortTierBudget {
+				b.Skipf("%s tier budget %s exceeds the -short limit %s", tier.name, tier.wall, shortTierBudget)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				res, err := Run(tier.cfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall := time.Since(start)
+				b.ReportMetric(float64(res.Events)/wall.Seconds(), "events/sec")
+				if wall > tier.wall {
+					b.Fatalf("%s scenario took %s, budget %s", tier.name, wall, tier.wall)
+				}
+				rss := peakRSSMB(b)
+				b.ReportMetric(float64(rss), "peak-RSS-MB")
+				if tier.rssMB > 0 && rss > tier.rssMB {
+					b.Fatalf("%s scenario peak RSS %d MB, budget %d MB", tier.name, rss, tier.rssMB)
+				}
+			}
+		})
 	}
 }

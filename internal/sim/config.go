@@ -92,6 +92,15 @@ type ScenarioConfig struct {
 	// result — byte-identical.
 	Faults faults.SimConfig
 
+	// RegionSample, when non-empty, simulates only the listed network
+	// regions: peers homed elsewhere are never instantiated and no events
+	// run for their shards. Region shards are causally independent — no
+	// cross-shard reads, per-shard RNG streams derived from (seed, region)
+	// — so the sampled shards' logs are byte-identical to the same regions
+	// of a full run. This is how tests exercise paper-scale per-shard
+	// populations without paying for all twelve shards.
+	RegionSample []geo.NetworkRegion
+
 	// Telemetry is the metrics registry; nil creates a private one,
 	// returned in Result.Telemetry either way.
 	Telemetry *telemetry.Registry
@@ -168,5 +177,30 @@ func XLScenario() ScenarioConfig {
 	cfg.NumPeers = 60_000
 	cfg.Days = 31
 	cfg.TotalDownloads = 300_000
+	return cfg
+}
+
+// MScenario is the quarter-million-peer month: the intermediate step between
+// XL and the paper-scale XXL tier, sized so a full run still fits an
+// attended benchmark session.
+func MScenario() ScenarioConfig {
+	cfg := DefaultScenario()
+	cfg.NumPeers = 250_000
+	cfg.Days = 31
+	cfg.TotalDownloads = 1_250_000
+	return cfg
+}
+
+// XXLScenario is the million-peer simulated month — the memory-lean engine's
+// scale target (the paper's trace has 26M peers; one simulated million is
+// the same per-shard order of magnitude across 12 regions). Runs are long:
+// the gated BenchmarkSimXXL budgets tens of minutes of wall clock and
+// asserts peak RSS, and everything downstream (segment export, analyzer)
+// must stream rather than materialize.
+func XXLScenario() ScenarioConfig {
+	cfg := DefaultScenario()
+	cfg.NumPeers = 1_000_000
+	cfg.Days = 31
+	cfg.TotalDownloads = 2_000_000
 	return cfg
 }

@@ -2,10 +2,14 @@ package sim
 
 import (
 	"bytes"
+	"net/netip"
 	"reflect"
 	"testing"
 
+	"netsession/internal/accounting"
 	"netsession/internal/analysis"
+	"netsession/internal/geo"
+	"netsession/internal/id"
 )
 
 // TestDeterminismAcrossWorkers is the sharding contract: one seed must
@@ -48,5 +52,87 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 		if h := headlines(got); !reflect.DeepEqual(h, refHead) {
 			t.Fatalf("workers=%d headline numbers differ from the sequential reference:\n%+v\nvs\n%+v", workers, h, refHead)
 		}
+	}
+}
+
+// TestRegionSampleMatchesFullRun is the RegionSample contract at small
+// scale: because region shards are causally independent, a run that
+// simulates only two regions must reproduce exactly the records a full run
+// attributes to those regions, in the same merge order.
+func TestRegionSampleMatchesFullRun(t *testing.T) {
+	sample := []geo.NetworkRegion{1, 4}
+	full := runSmall(t, tinyScenario)
+	part := runSmall(t, func(c *ScenarioConfig) {
+		tinyScenario(c)
+		c.RegionSample = sample
+	})
+
+	inSample := func(ip netip.Addr) bool {
+		r := geo.RegionOf(full.Scape.MustLookup(ip))
+		return r == sample[0] || r == sample[1]
+	}
+	var wantDl []accounting.DownloadRecord
+	for _, d := range full.Log.Downloads {
+		if inSample(d.IP) {
+			wantDl = append(wantDl, d)
+		}
+	}
+	if len(wantDl) == 0 {
+		t.Fatal("full run has no downloads in the sampled regions")
+	}
+	if len(part.Log.Downloads) != len(wantDl) {
+		t.Fatalf("sampled run has %d downloads, full run has %d in those regions",
+			len(part.Log.Downloads), len(wantDl))
+	}
+	for i := range wantDl {
+		if !reflect.DeepEqual(part.Log.Downloads[i], wantDl[i]) {
+			t.Fatalf("download %d differs between sampled and full run", i)
+		}
+	}
+	sampledGUID := make(map[id.GUID]bool)
+	for _, spec := range full.Pop.Peers {
+		if r := geo.RegionOf(spec.Home); r == sample[0] || r == sample[1] {
+			sampledGUID[spec.GUID] = true
+		}
+	}
+	var wantReg []accounting.RegistrationRecord
+	for _, r := range full.Log.Registrations {
+		if sampledGUID[r.GUID] {
+			wantReg = append(wantReg, r)
+		}
+	}
+	if !reflect.DeepEqual(part.Log.Registrations, wantReg) {
+		t.Fatal("registrations differ between sampled and full run")
+	}
+}
+
+// TestDeterminismSampledM exercises the determinism contract at the M
+// tier's per-shard population — a quarter-million-peer world sampled down
+// to two region shards — without paying for all twelve shards. This is the
+// paper-scale variant of TestDeterminismAcrossWorkers.
+func TestDeterminismSampledM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("M-tier sampled determinism run takes ~a minute")
+	}
+	run := func(workers int) *Result {
+		cfg := MScenario()
+		cfg.Workers = workers
+		cfg.RegionSample = []geo.NetworkRegion{1, 4}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	if len(ref.Log.Downloads) < 50_000 {
+		t.Fatalf("sampled M run produced only %d downloads", len(ref.Log.Downloads))
+	}
+	got := run(4)
+	if got.Events != ref.Events {
+		t.Fatalf("workers=4 executed %d events, reference %d", got.Events, ref.Events)
+	}
+	if !bytes.Equal(logBytes(t, got), logBytes(t, ref)) {
+		t.Fatal("workers=4 sampled M log differs from the sequential reference")
 	}
 }

@@ -15,6 +15,12 @@ type dl struct {
 	peer *simPeer
 	obj  *content.Object
 
+	// slot is the download's index in the shard's dls table; events carry
+	// it (packed with an epoch) instead of closing over the dl. objIx is
+	// the interned object index.
+	slot  uint32
+	objIx uint32
+
 	startMs     int64
 	lastAccrual int64
 	total       float64
@@ -29,7 +35,7 @@ type dl struct {
 	failOther  bool
 	failSystem bool
 
-	epoch     uint64 // invalidates stale completion events
+	epoch     uint32 // invalidates stale completion events
 	requeries int
 	finished  bool
 
@@ -175,30 +181,75 @@ func (sh *shard) scheduleCompletion(d *dl) {
 		return
 	}
 	d.epoch++
-	epoch := d.epoch
+	key := uint64(d.slot)<<32 | uint64(d.epoch)
 	_, _, rate := sh.rates(d)
 	if rate <= 0 {
 		// Stalled (pure-p2p mode with no sources): retry peer discovery
 		// shortly; the abort clock may fire first.
-		sh.eng.After(60_000, func() {
-			if !d.finished && d.epoch == epoch {
-				sh.refreshServers(d)
-			}
-		})
+		sh.eng.After(60_000, sh.onStall, key)
 		return
 	}
 	remainMs := int64((d.total-d.done())/rate) + 1
-	sh.eng.After(remainMs, func() {
-		if d.finished || d.epoch != epoch {
-			return
-		}
-		sh.accrue(d)
-		if d.done() >= d.total-1 {
-			sh.finishDownload(d, protocol.OutcomeCompleted)
-		} else {
-			sh.scheduleCompletion(d)
-		}
-	})
+	sh.eng.After(remainMs, sh.onComplete, key)
+}
+
+// dlAt resolves a slot<<32|epoch event key to a live download, or nil if
+// the download finished or the epoch went stale.
+func (sh *shard) dlAt(key uint64) *dl {
+	d := sh.dls[key>>32]
+	if d == nil || d.epoch != uint32(key) {
+		return nil
+	}
+	return d
+}
+
+func (sh *shard) handleComplete(key uint64) {
+	d := sh.dlAt(key)
+	if d == nil {
+		return
+	}
+	sh.accrue(d)
+	if d.done() >= d.total-1 {
+		sh.finishDownload(d, protocol.OutcomeCompleted)
+	} else {
+		sh.scheduleCompletion(d)
+	}
+}
+
+func (sh *shard) handleStall(key uint64) {
+	if d := sh.dlAt(key); d != nil {
+		sh.refreshServers(d)
+	}
+}
+
+func (sh *shard) handleAbort(slot uint64) {
+	d := sh.dls[slot]
+	if d == nil {
+		return
+	}
+	sh.accrue(d)
+	sh.finishDownload(d, protocol.OutcomeAborted)
+}
+
+func (sh *shard) handleRequery(slot uint64) {
+	d := sh.dls[slot]
+	if d == nil {
+		return
+	}
+	if len(d.servers) < sh.cfg.MaxServersPerDownload/4 {
+		sh.attachInitialServersKeepCount(d)
+	}
+	sh.scheduleRequery(d)
+}
+
+func (sh *shard) handleKill(arg uint64) {
+	d := sh.dls[arg>>32]
+	sp := sh.peers[uint32(arg)]
+	if d == nil || !sp.isServing(d) || !sp.online {
+		return
+	}
+	sh.metrics.faultsInjected.Inc()
+	sh.setOffline(sp)
 }
 
 // startDownload handles one workload request.
@@ -210,10 +261,13 @@ func (sh *shard) startDownload(req trace.Request) {
 	obj := req.File.Object
 	d := &dl{
 		req: req, peer: p, obj: obj,
+		slot:    uint32(len(sh.dls)),
+		objIx:   sh.objIx[obj.ID],
 		startMs: sh.eng.Now(), lastAccrual: sh.eng.Now(),
 		total: float64(obj.Size),
 		p2p:   obj.P2PEnabled,
 	}
+	sh.dls = append(sh.dls, d)
 	// Outcome pre-draws (§5.2), from the shard's own stream.
 	d.abortAtMs = -1
 	if sh.rng.Float64() < sh.cfg.ImmediateAbortProb {
@@ -237,12 +291,7 @@ func (sh *shard) startDownload(req trace.Request) {
 		sh.scheduleRequery(d)
 	}
 	if d.abortAtMs >= 0 {
-		sh.eng.At(d.abortAtMs, func() {
-			if !d.finished {
-				sh.accrue(d)
-				sh.finishDownload(d, protocol.OutcomeAborted)
-			}
-		})
+		sh.eng.At(d.abortAtMs, sh.onAbort, uint64(d.slot))
 	}
 	sh.scheduleCompletion(d)
 }
@@ -274,15 +323,7 @@ func (sh *shard) scheduleRequery(d *dl) {
 		return
 	}
 	d.requeries++
-	sh.eng.After(10*60_000, func() {
-		if d.finished {
-			return
-		}
-		if len(d.servers) < sh.cfg.MaxServersPerDownload/4 {
-			sh.attachInitialServersKeepCount(d)
-		}
-		sh.scheduleRequery(d)
-	})
+	sh.eng.After(10*60_000, sh.onRequery, uint64(d.slot))
 }
 
 // refreshServers re-queries when a download has no sources (pure-p2p mode).
@@ -327,7 +368,7 @@ func (sh *shard) connectCandidates(d *dl, cands []protocol.PeerInfo) {
 		if sh.rng.Float64() < sh.cfg.ConnFailureProb {
 			continue // "if connections to some of these peers cannot be established..."
 		}
-		if sh.cfg.PerObjectUploadCap > 0 && sp.perObjectUploads[d.obj.ID] >= sh.cfg.PerObjectUploadCap {
+		if sh.cfg.PerObjectUploadCap > 0 && sp.uploadsOf(d.objIx) >= sh.cfg.PerObjectUploadCap {
 			// Upload cap reached: the peer stops serving this object
 			// (§3.9) and leaves the directory for it.
 			sh.dir.Unregister(d.obj.ID, sp.spec.GUID)
@@ -348,7 +389,7 @@ func (sh *shard) connectCandidates(d *dl, cands []protocol.PeerInfo) {
 	sh.accrueAffected()
 	for _, sp := range attached {
 		sp.serving = append(sp.serving, d)
-		sp.perObjectUploads[d.obj.ID]++
+		sp.incUploads(d.objIx)
 		d.servers = append(d.servers, srcLink{server: sp})
 		sh.maybeKillServer(d, sp)
 	}
@@ -368,13 +409,7 @@ func (sh *shard) maybeKillServer(d *dl, sp *simPeer) {
 		return
 	}
 	delay := int64(sh.faultRng.Float64()*600_000) + 1
-	sh.eng.After(delay, func() {
-		if d.finished || !sp.isServing(d) || !sp.online {
-			return
-		}
-		sh.metrics.faultsInjected.Inc()
-		sh.setOffline(sp)
-	})
+	sh.eng.After(delay, sh.onKill, uint64(d.slot)<<32|uint64(sp.ix))
 }
 
 // detachAll removes a departing peer from every download it serves (server
@@ -453,18 +488,27 @@ func (sh *shard) finishDownload(d *dl, outcome protocol.Outcome) {
 		Outcome:       outcome,
 		PeersReturned: d.peersReturned,
 	}
+	// Attributions go into the shard's arena; the record holds the range.
+	off := uint32(len(sh.log.contribs))
 	for i := range d.servers {
 		l := &d.servers[i]
 		if l.bytes <= 0 {
 			continue
 		}
-		rec.FromPeers = append(rec.FromPeers, accounting.PeerContribution{
+		sh.log.contribs = append(sh.log.contribs, accounting.PeerContribution{
 			GUID: l.server.spec.GUID, IP: l.server.spec.Home.IP, Bytes: int64(l.bytes),
 		})
 	}
-	sh.log.downloads = append(sh.log.downloads, stampedDownload{at: sh.eng.Now(), rec: rec})
+	sh.log.downloads = append(sh.log.downloads, stampedDownload{
+		at: sh.eng.Now(), rec: rec,
+		contribOff: off, contribLen: uint32(len(sh.log.contribs)) - off,
+	})
+
+	// Release the slot: stale events resolve to nil, and the dl (with its
+	// server links) becomes collectable.
+	sh.dls[d.slot] = nil
 
 	if outcome == protocol.OutcomeCompleted {
-		sh.completeCache(d.peer, d.obj.ID)
+		sh.completeCache(d.peer, d.objIx)
 	}
 }

@@ -28,40 +28,96 @@ type Sim struct {
 	cat   *trace.Catalog
 	reqs  []trace.Request
 
+	// Object interning: catalog objects are identified by a 32-byte hash,
+	// but per-peer state at million-peer scale cannot afford map keys of
+	// that size. Objects are assigned dense uint32 indexes in catalog file
+	// order (deterministic); objID is the reverse table. Shared read-only
+	// across shards.
+	objIx map[content.ObjectID]uint32
+	objID []content.ObjectID
+
 	shards []*shard
+	// active is the subset of shards actually simulated: all of them
+	// normally, only the sampled regions under cfg.RegionSample.
+	active []*shard
 	// peers holds every simulated peer, indexed like pop.Peers; each peer
-	// is mutated only by its owning region's shard.
+	// is mutated only by its owning region's shard. Entries for peers homed
+	// in unsampled regions are nil.
 	peers []*simPeer
 
 	metrics   *simMetrics
 	wallStart time.Time
 }
 
-// simPeer is the simulator's view of one peer. Its serving/downloading sets
-// are small ordered slices rather than maps: membership tests stay O(swarm
-// fan-out) while iteration order — and therefore event scheduling order —
-// becomes deterministic.
+// simPeer is the simulator's view of one peer. Every collection hanging off
+// it is a small ordered slice rather than a map: membership tests stay
+// O(per-peer fan-out) — a handful of entries in practice — while iteration
+// order, and with it event scheduling order, stays deterministic. At the
+// XXL tier (1M peers) the two per-peer maps this replaced cost several
+// hundred bytes each even when nearly empty; the slices cost nothing until
+// a peer actually caches or serves something.
 type simPeer struct {
 	spec   *trace.PeerSpec
 	region geo.NetworkRegion
-	info   protocol.PeerInfo
+	// ix is the peer's index within its shard's peers slice; event args
+	// carry it instead of a closed-over pointer.
+	ix   uint32
+	info protocol.PeerInfo
 
 	online         bool
 	uploadsEnabled bool
 
-	// cache maps completed objects to their shareability expiry.
-	cache map[content.ObjectID]int64
-	// perObjectUploads counts serving sessions granted per object (§3.9).
-	perObjectUploads map[content.ObjectID]int
+	// cache holds completed objects (interned index) and their shareability
+	// expiry, in completion order.
+	cache []cacheEntry
+	// uploads counts serving sessions granted per object (§3.9).
+	uploads []uploadEntry
 
 	serving     []*dl
 	downloading []*dl
+}
 
-	// churnFn/refreshFn are this peer's churn and soft-state-refresh event
-	// handlers, built once at setup; reusing them keeps the event loop from
-	// allocating a fresh closure per scheduled event (millions per run).
-	churnFn   func()
-	refreshFn func()
+// cacheEntry is one shareable cached object.
+type cacheEntry struct {
+	obj uint32 // interned object index
+	exp int64  // shareability expiry, virtual ms
+}
+
+// uploadEntry counts serving sessions granted for one object.
+type uploadEntry struct {
+	obj uint32
+	n   int32
+}
+
+// cacheIndex returns the position of obj in the peer's cache, or -1.
+func (p *simPeer) cacheIndex(obj uint32) int {
+	for i := range p.cache {
+		if p.cache[i].obj == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// uploadsOf returns the serving sessions granted so far for obj.
+func (p *simPeer) uploadsOf(obj uint32) int {
+	for i := range p.uploads {
+		if p.uploads[i].obj == obj {
+			return int(p.uploads[i].n)
+		}
+	}
+	return 0
+}
+
+// incUploads bumps the per-object serving-session counter.
+func (p *simPeer) incUploads(obj uint32) {
+	for i := range p.uploads {
+		if p.uploads[i].obj == obj {
+			p.uploads[i].n++
+			return
+		}
+	}
+	p.uploads = append(p.uploads, uploadEntry{obj: obj, n: 1})
 }
 
 func (p *simPeer) isServing(d *dl) bool {
@@ -149,6 +205,16 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: catalog: %w", err)
 	}
+	// Intern object IDs in catalog file order (deterministic for a seed).
+	s.objIx = make(map[content.ObjectID]uint32, len(s.cat.Files))
+	s.objID = make([]content.ObjectID, 0, len(s.cat.Files))
+	for _, f := range s.cat.Files {
+		if _, ok := s.objIx[f.Object.ID]; ok {
+			continue
+		}
+		s.objIx[f.Object.ID] = uint32(len(s.objID))
+		s.objID = append(s.objID, f.Object.ID)
+	}
 	wl := cfg.Workload
 	wl.Seed = cfg.Seed + 3
 	wl.TotalDownloads = cfg.TotalDownloads
@@ -160,17 +226,38 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 
 	// Build shards and partition peers in global order, so each shard's
 	// peer list (and with it every per-peer draw) is deterministic.
+	var sampled [geo.NumRegions]bool
+	if len(cfg.RegionSample) == 0 {
+		for r := range sampled {
+			sampled[r] = true
+		}
+	} else {
+		for _, r := range cfg.RegionSample {
+			if int(r) < 0 || int(r) >= geo.NumRegions {
+				return nil, fmt.Errorf("sim: RegionSample region %d out of range", r)
+			}
+			sampled[r] = true
+		}
+	}
 	s.shards = make([]*shard, geo.NumRegions)
 	for r := 0; r < geo.NumRegions; r++ {
 		s.shards[r] = newShard(&s.cfg, geo.NetworkRegion(r), s.metrics, s.cfg.Logf)
+		if sampled[r] {
+			s.active = append(s.active, s.shards[r])
+		}
 	}
 	s.peers = make([]*simPeer, len(s.pop.Peers))
 	for i, spec := range s.pop.Peers {
-		sh := s.shards[geo.RegionOf(spec.Home)]
-		s.peers[i] = sh.addPeer(spec)
+		region := geo.RegionOf(spec.Home)
+		if !sampled[region] {
+			continue
+		}
+		s.peers[i] = s.shards[region].addPeer(spec)
 	}
-	for _, sh := range s.shards {
+	for _, sh := range s.active {
 		sh.allPeers = s.peers
+		sh.objIx = s.objIx
+		sh.objID = s.objID
 		sh.setupPeers()
 	}
 	s.seedObjects()
@@ -179,15 +266,18 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 	// global order restricted to the region.
 	for i := range s.reqs {
 		req := s.reqs[i]
-		sh := s.shards[s.peers[req.PeerIndex].region]
-		sh.reqs = append(sh.reqs, req)
+		p := s.peers[req.PeerIndex]
+		if p == nil {
+			continue // requester homed in an unsampled region
+		}
+		s.shards[p.region].reqs = append(s.shards[p.region].reqs, req)
 	}
 
 	snapMs := int64(cfg.SnapshotIntervalHours * 3_600_000)
 	if snapMs <= 0 {
 		snapMs = 24 * 3_600_000
 	}
-	for _, sh := range s.shards {
+	for _, sh := range s.active {
 		sh.prepareRun(snapMs)
 	}
 
@@ -240,7 +330,7 @@ func (s *Sim) runShards(untilMs int64) int {
 	workers := s.workerCount()
 	if workers == 1 {
 		total := 0
-		for _, sh := range s.shards {
+		for _, sh := range s.active {
 			total += sh.run(untilMs)
 		}
 		return total
@@ -252,9 +342,9 @@ func (s *Sim) runShards(untilMs int64) int {
 		total     int
 		firstDone time.Time
 		lastDone  time.Time
-		next      = make(chan *shard, len(s.shards))
+		next      = make(chan *shard, len(s.active))
 	)
-	for _, sh := range s.shards {
+	for _, sh := range s.active {
 		next <- sh
 	}
 	close(next)
@@ -293,7 +383,10 @@ func (s *Sim) seedObjects() {
 	rng := rand.New(rand.NewSource(s.cfg.Seed + 5))
 	var enabled []*simPeer
 	for _, p := range s.peers {
-		if p.uploadsEnabled {
+		// Under RegionSample unsampled peers are nil; the seed plan then
+		// differs from a full run's, so sampled runs are only
+		// full-run-comparable with SeedCopiesPerObject == 0 (the default).
+		if p != nil && p.uploadsEnabled {
 			enabled = append(enabled, p)
 		}
 	}
@@ -303,7 +396,7 @@ func (s *Sim) seedObjects() {
 	for _, f := range s.cat.P2PFiles() {
 		for k := 0; k < s.cfg.SeedCopiesPerObject; k++ {
 			p := enabled[rng.Intn(len(enabled))]
-			s.shards[p.region].completeCache(p, f.Object.ID)
+			s.shards[p.region].completeCache(p, s.objIx[f.Object.ID])
 		}
 	}
 }
@@ -348,7 +441,16 @@ func (s *Sim) mergeLogs() *accounting.Log {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
 	for _, k := range keys {
-		log.Downloads = append(log.Downloads, s.shards[k.region].log.downloads[k.seq].rec)
+		sh := s.shards[k.region]
+		sd := &sh.log.downloads[k.seq]
+		rec := sd.rec
+		if sd.contribLen > 0 {
+			// Per-peer attributions live in the shard's contribution arena;
+			// the record gets a capacity-clamped view, not a copy.
+			end := sd.contribOff + sd.contribLen
+			rec.FromPeers = sh.log.contribs[sd.contribOff:end:end]
+		}
+		log.Downloads = append(log.Downloads, rec)
 	}
 
 	keys = keys[:0]

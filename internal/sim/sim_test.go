@@ -10,15 +10,16 @@ import (
 func TestEngineOrdering(t *testing.T) {
 	var e Engine
 	var got []int
-	e.At(30, func() { got = append(got, 3) })
-	e.At(10, func() { got = append(got, 1) })
-	e.At(20, func() { got = append(got, 2) })
-	e.At(10, func() { got = append(got, 11) }) // same time: FIFO
+	add := func(v uint64) { got = append(got, int(v)) }
+	e.At(30, add, 3)
+	e.At(10, add, 1)
+	e.At(20, add, 2)
+	e.At(10, add, 11) // same time: FIFO
 	n := e.Run(100)
 	if n != 4 {
 		t.Fatalf("ran %d events", n)
 	}
-	want := []int{1, 11, 2, 3}
+	want := []int{1, 11, 2, 3} // args double as order labels
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("order %v, want %v", got, want)
@@ -32,10 +33,10 @@ func TestEngineOrdering(t *testing.T) {
 func TestEngineNestedScheduling(t *testing.T) {
 	var e Engine
 	fired := 0
-	e.At(10, func() {
-		e.After(5, func() { fired++ })
-		e.After(1000, func() { fired += 100 }) // beyond horizon
-	})
+	e.At(10, func(uint64) {
+		e.After(5, func(uint64) { fired++ }, 0)
+		e.After(1000, func(uint64) { fired += 100 }, 0) // beyond horizon
+	}, 0)
 	e.Run(100)
 	if fired != 1 {
 		t.Fatalf("fired=%d, want 1", fired)
@@ -49,13 +50,13 @@ func TestEngineNestedScheduling(t *testing.T) {
 
 func TestEnginePastEventsRunNow(t *testing.T) {
 	var e Engine
-	e.At(50, func() {
-		e.At(10, func() {
+	e.At(50, func(uint64) {
+		e.At(10, func(uint64) {
 			if e.Now() != 50 {
 				t.Errorf("past event ran at %d, want 50", e.Now())
 			}
-		})
-	})
+		}, 0)
+	}, 0)
 	e.Run(100)
 }
 

@@ -70,12 +70,15 @@ func newSimMetrics(reg *telemetry.Registry) *simMetrics {
 
 // snapshotLoop emits a per-region progress line every intervalMs of virtual
 // time and keeps the region's event counter fresh. It reschedules itself
-// until the engine's horizon cuts it off.
+// until the engine's horizon cuts it off; the interval rides in the event
+// argument so no closure is needed.
 func (sh *shard) snapshotLoop(intervalMs int64) {
-	sh.eng.After(intervalMs, func() {
-		sh.logSnapshot()
-		sh.snapshotLoop(intervalMs)
-	})
+	sh.eng.After(intervalMs, sh.onSnapshot, uint64(intervalMs))
+}
+
+func (sh *shard) handleSnapshot(intervalMs uint64) {
+	sh.logSnapshot()
+	sh.snapshotLoop(int64(intervalMs))
 }
 
 // logSnapshot publishes the shard's own progress: one text line and the

@@ -98,6 +98,16 @@ func DefaultScenario() Scenario { return sim.DefaultScenario() }
 // SmallScenario returns a fast configuration for tests and demos.
 func SmallScenario() Scenario { return sim.SmallScenario() }
 
+// XLScenario returns the 60k-peer month, the region-sharded scale target.
+func XLScenario() Scenario { return sim.XLScenario() }
+
+// MScenario returns the quarter-million-peer month.
+func MScenario() Scenario { return sim.MScenario() }
+
+// XXLScenario returns the million-peer month, the memory-lean engine's
+// paper-scale target.
+func XXLScenario() Scenario { return sim.XXLScenario() }
+
 // RunScenario executes a simulation to completion.
 func RunScenario(cfg Scenario) (*ScenarioResult, error) { return sim.Run(cfg) }
 

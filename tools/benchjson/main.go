@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can archive bench-smoke timings as
+// a workflow artifact and trend them across commits. It understands the
+// standard benchmark line — name, parallelism suffix, iteration count,
+// then (value, unit) metric pairs, including -benchmem columns and custom
+// testing.B.ReportMetric units like events/sec.
+//
+// Usage:
+//
+//	benchjson -in bench.txt -out bench.json
+//	go test -bench . | benchjson -out bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document: environment header plus every result.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	GOMAXPROCS string      `json:"gomaxprocs,omitempty"`
+	Packages   []string    `json:"packages,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   	  100	  12345 ns/op	..." with an
+// optional -P parallelism suffix; sub-benchmark names may themselves
+// contain dashes, so the suffix match is anchored to the last dash-digits
+// run before the whitespace.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{GOMAXPROCS: os.Getenv("GOMAXPROCS")}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Packages = append(rep.Packages, strings.TrimPrefix(line, "pkg: "))
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Metrics: map[string]float64{}}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+		}
+		fields := strings.Fields(m[4])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchjson: odd metric fields in %q", line)
+		}
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad metric value in %q: %w", line, err)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	in := flag.String("in", "", "benchmark text output to parse (default: stdin)")
+	out := flag.String("out", "", "JSON file to write (default: stdout)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines found in input")
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmark results to %s", len(rep.Benchmarks), *out)
+}

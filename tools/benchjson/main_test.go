@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: netsession/internal/sim
+cpu: AMD EPYC 7B13
+BenchmarkEngineEvents-4   	       2	432529702 ns/op	   2312335 events/sec	      49.0 allocs-total
+BenchmarkSimSmall-4       	       2	311040138 ns/op	24576000 B/op	  392154 allocs/op
+BenchmarkSimTiers/XL-4    	       1	23900000000 ns/op	        27.2 peak-RSS-MB
+PASS
+ok  	netsession/internal/sim	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Fatalf("header = %s/%s, want linux/amd64", rep.GOOS, rep.GOARCH)
+	}
+	if len(rep.Packages) != 1 || rep.Packages[0] != "netsession/internal/sim" {
+		t.Fatalf("packages = %v", rep.Packages)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	ev := rep.Benchmarks[0]
+	if ev.Name != "BenchmarkEngineEvents" || ev.Procs != 4 || ev.Iterations != 2 {
+		t.Fatalf("first line parsed as %+v", ev)
+	}
+	if ev.Metrics["events/sec"] != 2312335 || ev.Metrics["ns/op"] != 432529702 {
+		t.Fatalf("metrics = %v", ev.Metrics)
+	}
+	mem := rep.Benchmarks[1]
+	if mem.Metrics["allocs/op"] != 392154 || mem.Metrics["B/op"] != 24576000 {
+		t.Fatalf("benchmem metrics = %v", mem.Metrics)
+	}
+	sub := rep.Benchmarks[2]
+	if sub.Name != "BenchmarkSimTiers/XL" || sub.Metrics["peak-RSS-MB"] != 27.2 {
+		t.Fatalf("sub-benchmark parsed as %+v", sub)
+	}
+}
+
+func TestParseRejectsMalformedMetrics(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-4 2 100 ns/op trailing\n")); err == nil {
+		t.Fatal("odd metric fields accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkX-4 2 abc ns/op\n")); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+}
