@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench bench-smoke bench-analytics chaos crash failover clean-state
+.PHONY: check build test vet fmt race bench bench-smoke bench-analytics chaos crash failover drain clean-state
 
-check: fmt vet build race chaos crash failover bench-smoke bench-analytics
+check: fmt vet build race chaos crash failover drain bench-smoke bench-analytics
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,13 @@ crash:
 # no-kill baseline run.
 failover:
 	$(GO) test -race -run 'Failover' -v .
+
+# Planned-drain end-to-end: a fourth node joins a running cluster knowing
+# one status URL (seed exchange), then the busiest node drains gracefully —
+# regions hand off with zero RE-ADD rebuilds and accounting byte-equals an
+# undisturbed baseline. Includes the kill-vs-drain stampede contrast.
+drain:
+	$(GO) test -race -run 'Drain' -v .
 
 # Remove state directories left behind by interrupted live runs (the README
 # examples put netsession-peer -state-dir under ./state/).

@@ -1,8 +1,10 @@
 package netsession
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/netip"
 	"path/filepath"
 	"sync"
@@ -95,23 +97,31 @@ func DefaultClusterConfig() ClusterConfig {
 }
 
 // cpNode is one control-plane node of the deployment: its own collector,
-// CNs, operator HTTP surface, membership observer, and janitor. Nodes share
-// the edge tier, the token key, the world atlas, and the cross-node log
-// dedup index — nothing else.
+// CNs, operator HTTP surface, membership observer, durable ack store, and
+// janitor. Nodes share the edge tier, the token key, and the world atlas —
+// nothing else; cross-node exactly-once rides the anti-entropy ack sync.
 type cpNode struct {
 	id      string
 	cp      *controlplane.ControlPlane
 	status  *controlplane.StatusServer
 	cns     []*controlplane.CN
 	member  *cluster.Membership
+	acks    *logpipe.AckStore
+	syncer  *logpipe.AckSyncer
 	stopJan func()
 	killed  bool
+	drained bool
 }
 
 // Cluster is a running in-process deployment.
 type Cluster struct {
+	cfg   ClusterConfig
 	atlas *geo.Atlas
 	scape *geo.EdgeScape
+
+	minter    *edge.TokenMinter
+	verifier  accounting.Verifier
+	rebuildMs int64
 
 	edgeSrv    *edge.Server
 	monitor    *controlplane.Monitor
@@ -119,7 +129,7 @@ type Cluster struct {
 	nodes      []*cpNode
 	stopScrape func()
 
-	mu  sync.Mutex // guards nodes[i].killed and rng
+	mu  sync.Mutex // guards nodes (AddCPNode appends), per-node flags, rng
 	rng *rand.Rand
 }
 
@@ -174,73 +184,18 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.DNRebuildWindow < 0 {
 		rebuildMs = -1 // sub-millisecond negatives still mean "disabled"
 	}
-	// One dedup index shared by every node's ingest is the in-process
-	// stand-in for a replicated ack table: a batch acked by node A and
-	// retried against node B after a failover counts exactly once.
-	var sharedDedup *logpipe.DedupIndex
-	if cfg.CPNodes > 1 {
-		sharedDedup = logpipe.NewDedupIndex(0)
-	}
 	c := &Cluster{
-		atlas: atlas, scape: scape, edgeSrv: es, monitor: mon, stun: stun,
+		cfg: cfg, atlas: atlas, scape: scape, edgeSrv: es, monitor: mon, stun: stun,
+		minter: minter, verifier: verifier, rebuildMs: rebuildMs,
 		rng: rand.New(rand.NewSource(99)),
 	}
 	for i := 0; i < cfg.CPNodes; i++ {
-		nodeID := fmt.Sprintf("cp-%d", i)
-		// Each node has its own registry (metric series would collide) and
-		// its own fault injector, segment store, and collector.
-		cpReg := telemetry.NewRegistry()
-		cnInj := faults.New(cfg.CNFaults, cpReg)
-		var logStore *logpipe.Store
-		if cfg.LogDir != "" {
-			dir := cfg.LogDir
-			if cfg.CPNodes > 1 {
-				dir = filepath.Join(cfg.LogDir, nodeID)
-			}
-			logStore, err = logpipe.OpenStore(logpipe.StoreConfig{
-				Dir: dir, Telemetry: cpReg,
-			})
-			if err != nil {
-				c.Close()
-				return nil, err
-			}
-		}
-		cp, err := controlplane.New(controlplane.Config{
-			NodeID:            nodeID,
-			Scape:             scape,
-			Minter:            minter,
-			Collector:         accounting.NewCollector(verifier),
-			Policy:            cfg.Policy,
-			ClientConfig:      cfg.ClientConfig,
-			MaxSessionsPerCN:  cfg.MaxSessionsPerCN,
-			DNRebuildWindowMs: rebuildMs,
-			Telemetry:         cpReg,
-			ConnWrap:          cnInj.WrapConn,
-			LogStore:          logStore,
-			MaxLogRecords:     cfg.MaxLogRecords,
-			IngestFaults:      faults.New(cfg.IngestFaults, cpReg),
-			LogDedup:          sharedDedup,
-		})
+		node, err := c.startNode(fmt.Sprintf("cp-%d", i), false)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		node := &cpNode{id: nodeID, cp: cp}
 		c.nodes = append(c.nodes, node)
-		for j := 0; j < cfg.NumCNs; j++ {
-			cn, err := cp.StartCN("127.0.0.1:0")
-			if err != nil {
-				c.Close()
-				return nil, err
-			}
-			node.cns = append(node.cns, cn)
-		}
-		node.status, err = cp.StartStatusServer("127.0.0.1:0")
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		node.stopJan = cp.StartJanitor(time.Minute, int64(cfg.Policy.SoftStateTTLMs))
 	}
 	// With several nodes, wire the membership layer: every node probes every
 	// other node's status endpoint and applies its own ring view. All CN and
@@ -250,11 +205,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.CPNodes > 1 {
 		descs := make([]cluster.Node, len(c.nodes))
 		for i, n := range c.nodes {
-			desc := cluster.Node{ID: n.id, StatusURL: "http://" + n.status.Addr()}
-			for _, cn := range n.cns {
-				desc.CNAddrs = append(desc.CNAddrs, cn.Addr())
-			}
-			descs[i] = desc
+			descs[i] = n.desc()
 		}
 		for i, n := range c.nodes {
 			seeds := make([]cluster.Node, 0, len(descs)-1)
@@ -263,15 +214,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 					seeds = append(seeds, d)
 				}
 			}
-			cp := n.cp
-			n.member = cluster.New(cluster.Config{
-				Self:          descs[i],
-				Seeds:         seeds,
-				ProbeInterval: cfg.CPProbeInterval,
-				FailAfter:     cfg.CPFailAfter,
-				OnChange:      func(v cluster.View) { cp.ApplyRingView(v) },
-			})
-			n.member.Start()
+			c.wireMembership(n, descs[i], seeds, false)
 		}
 	}
 	// The monitor aggregates the fleet's telemetry: "download and upload
@@ -290,12 +233,201 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
+// startNode builds one control-plane node: registry, fault injector,
+// durable stores, CNs, status server, janitor. Membership is wired
+// separately once the seed list is known. joining marks a node added to a
+// running cluster (AddCPNode): it gets multi-node treatment regardless of
+// the boot-time CPNodes and applies its first ring view as a real takeover.
+func (c *Cluster) startNode(nodeID string, joining bool) (*cpNode, error) {
+	cfg := c.cfg
+	multi := cfg.CPNodes > 1 || joining
+	// Each node has its own registry (metric series would collide) and
+	// its own fault injector, segment store, ack store, and collector.
+	cpReg := telemetry.NewRegistry()
+	cnInj := faults.New(cfg.CNFaults, cpReg)
+	var logStore *logpipe.Store
+	var err error
+	if cfg.LogDir != "" {
+		dir := cfg.LogDir
+		if multi {
+			dir = filepath.Join(cfg.LogDir, nodeID)
+		}
+		logStore, err = logpipe.OpenStore(logpipe.StoreConfig{
+			Dir: dir, Telemetry: cpReg,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	node := &cpNode{id: nodeID}
+	if multi {
+		// The node's durable acknowledgement table. With a LogDir it
+		// survives the process (real crash recovery); without one it is
+		// memory-only but still per-node — never a shared pointer.
+		ackDir := ""
+		if cfg.LogDir != "" {
+			ackDir = filepath.Join(cfg.LogDir, nodeID, "acks")
+		}
+		node.acks, err = logpipe.OpenAckStore(logpipe.AckConfig{Dir: ackDir})
+		if err != nil {
+			return nil, err
+		}
+		node.syncer = logpipe.NewAckSyncer(logpipe.AckSyncerConfig{
+			Store: node.acks, Telemetry: cpReg,
+		})
+	}
+	cp, err := controlplane.New(controlplane.Config{
+		NodeID:            nodeID,
+		Scape:             c.scape,
+		Minter:            c.minter,
+		Collector:         accounting.NewCollector(c.verifier),
+		Policy:            cfg.Policy,
+		ClientConfig:      cfg.ClientConfig,
+		MaxSessionsPerCN:  cfg.MaxSessionsPerCN,
+		DNRebuildWindowMs: c.rebuildMs,
+		Telemetry:         cpReg,
+		ConnWrap:          cnInj.WrapConn,
+		LogStore:          logStore,
+		MaxLogRecords:     cfg.MaxLogRecords,
+		IngestFaults:      faults.New(cfg.IngestFaults, cpReg),
+		LogAcks:           node.acks,
+		JoinExisting:      joining,
+	})
+	if err != nil {
+		return nil, err
+	}
+	node.cp = cp
+	for j := 0; j < cfg.NumCNs; j++ {
+		cn, err := cp.StartCN("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		node.cns = append(node.cns, cn)
+	}
+	node.status, err = cp.StartStatusServer("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	node.stopJan = cp.StartJanitor(time.Minute, int64(cfg.Policy.SoftStateTTLMs))
+	return node, nil
+}
+
+// desc returns the node's cluster descriptor (status URL + CN addresses).
+func (n *cpNode) desc() cluster.Node {
+	d := cluster.Node{ID: n.id, StatusURL: "http://" + n.status.Addr()}
+	for _, cn := range n.cns {
+		d.CNAddrs = append(d.CNAddrs, cn.Addr())
+	}
+	return d
+}
+
+// wireMembership attaches a membership instance to a node: ring views feed
+// the control plane and the ack syncer's peer set, advertised ack sequences
+// trigger anti-entropy pulls, and the ingest endpoint gains the synchronous
+// cross-node seen check for replays that beat replication.
+func (c *Cluster) wireMembership(n *cpNode, self cluster.Node, seeds []cluster.Node, joinMode bool) {
+	cp, syncer, selfID := n.cp, n.syncer, self.ID
+	n.member = cluster.New(cluster.Config{
+		Self:          self,
+		Seeds:         seeds,
+		ProbeInterval: c.cfg.CPProbeInterval,
+		FailAfter:     c.cfg.CPFailAfter,
+		JoinMode:      joinMode,
+		Telemetry:     cp.Metrics(),
+		OnChange: func(v cluster.View) {
+			if syncer != nil {
+				peers := make(map[string]string, len(v.Nodes))
+				for _, m := range v.Nodes {
+					if m.ID != selfID {
+						peers[m.ID] = m.StatusURL
+					}
+				}
+				syncer.SetPeers(peers)
+			}
+			cp.ApplyRingView(v)
+		},
+		OnAckSeq: func(m cluster.Node, seq uint64) {
+			if syncer != nil {
+				syncer.ObserveAckSeq(m.ID, m.StatusURL, seq)
+			}
+		},
+	})
+	cp.SetMembership(n.member)
+	if syncer != nil {
+		cp.LogIngest().SetPeerSeen(syncer.SeenAnywhere)
+	}
+	n.member.Start()
+}
+
+// AddCPNode starts a new control-plane node that knows nothing about the
+// cluster but one live status URL — the config-free join. Seed exchange
+// discovers the rest: the new node probes the seed, learns the alive view
+// from its status document, is itself learned cluster-wide through its
+// probe identity headers, and applies its first ring view as a real
+// takeover once discovery has run. Returns the new node's index.
+func (c *Cluster) AddCPNode(seedStatusURL string) (int, error) {
+	c.mu.Lock()
+	nodeID := fmt.Sprintf("cp-%d", len(c.nodes))
+	c.mu.Unlock()
+	node, err := c.startNode(nodeID, true)
+	if err != nil {
+		return 0, err
+	}
+	c.wireMembership(node, node.desc(),
+		[]cluster.Node{{StatusURL: seedStatusURL}}, true)
+	c.mu.Lock()
+	c.nodes = append(c.nodes, node)
+	idx := len(c.nodes) - 1
+	c.mu.Unlock()
+	return idx, nil
+}
+
+// DrainCPNode gracefully removes node i: POST /v1/drain hands its regions'
+// directory snapshots to the new owners (no rebuild window on takeover),
+// flushes its ack window to survivors, and announces the departure; then
+// the node's local machinery stops. Returns the drain summary.
+func (c *Cluster) DrainCPNode(i int) (controlplane.DrainSummary, error) {
+	c.mu.Lock()
+	n := c.nodes[i]
+	already := n.killed || n.drained
+	if !already {
+		n.drained = true
+	}
+	c.mu.Unlock()
+	var sum controlplane.DrainSummary
+	if already {
+		return sum, fmt.Errorf("netsession: node %d already gone", i)
+	}
+	resp, err := http.Post("http://"+n.status.Addr()+controlplane.DrainPath, "application/json", nil)
+	if err != nil {
+		return sum, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		return sum, err
+	}
+	if n.member != nil {
+		n.member.Stop()
+	}
+	if n.stopJan != nil {
+		n.stopJan()
+	}
+	n.status.Close()
+	if n.acks != nil {
+		n.acks.Close()
+	}
+	return sum, nil
+}
+
 // Close shuts everything down.
 func (c *Cluster) Close() {
 	if c.stopScrape != nil {
 		c.stopScrape()
 	}
-	for _, n := range c.nodes {
+	c.mu.Lock()
+	nodes := append([]*cpNode(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
 		if n.member != nil {
 			n.member.Stop()
 		}
@@ -307,6 +439,9 @@ func (c *Cluster) Close() {
 		}
 		if n.cp != nil {
 			n.cp.Close()
+		}
+		if n.acks != nil {
+			n.acks.Close()
 		}
 	}
 	if c.edgeSrv != nil {
@@ -327,9 +462,9 @@ func (c *Cluster) Close() {
 // they would a real crash. In-memory accounting on the killed node is lost
 // (the durable segment store under LogDir is not).
 func (c *Cluster) KillCPNode(i int) {
-	n := c.nodes[i]
 	c.mu.Lock()
-	if n.killed {
+	n := c.nodes[i]
+	if n.killed || n.drained {
 		c.mu.Unlock()
 		return
 	}
@@ -345,13 +480,13 @@ func (c *Cluster) KillCPNode(i int) {
 	n.cp.Close()
 }
 
-// liveNodes returns the nodes not yet killed.
+// liveNodes returns the nodes not yet killed or drained.
 func (c *Cluster) liveNodes() []*cpNode {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []*cpNode
 	for _, n := range c.nodes {
-		if !n.killed {
+		if !n.killed && !n.drained {
 			out = append(out, n)
 		}
 	}
@@ -365,6 +500,8 @@ func (c *Cluster) EdgeURL() string { return "http://" + c.edgeSrv.Addr() }
 // PeerConfig.ControlAddrs. Killed nodes' addresses are included — peers are
 // expected to rotate past dead CNs, not to be handed a curated list.
 func (c *Cluster) ControlAddrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []string
 	for _, n := range c.nodes {
 		for _, cn := range n.cns {
@@ -384,6 +521,8 @@ func (c *Cluster) ControlPlaneURL() string { return "http://" + c.nodes[0].statu
 // ControlPlaneURLs returns every node's operator HTTP surface, killed nodes
 // included (log uploaders rotate past dead ones).
 func (c *Cluster) ControlPlaneURLs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, len(c.nodes))
 	for i, n := range c.nodes {
 		out[i] = "http://" + n.status.Addr()
@@ -396,10 +535,18 @@ func (c *Cluster) ControlPlaneURLs() []string {
 func (c *Cluster) ControlPlane() *controlplane.ControlPlane { return c.nodes[0].cp }
 
 // ControlPlaneNode exposes node i of the control plane.
-func (c *Cluster) ControlPlaneNode(i int) *controlplane.ControlPlane { return c.nodes[i].cp }
+func (c *Cluster) ControlPlaneNode(i int) *controlplane.ControlPlane {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i].cp
+}
 
 // NumCPNodes returns how many control-plane nodes were started.
-func (c *Cluster) NumCPNodes() int { return len(c.nodes) }
+func (c *Cluster) NumCPNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
 
 // MonitorURL returns the base URL for PeerConfig.MonitorURL.
 func (c *Cluster) MonitorURL() string { return "http://" + c.monitor.Addr() }

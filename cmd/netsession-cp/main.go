@@ -27,6 +27,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -54,7 +55,8 @@ func main() {
 	logDir := flag.String("log-dir", "", "durable log store directory: accepted download records are spilled to rotated gzip NDJSON segments that netsession-analyze reads")
 	maxLogRecords := flag.Int("max-log-records", 0, "in-memory accounting log cap per record kind (0 = default, negative = unbounded)")
 	nodeID := flag.String("node-id", "", "this node's cluster identity; required with -join")
-	join := flag.String("join", "", "comma-separated id=statusURL seed list of the other control-plane nodes, e.g. cp-1=http://10.0.0.2:7000")
+	join := flag.String("join", "", "comma-separated seed list of other control-plane nodes: id=statusURL entries, or bare status URLs (seed exchange discovers the rest), e.g. http://10.0.0.2:7000")
+	joinExisting := flag.Bool("join-existing", false, "treat the first ring view as a real takeover (set when joining a cluster that already serves peers)")
 	probeEvery := flag.Duration("probe-interval", time.Second, "cluster liveness probe interval")
 	scrape := flag.String("scrape", "", "comma-separated name=baseURL telemetry scrape targets for the monitor")
 	scrapeEvery := flag.Duration("scrape-interval", 10*time.Second, "monitor scrape interval")
@@ -81,6 +83,23 @@ func main() {
 		log.Fatal("-join requires -node-id")
 	}
 
+	// The node's durable batch-acknowledgement store: with -log-dir it
+	// survives restarts (a batch acked before a crash is still deduplicated
+	// after); cluster peers reconcile it by anti-entropy.
+	var ackStore *logpipe.AckStore
+	if *join != "" {
+		ackDir := ""
+		if *logDir != "" {
+			ackDir = filepath.Join(*logDir, "acks")
+		}
+		var err error
+		ackStore, err = logpipe.OpenAckStore(logpipe.AckConfig{Dir: ackDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ackStore.Close()
+	}
+
 	cp, err := controlplane.New(controlplane.Config{
 		NodeID:           *nodeID,
 		Scape:            scape,
@@ -91,6 +110,8 @@ func main() {
 		MaxSessionsPerCN: *maxSessions,
 		LogStore:         logStore,
 		MaxLogRecords:    *maxLogRecords,
+		LogAcks:          ackStore,
+		JoinExisting:     *joinExisting,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -119,23 +140,45 @@ func main() {
 	// Join the control-plane cluster: probe the seed nodes and route regions
 	// over the alive set. Peers whose region another node owns are
 	// redirected on login; seed CN addresses are learned from each node's
-	// own status document.
+	// own status document. A seed may be a bare status URL — one live
+	// address is enough, seed exchange discovers the rest of the cluster.
 	if *join != "" {
 		var seeds []cluster.Node
 		for _, s := range strings.Split(*join, ",") {
-			id, url, ok := strings.Cut(strings.TrimSpace(s), "=")
-			if !ok {
-				log.Fatalf("-join entry %q is not id=statusURL", s)
+			entry := strings.TrimSpace(s)
+			if id, url, ok := strings.Cut(entry, "="); ok && !strings.Contains(id, "://") {
+				seeds = append(seeds, cluster.Node{ID: id, StatusURL: url})
+			} else {
+				seeds = append(seeds, cluster.Node{StatusURL: entry})
 			}
-			seeds = append(seeds, cluster.Node{ID: id, StatusURL: url})
 		}
+		syncer := logpipe.NewAckSyncer(logpipe.AckSyncerConfig{
+			Store: ackStore, Telemetry: cp.Metrics(), Logf: log.Printf,
+		})
+		self := cluster.Node{ID: *nodeID, StatusURL: "http://" + status.Addr(), CNAddrs: cnAddrs}
 		member := cluster.New(cluster.Config{
-			Self:          cluster.Node{ID: *nodeID, StatusURL: "http://" + status.Addr(), CNAddrs: cnAddrs},
+			Self:          self,
 			Seeds:         seeds,
 			ProbeInterval: *probeEvery,
-			OnChange:      cp.ApplyRingView,
-			Logf:          log.Printf,
+			JoinMode:      *joinExisting,
+			Telemetry:     cp.Metrics(),
+			OnChange: func(v cluster.View) {
+				peers := make(map[string]string, len(v.Nodes))
+				for _, n := range v.Nodes {
+					if n.ID != self.ID {
+						peers[n.ID] = n.StatusURL
+					}
+				}
+				syncer.SetPeers(peers)
+				cp.ApplyRingView(v)
+			},
+			OnAckSeq: func(n cluster.Node, seq uint64) {
+				syncer.ObserveAckSeq(n.ID, n.StatusURL, seq)
+			},
+			Logf: log.Printf,
 		})
+		cp.SetMembership(member)
+		cp.LogIngest().SetPeerSeen(syncer.SeenAnywhere)
 		member.Start()
 		defer member.Stop()
 		log.Printf("cluster node %s joined with %d seeds", *nodeID, len(seeds))
@@ -167,8 +210,30 @@ func main() {
 	mon.StartScraping(*scrapeEvery)
 	log.Printf("identity plan: %d identities, seed %d", *population, *identitySeed)
 
+	// SIGTERM triggers a planned drain (regions and ack window handed to
+	// survivors before exit); SIGINT and POST /v1/drain shut down directly —
+	// the drain endpoint has already run the handoff by the time the hook
+	// fires.
+	drained := make(chan struct{}, 1)
+	cp.SetOnDrained(func(sum controlplane.DrainSummary) {
+		log.Printf("drained via %s: %d regions, %d entries to %d survivors",
+			controlplane.DrainPath, len(sum.Regions), sum.EntriesTransferred, sum.Survivors)
+		drained <- struct{}{}
+	})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	select {
+	case s := <-sig:
+		if s == syscall.SIGTERM {
+			sum, err := cp.Drain()
+			if err != nil {
+				log.Printf("drain: %v", err)
+			} else {
+				log.Printf("drained: %d regions, %d entries, %d acks flushed to %d survivors",
+					len(sum.Regions), sum.EntriesTransferred, sum.AcksFlushed, sum.Survivors)
+			}
+		}
+	case <-drained:
+	}
 	log.Printf("shutting down; %d sessions were connected", cp.SessionCount())
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"netsession/internal/accounting"
+	"netsession/internal/cluster"
 	"netsession/internal/edge"
 	"netsession/internal/faults"
 	"netsession/internal/geo"
@@ -68,11 +69,19 @@ type Config struct {
 	// the log ingest endpoint; it can also be swapped at runtime through
 	// LogIngest().SetFaults.
 	IngestFaults *faults.Injector
-	// LogDedup, when set, is the batch-ID dedup window the log ingest
-	// endpoint consults. A cluster shares one index across its nodes so a
-	// batch acked by one node and retried against another after a failover
-	// still counts exactly once. Nil gives the node a private window.
-	LogDedup *logpipe.DedupIndex
+	// LogAcks, when set, is this node's durable batch-acknowledgement store,
+	// consulted and fed by the log ingest endpoint and served to peers on
+	// the status server's ack endpoints for anti-entropy reconciliation — so
+	// a batch acked by one node and retried against another after a failover
+	// still counts exactly once, across real process boundaries. Nil gives
+	// the node a private in-memory window.
+	LogAcks *logpipe.AckStore
+	// JoinExisting marks a node joining an already-running cluster: the
+	// first ring view it applies treats its assigned regions as real
+	// takeovers (rebuild window and all) instead of a silent boot
+	// assignment, because peers in those regions are already attached to
+	// other nodes and must be rebalanced over.
+	JoinExisting bool
 	// ConnWrap, when set, wraps every accepted CN connection — the hook
 	// fault-injection harnesses use to make control sessions drop or lag
 	// (chaos testing the §3.8 reconnect path). Nil leaves conns untouched.
@@ -106,6 +115,12 @@ type cpMetrics struct {
 	ringNodes        *telemetry.Gauge
 	regionHandoffs   [geo.NumRegions]*telemetry.Counter
 	loginsRedirected *telemetry.Counter
+
+	// Planned-drain series, eager so a cluster that has never drained shows
+	// zeroes: regions handed off with their directory snapshot, and entries
+	// transferred inside those snapshots.
+	drainRegions *telemetry.Counter
+	drainEntries *telemetry.Counter
 }
 
 func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
@@ -137,6 +152,10 @@ func newCPMetrics(reg *telemetry.Registry) *cpMetrics {
 			"control-plane nodes alive on the cluster ring", nil),
 		loginsRedirected: reg.Counter("cp_logins_redirected_total",
 			"logins redirected to the ring owner of the peer's region", nil),
+		drainRegions: reg.Counter("cp_drain_regions_total",
+			"regions handed off with a directory snapshot during planned drains", nil),
+		drainEntries: reg.Counter("cp_drain_entries_transferred_total",
+			"directory entries pushed to new owners during planned drains", nil),
 	}
 	for r := 0; r < geo.NumRegions; r++ {
 		label := telemetry.Labels{"region": geo.NetworkRegion(r).String()}
@@ -175,6 +194,20 @@ type ControlPlane struct {
 	owned       [geo.NumRegions]bool
 	ownerCN     [geo.NumRegions]string // redirect target when not owned
 	ringApplied bool
+	// transferMs records, per region, when a draining node pushed us its
+	// directory snapshot; a takeover arriving inside the validity window
+	// skips the rebuild entirely (the directory is already populated).
+	transferMs [geo.NumRegions]int64
+
+	// memberMu guards member, the cluster membership this node participates
+	// in (nil when single-node). The status handler and the drain path read
+	// it; the cluster wiring sets it once the membership exists.
+	memberMu sync.Mutex
+	member   *cluster.Membership
+
+	drainMu   sync.Mutex
+	drained   bool
+	drainHook func(DrainSummary)
 }
 
 // New creates a control plane with one DN per region and no CNs yet.
@@ -199,11 +232,16 @@ func New(cfg Config) (*ControlPlane, error) {
 		MaxLogins:        cfg.MaxLogRecords,
 		MaxRegistrations: cfg.MaxLogRecords,
 	}, cp.metrics.reg)
-	cp.ingest = logpipe.NewIngest(logpipe.IngestConfig{
+	ingestCfg := logpipe.IngestConfig{
 		Handle:    cp.ingestEntry,
-		Dedup:     cfg.LogDedup,
 		Telemetry: cp.metrics.reg,
-	})
+	}
+	// Assign only when non-nil: a typed-nil *AckStore in the interface field
+	// would defeat NewIngest's private-window fallback.
+	if cfg.LogAcks != nil {
+		ingestCfg.Acks = cfg.LogAcks
+	}
+	cp.ingest = logpipe.NewIngest(ingestCfg)
 	for r := 0; r < geo.NumRegions; r++ {
 		cp.owned[r] = true
 	}
@@ -238,6 +276,24 @@ func (cp *ControlPlane) LogIngest() *logpipe.Ingest { return cp.ingest }
 
 // LogStore returns the durable segment store, or nil when not configured.
 func (cp *ControlPlane) LogStore() *logpipe.Store { return cp.cfg.LogStore }
+
+// LogAcks returns the node's durable ack store, or nil when not configured.
+func (cp *ControlPlane) LogAcks() *logpipe.AckStore { return cp.cfg.LogAcks }
+
+// SetMembership attaches the cluster membership this node participates in.
+// The status handler uses it to gossip the alive view (and learn probers);
+// the drain path uses it to find survivors and announce its departure.
+func (cp *ControlPlane) SetMembership(m *cluster.Membership) {
+	cp.memberMu.Lock()
+	cp.member = m
+	cp.memberMu.Unlock()
+}
+
+func (cp *ControlPlane) membership() *cluster.Membership {
+	cp.memberMu.Lock()
+	defer cp.memberMu.Unlock()
+	return cp.member
+}
 
 // StartCN starts a connection node listening on addr and returns it.
 func (cp *ControlPlane) StartCN(addr string) (*CN, error) {

@@ -22,6 +22,11 @@ func (cp *ControlPlane) ApplyRingView(v cluster.View) {
 	cp.ownMu.Lock()
 	first := !cp.ringApplied
 	cp.ringApplied = true
+	// A node booting a fresh cluster applies its first view silently —
+	// booting into a region is not a handoff. A node joining an existing
+	// cluster must not: peers in its assigned regions are attached to other
+	// nodes, so those regions go through the real takeover path.
+	silent := first && !cp.cfg.JoinExisting
 	for r := 0; r < geo.NumRegions; r++ {
 		region := geo.NetworkRegion(r)
 		owner, ok := v.Owner(region.String())
@@ -31,18 +36,16 @@ func (cp *ControlPlane) ApplyRingView(v cluster.View) {
 		} else {
 			cp.ownerCN[r] = ""
 		}
-		if mine == cp.owned[r] {
-			continue
-		}
+		flipped := mine != cp.owned[r]
 		cp.owned[r] = mine
-		if first {
-			// Initial assignment: just mark regions we don't serve; nothing
-			// to rebuild, nobody to kick.
+		if silent {
 			continue
 		}
-		if mine {
+		// On a joining node's first view, even regions that were nominally
+		// "owned" at boot (everything starts owned) count as gained.
+		if mine && (flipped || (first && cp.cfg.JoinExisting)) {
 			gained = append(gained, region)
-		} else {
+		} else if !mine && flipped {
 			lost = append(lost, region)
 		}
 	}
@@ -61,12 +64,30 @@ func (cp *ControlPlane) ApplyRingView(v cluster.View) {
 	}
 }
 
-// takeoverRegion makes this node the region's directory authority: whatever
-// stale entries survived from a previous ownership are cleared, and the PR 4
-// rebuild window opens so arriving peers RE-ADD their holdings before the
-// directory answers queries — the same recovery path a DN crash takes.
+// transferValidityMs bounds how long a pushed directory snapshot counts as
+// fresh. A takeover arriving later than this (the drain stalled, or the
+// marker is left over from an earlier drain) falls back to the rebuild
+// path rather than trusting stale entries.
+const transferValidityMs = 60_000
+
+// takeoverRegion makes this node the region's directory authority. When a
+// draining node pushed us its directory snapshot moments ago, the takeover
+// is seamless: the directory is already populated, so no rebuild window
+// opens and no peer is asked to RE-ADD. Otherwise (a crash, or a stale
+// snapshot) whatever entries survived from a previous ownership are cleared
+// and the PR 4 rebuild window opens so arriving peers RE-ADD their holdings
+// before the directory answers queries — the same recovery path a DN crash
+// takes.
 func (cp *ControlPlane) takeoverRegion(r geo.NetworkRegion) {
 	cp.metrics.regionHandoffs[int(r)].Inc()
+	now := cp.now()
+	cp.ownMu.Lock()
+	transferred := cp.transferMs[int(r)] != 0 && now-cp.transferMs[int(r)] <= transferValidityMs
+	cp.transferMs[int(r)] = 0
+	cp.ownMu.Unlock()
+	if transferred {
+		return
+	}
 	cp.FailDN(r)
 }
 

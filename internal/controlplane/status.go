@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"netsession/internal/cluster"
 	"netsession/internal/geo"
 	"netsession/internal/logpipe"
 	"netsession/internal/telemetry"
@@ -24,6 +25,13 @@ type Status struct {
 	Sessions int          `json:"sessions"`
 	CNs      int          `json:"cns"`
 	Regions  []RegionInfo `json:"regions"`
+	// Members is this node's alive view — the seed-exchange payload. A
+	// prober merges unknown members from it, so one live address is enough
+	// to discover the whole cluster.
+	Members []cluster.WireMember `json:"members,omitempty"`
+	// AckSeq is the node's batch-acknowledgement sequence; peers that see it
+	// advance past what they last pulled run an anti-entropy pull.
+	AckSeq uint64 `json:"ackSeq,omitempty"`
 	// AcceptedDownloads / RejectedReports summarize accounting health.
 	AcceptedDownloads int `json:"acceptedDownloads"`
 	RejectedReports   int `json:"rejectedReports"`
@@ -52,13 +60,33 @@ func (cp *ControlPlane) Status() Status {
 	log := cp.Collector().Snapshot()
 	st.AcceptedDownloads = len(log.Downloads)
 	st.RejectedReports = cp.Collector().Rejected()
+	if m := cp.membership(); m != nil {
+		for _, n := range m.Members() {
+			st.Members = append(st.Members, cluster.WireMember{
+				ID: n.ID, StatusURL: n.StatusURL, CNAddrs: n.CNAddrs,
+			})
+		}
+	}
+	if acks := cp.cfg.LogAcks; acks != nil {
+		st.AckSeq = acks.Seq()
+	}
 	return st
 }
 
 // StatusHandler serves the snapshot as JSON (mount wherever the operator's
-// internal HTTP surface lives).
+// internal HTTP surface lives). A probe that announces its identity in the
+// request headers is learned into the membership — the push half of seed
+// exchange, which is how the cluster discovers a joining node.
 func (cp *ControlPlane) StatusHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if proberID := r.Header.Get(cluster.HeaderProbeID); proberID != "" {
+			if m := cp.membership(); m != nil {
+				m.ObserveProber(cluster.Node{
+					ID:        proberID,
+					StatusURL: r.Header.Get(cluster.HeaderProbeURL),
+				})
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(cp.Status())
 	})
@@ -80,6 +108,14 @@ func (cp *ControlPlane) StartStatusServer(addr string) (*StatusServer, error) {
 	mux.Handle("GET /v1/status", cp.StatusHandler())
 	mux.Handle("GET /v1/analytics", cp.AnalyticsHandler())
 	mux.Handle("POST "+logpipe.BatchPath, cp.ingest.Handler())
+	mux.Handle("POST "+DrainPath, cp.DrainHandler())
+	mux.Handle("POST "+HandoffPath, http.HandlerFunc(cp.serveHandoff))
+	mux.Handle("POST "+LeavePath, http.HandlerFunc(cp.serveLeave))
+	if acks := cp.cfg.LogAcks; acks != nil {
+		mux.Handle("GET "+logpipe.AcksPath, http.HandlerFunc(acks.ServeSince))
+		mux.Handle("GET "+logpipe.AcksSeenPath, http.HandlerFunc(acks.ServeSeen))
+		mux.Handle("POST "+logpipe.AcksPath, http.HandlerFunc(acks.ServeMerge))
+	}
 	telemetry.Mount(mux, cp.metrics.reg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

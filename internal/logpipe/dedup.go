@@ -2,11 +2,10 @@ package logpipe
 
 import "sync"
 
-// DedupIndex is a bounded window of recently seen batch IDs. One index can
-// back several Ingest instances — a multi-node control plane shares one so a
-// batch acknowledged by node A and retried against node B after a failover
-// still counts exactly once. It is the in-process stand-in for the
-// replicated acknowledgement table a production cluster would keep.
+// DedupIndex is a bounded in-memory window of recently seen batch IDs — the
+// simplest AckTable, used by single-node ingest endpoints and tests. A
+// multi-node control plane uses per-node durable AckStores reconciled by
+// anti-entropy instead.
 type DedupIndex struct {
 	mu    sync.Mutex
 	seen  map[string]bool
@@ -38,7 +37,9 @@ func (d *DedupIndex) Seen(key string) bool {
 func (d *DedupIndex) Mark(key string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.seen[key] {
+	// An empty key would be indistinguishable from an empty eviction slot:
+	// once marked it could never be evicted. Ignore it.
+	if key == "" || d.seen[key] {
 		return
 	}
 	if old := d.order[d.next]; old != "" {

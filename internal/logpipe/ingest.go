@@ -42,13 +42,20 @@ type IngestConfig struct {
 	MaxDecodedBytes int64
 	// DedupWindow is how many recent batch IDs are remembered for
 	// exactly-once ingestion across uploader crashes; zero selects 4096.
-	// Ignored when Dedup is set.
+	// Ignored when Acks is set.
 	DedupWindow int
-	// Dedup, when set, is the batch-ID window this endpoint consults and
-	// feeds. A multi-node control plane shares one index across its nodes so
-	// a batch acked by one node and retried against another after failover
-	// still ingests exactly once. Nil gives the endpoint a private index.
-	Dedup *DedupIndex
+	// Acks, when set, is the batch-acknowledgement table this endpoint
+	// consults and feeds — a node's durable AckStore in a multi-node control
+	// plane, replicated by anti-entropy, so a batch acked by one node and
+	// retried against another after failover still ingests exactly once.
+	// Nil gives the endpoint a private in-memory window.
+	Acks AckTable
+	// PeerSeen, when set, is consulted on a local dedup miss before the
+	// batch body is read: it asks the rest of the cluster whether any node
+	// already acked this key. It closes the replay-before-anti-entropy gap —
+	// the uploader retried against a different node faster than the ack
+	// could replicate. A hit marks the key locally and answers Duplicate.
+	PeerSeen func(key string) bool
 	// MaxInflight bounds concurrently processed batches; beyond it the
 	// endpoint answers 429 with Retry-After — explicit backpressure instead
 	// of queue growth. Zero selects 4.
@@ -71,7 +78,11 @@ type Ingest struct {
 	// off mid-run to drive 503 storms and stalls through a live endpoint).
 	inj atomic.Pointer[faults.Injector]
 
-	dedup *DedupIndex
+	acks AckTable
+
+	// peerSeen is runtime-settable: the cluster wiring installs the
+	// anti-entropy syncer's remote check after the node's HTTP surface is up.
+	peerSeen atomic.Pointer[func(key string) bool]
 
 	batches      *telemetry.Counter
 	records      *telemetry.Counter
@@ -100,12 +111,16 @@ func NewIngest(cfg IngestConfig) *Ingest {
 		cfg.RetryAfter = time.Second
 	}
 	in := &Ingest{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxInflight),
-		dedup: cfg.Dedup,
+		cfg:  cfg,
+		sem:  make(chan struct{}, cfg.MaxInflight),
+		acks: cfg.Acks,
 	}
-	if in.dedup == nil {
-		in.dedup = NewDedupIndex(cfg.DedupWindow)
+	if in.acks == nil {
+		in.acks = NewDedupIndex(cfg.DedupWindow)
+	}
+	if cfg.PeerSeen != nil {
+		fn := cfg.PeerSeen
+		in.peerSeen.Store(&fn)
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		in.batches = reg.Counter("logpipe_ingest_batches_total",
@@ -129,6 +144,16 @@ func NewIngest(cfg IngestConfig) *Ingest {
 // endpoint: injected errors answer 503, injected latency stalls the
 // response, injected rejects answer 429.
 func (in *Ingest) SetFaults(inj *faults.Injector) { in.inj.Store(inj) }
+
+// SetPeerSeen installs (or, with nil, removes) the remote dedup check on
+// the live endpoint; see IngestConfig.PeerSeen.
+func (in *Ingest) SetPeerSeen(fn func(key string) bool) {
+	if fn == nil {
+		in.peerSeen.Store(nil)
+		return
+	}
+	in.peerSeen.Store(&fn)
+}
 
 // BatchResponse is the ingest endpoint's JSON reply.
 type BatchResponse struct {
@@ -169,7 +194,10 @@ func (in *Ingest) serve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	guid, err := id.ParseGUID(r.Header.Get(HeaderGUID))
-	if err != nil {
+	if err != nil || guid.IsZero() {
+		// The all-zeros GUID parses but would key every batch as
+		// "<zeros>/seq" — and an empty dedup key can wedge the window's
+		// eviction slot; reject the whole class at the door.
 		in.inc(in.rejBadBatch)
 		http.Error(w, "missing or invalid "+HeaderGUID, http.StatusBadRequest)
 		return
@@ -181,10 +209,20 @@ func (in *Ingest) serve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := guid.String() + "/" + strconv.FormatUint(seq, 10)
-	if in.dedup.Seen(key) {
+	if in.acks.Seen(key) {
 		// The uploader crashed between our ack and its cursor write; its
 		// resend is byte-identical, so acknowledging without re-ingesting
 		// preserves exactly-once accounting.
+		in.inc(in.deduped)
+		writeJSON(w, BatchResponse{Duplicate: true})
+		return
+	}
+	if fn := in.peerSeen.Load(); fn != nil && (*fn)(key) {
+		// Another node acked this batch and anti-entropy hasn't copied the
+		// ack here yet — the uploader failed over faster than replication.
+		// Mark locally so the next resend short-circuits without the
+		// round-trip.
+		in.acks.Mark(key)
 		in.inc(in.deduped)
 		writeJSON(w, BatchResponse{Duplicate: true})
 		return
@@ -208,7 +246,7 @@ func (in *Ingest) serve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	in.dedup.Mark(key)
+	in.acks.Mark(key)
 	in.inc(in.batches)
 	if in.records != nil {
 		in.records.Add(int64(accepted))

@@ -155,14 +155,16 @@ func TestIngestDedupWindowEvicts(t *testing.T) {
 }
 
 // TestIngestSharedDedupAcrossNodes models a control-plane failover: two
-// ingest endpoints (two CP nodes) share one dedup index, so a batch
+// ingest endpoints (two CP nodes) share one ack table, so a batch
 // acknowledged by node A and retried against node B still ingests once.
+// (Real deployments use per-node AckStores reconciled by anti-entropy; the
+// shared table here isolates the ingest-side semantics.)
 func TestIngestSharedDedupAcrossNodes(t *testing.T) {
 	shared := NewDedupIndex(0)
 	chA, chB := &countingHandler{}, &countingHandler{}
 	regB := telemetry.NewRegistry()
-	nodeA := NewIngest(IngestConfig{Handle: chA.handle, Dedup: shared})
-	nodeB := NewIngest(IngestConfig{Handle: chB.handle, Dedup: shared, Telemetry: regB})
+	nodeA := NewIngest(IngestConfig{Handle: chA.handle, Acks: shared})
+	nodeB := NewIngest(IngestConfig{Handle: chB.handle, Acks: shared, Telemetry: regB})
 	guid := id.NewGUID().String()
 	body := gzBatch(t, entryLines(t, testEntry(0), testEntry(1)))
 

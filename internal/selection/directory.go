@@ -228,6 +228,29 @@ func (d *Directory) DropPeer(g id.GUID) {
 	}
 }
 
+// ExportEntry is one live registration as surfaced by Export.
+type ExportEntry struct {
+	Object content.ObjectID
+	Entry  Entry
+}
+
+// Export snapshots every live registration — what a draining control-plane
+// node pushes to a region's new owner, so the takeover starts with the full
+// directory instead of an empty one waiting out a rebuild window.
+func (d *Directory) Export() []ExportEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []ExportEntry
+	for obj, oe := range d.objects {
+		for _, de := range oe.entries {
+			if !de.dead {
+				out = append(out, ExportEntry{Object: obj, Entry: de.e})
+			}
+		}
+	}
+	return out
+}
+
 // Expire purges registrations whose soft state is older than ttlMs at time
 // nowMs, returning how many entries were purged. The directory's contents
 // are reconstructible from the peers (§3.8), so aggressive expiry is safe.

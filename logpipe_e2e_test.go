@@ -205,17 +205,30 @@ func TestCrashLogpipeExactlyOnce(t *testing.T) {
 
 // TestCrashLogpipeCrossCPDedup replays the ack-before-cursor crash across
 // control-plane nodes: a batch acked by node A is resent — after a peer
-// crash restores the pre-upload spool — to node B. The nodes share a batch
-// dedup index (the stand-in for a replicated ack table), so the record must
-// be accounted exactly once cluster-wide, with node B counting the dedup.
+// crash restores the pre-upload spool — to node B. Each node keeps its own
+// durable ack store in its own state directory; the probe interval is set to
+// an hour so anti-entropy can never replicate the ack before the resend
+// lands. The record must still be accounted exactly once cluster-wide: node
+// B's only way to know is the synchronous cross-node seen check.
 func TestCrashLogpipeCrossCPDedup(t *testing.T) {
 	cfg := DefaultClusterConfig()
 	cfg.CPNodes = 2
+	cfg.LogDir = t.TempDir()
+	cfg.CPProbeInterval = time.Hour
 	c, err := StartCluster(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
+
+	// The ack tables are genuinely per-node and durable: each node owns an
+	// ack journal under its own state directory, not a shared pointer.
+	for _, node := range []string{"cp-0", "cp-1"} {
+		p := filepath.Join(cfg.LogDir, node, "acks", "acks.json")
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("node %s has no durable ack checkpoint: %v", node, err)
+		}
+	}
 
 	obj, err := NewObject(3001, "logpipe/crosscp.bin", 1, 500_000, 16<<10, true)
 	if err != nil {
@@ -273,6 +286,89 @@ func TestCrashLogpipeCrossCPDedup(t *testing.T) {
 	}
 	if got := bSnap.Counters["logpipe_ingest_records_total"]; got != 0 {
 		t.Errorf("node B accepted %d records from a batch node A already acked", got)
+	}
+	// Anti-entropy never ran (hour-long probe interval): the dedup can only
+	// have come through the synchronous peer-seen check against node A.
+	if got := bSnap.Counters["logpipe_ack_sync_pulls_total"]; got != 0 {
+		t.Errorf("node B pulled %d times; the replay was supposed to beat anti-entropy", got)
+	}
+}
+
+// TestCrashLogpipeAckAntiEntropyFailover is the same resend-after-crash but
+// with anti-entropy given time to run and the original ingest node killed
+// before the resend: node B must have pulled node A's ack into its own store
+// while A was alive, so it dedups the replayed batch locally — no remote
+// check possible, A is gone.
+func TestCrashLogpipeAckAntiEntropyFailover(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.CPNodes = 2
+	cfg.CPProbeInterval = 50 * time.Millisecond
+	c, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := NewObject(3001, "logpipe/antientropy.bin", 1, 500_000, 16<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	urls := c.ControlPlaneURLs()
+	stateDir := t.TempDir()
+	victim := spawnLogpipePeerURL(t, c, stateDir, urls[0])
+	res, err := chaosStart(t, victim, obj.ID).Wait(ctx)
+	if err != nil || res.Outcome != protocol.OutcomeCompleted {
+		t.Fatalf("download: res=%+v err=%v", res, err)
+	}
+	if !chaosEventually(10*time.Second, func() bool { return victim.LogsPending() > 0 }) {
+		t.Fatal("completed download never reached the log spool")
+	}
+
+	spoolDir := filepath.Join(stateDir, logSpoolSubdir)
+	snapDir := t.TempDir()
+	copyDir(t, spoolDir, snapDir)
+
+	// Node A acks the batch; its advertised ack sequence advances, and node
+	// B's next probe of A pulls the new ack into B's own store.
+	if err := victim.FlushLogs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	nodeB := c.nodes[1]
+	if !chaosEventually(10*time.Second, func() bool { return nodeB.acks.Seq() >= 1 }) {
+		t.Fatal("node B never pulled node A's ack by anti-entropy")
+	}
+	if got := nodeB.cp.Metrics().Snapshot().Counters["logpipe_ack_sync_pulls_total"]; got < 1 {
+		t.Fatalf("node B logpipe_ack_sync_pulls_total = %d, want >= 1", got)
+	}
+
+	// Kill node A — the replicated ack is now the only copy that matters.
+	// Wait for node B to demote it so logins stop redirecting at a corpse.
+	victim.Kill()
+	c.KillCPNode(0)
+	if !chaosEventually(10*time.Second, func() bool { return nodeB.member.AliveCount() == 1 }) {
+		t.Fatal("node B never noticed node A's death")
+	}
+	replaceDir(t, snapDir, spoolDir)
+	reborn := spawnLogpipePeerURL(t, c, stateDir, urls[1])
+	if reborn.LogsPending() == 0 {
+		t.Fatal("restored spool shows nothing pending; the resend scenario never ran")
+	}
+	if err := reborn.FlushLogs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	bSnap := nodeB.cp.Metrics().Snapshot()
+	if got := bSnap.Counters["logpipe_ingest_deduped_total"]; got < 1 {
+		t.Errorf("node B logpipe_ingest_deduped_total = %d, want >= 1", got)
+	}
+	if got := bSnap.Counters["logpipe_ingest_records_total"]; got != 0 {
+		t.Errorf("node B accepted %d records from a batch the dead node already acked", got)
 	}
 }
 
