@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench bench-smoke bench-analytics chaos crash failover drain clean-state
+.PHONY: check build test vet fmt race bench bench-smoke bench-analytics bench-streaming chaos crash failover drain streaming clean-state
 
-check: fmt vet build race chaos crash failover drain bench-smoke bench-analytics
+check: fmt vet build race chaos crash failover drain streaming bench-smoke bench-analytics bench-streaming
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,25 @@ failover:
 # undisturbed baseline. Includes the kill-vs-drain stampede contrast.
 drain:
 	$(GO) test -race -run 'Drain' -v .
+
+# Streaming-delivery end-to-end: a live cluster streams objects at a
+# feasible bitrate (zero deadline misses, metrics flow through logpipe with
+# offline/streaming-summarizer parity) and at an infeasible bitrate under
+# injected edge/CN faults (nonzero rebuffers, urgent-window edge rescues,
+# download still completes verified).
+streaming:
+	$(GO) test -race -run 'StreamingE2E' -v .
+
+# Deadline-scheduler canary: the playback-window piece picker on a 1000-piece
+# window must stay allocation-lean; numbers land in BENCH_streaming.json.
+BENCH_STREAMING_JSON ?= BENCH_streaming.json
+
+bench-streaming:
+	$(GO) test -run '^$$' -bench 'BenchmarkWindowScheduler$$' \
+		-benchtime 100x -benchmem ./internal/streaming > bench-streaming.txt \
+		|| { cat bench-streaming.txt; exit 1; }
+	@cat bench-streaming.txt
+	$(GO) run ./tools/benchjson -in bench-streaming.txt -out $(BENCH_STREAMING_JSON)
 
 # Remove state directories left behind by interrupted live runs (the README
 # examples put netsession-peer -state-dir under ./state/).

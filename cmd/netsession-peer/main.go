@@ -8,7 +8,8 @@
 //
 //	netsession-peer -control ADDR[,ADDR...] -edge URL
 //	                [-object HEXID] [-uploads] [-serve] [-state-dir DIR]
-//	                [-identity K] [-identity-seed N] [-population N]
+//	                [-stream-bitrate BPS] [-identity K] [-identity-seed N]
+//	                [-population N]
 //
 // With -state-dir, the installation state, every verified piece, and the
 // progress of in-flight downloads persist on disk; a peer killed mid-download
@@ -32,6 +33,7 @@ import (
 	"netsession/internal/content"
 	"netsession/internal/geo"
 	"netsession/internal/peer"
+	"netsession/internal/streaming"
 )
 
 func main() {
@@ -48,6 +50,9 @@ func main() {
 	monitorURL := flag.String("monitor", "", "monitoring node base URL receiving operational reports")
 	stunAddr := flag.String("stun", "", "STUN server address for reflexive-address discovery")
 	logUpload := flag.String("log-upload", "", "comma-separated control plane operator URLs (the -status addresses of the netsession-cp nodes); usage reports then go through the durable log spool and batched uploader instead of in-band, failing over across URLs. Requires -state-dir")
+	streamBitrate := flag.Int64("stream-bitrate", 0, "consume the -object download as a deadline-driven stream at this playback bitrate in bits/s (0: bulk download)")
+	streamStartup := flag.Int("stream-startup-pieces", 0, "pieces buffered before playback starts (0: default)")
+	streamWindow := flag.Int("stream-window-pieces", 0, "urgent playback-window width in pieces (0: default)")
 	identity := flag.Int("identity", 0, "index into the deterministic identity plan")
 	identitySeed := flag.Int64("identity-seed", 7, "seed of the identity plan (must match netsession-cp)")
 	population := flag.Int("population", 1000, "size of the identity plan (must match netsession-cp)")
@@ -135,14 +140,27 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		dl, err := cl.Download(oid)
+		var opts peer.DownloadOpts
+		if *streamBitrate > 0 {
+			opts.Streaming = &streaming.Config{
+				BitrateBps:    *streamBitrate,
+				StartupPieces: *streamStartup,
+				WindowPieces:  *streamWindow,
+			}
+		}
+		dl, err := cl.DownloadWith(oid, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		go func() {
 			for {
 				have, total := dl.Progress()
-				log.Printf("progress: %d/%d pieces", have, total)
+				if sm := dl.StreamMetrics(); sm != nil {
+					log.Printf("progress: %d/%d pieces, played %d, %d rebuffers",
+						have, total, sm.PiecesPlayed, sm.RebufferCount)
+				} else {
+					log.Printf("progress: %d/%d pieces", have, total)
+				}
 				if total > 0 && have == total {
 					return
 				}
@@ -157,6 +175,11 @@ func main() {
 		log.Printf("bytes: %d from infrastructure, %d from %d peers (peer efficiency %.1f%%)",
 			res.BytesInfra, res.BytesPeers, len(res.FromPeers), 100*res.PeerEfficiency())
 		log.Printf("duration: %s", res.Duration.Round(time.Millisecond))
+		if st := res.Stream; st != nil {
+			log.Printf("stream: startup %dms, %d rebuffers (%dms paused), deadline misses %.2f%% (%d/%d pieces played), %d urgent bytes rescued from the edge",
+				st.StartupDelayMs, st.RebufferCount, st.RebufferMs,
+				100*st.DeadlineMissRatio(), st.PiecesPlayed, st.PiecesTotal, st.EdgeRescueBytes)
+		}
 		for _, st := range dl.Trace().Stages() {
 			log.Printf("trace %-14s count=%-5d total=%s", st.Name, st.Count, st.Total.Round(time.Microsecond))
 		}

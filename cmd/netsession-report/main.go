@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	netsession-report [-scale small|default] [-peers N] [-downloads N]
+//	netsession-report [-scale small|default|streaming] [-peers N] [-downloads N]
 //	                  [-days N] [-seed N] [-workers N] [-o file]
 //	netsession-report -live http://CP-STATUS-ADDR
 package main
@@ -35,7 +35,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netsession-report: ")
 
-	scale := flag.String("scale", "default", "scenario scale: small or default")
+	scale := flag.String("scale", "default", "scenario scale: small, default, or streaming")
 	peers := flag.Int("peers", 0, "override peer population size")
 	downloads := flag.Int("downloads", 0, "override total downloads")
 	days := flag.Int("days", 0, "override trace length in days")
@@ -61,6 +61,8 @@ func main() {
 		cfg = netsession.SmallScenario()
 	case "default":
 		cfg = netsession.DefaultScenario()
+	case "streaming":
+		cfg = netsession.StreamingScenario()
 	default:
 		log.Fatalf("unknown -scale %q", *scale)
 	}

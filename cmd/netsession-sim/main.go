@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	netsession-sim [-scenario default|small|xl|m|xxl] [-peers N] [-downloads N]
+//	netsession-sim [-scenario default|small|xl|m|xxl|streaming] [-peers N] [-downloads N]
 //	               [-days N] [-seed N] [-workers N] [-debug-addr ADDR]
 //	               [-cpuprofile FILE] [-memprofile FILE] -out DIR
 package main
@@ -36,7 +36,7 @@ func main() {
 	log.SetPrefix("netsession-sim: ")
 
 	scenario := flag.String("scenario", "default",
-		"base scenario tier: default (20k peers), small (4k), xl (60k), m (250k), or xxl (1M peers / 31 days)")
+		"base scenario tier: default (20k peers), small (4k), xl (60k), m (250k), xxl (1M peers / 31 days), or streaming (deadline-driven delivery)")
 	peers := flag.Int("peers", 0, "peer population size")
 	downloads := flag.Int("downloads", 0, "total downloads")
 	days := flag.Int("days", 0, "trace length in days")
@@ -66,8 +66,10 @@ func main() {
 		cfg = netsession.MScenario()
 	case "xxl":
 		cfg = netsession.XXLScenario()
+	case "streaming":
+		cfg = netsession.StreamingScenario()
 	default:
-		log.Fatalf("unknown -scenario %q (want default, small, xl, m, or xxl)", *scenario)
+		log.Fatalf("unknown -scenario %q (want default, small, xl, m, xxl, or streaming)", *scenario)
 	}
 	if *peers > 0 {
 		cfg.NumPeers = *peers

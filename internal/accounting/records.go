@@ -47,6 +47,23 @@ type DownloadRecord struct {
 
 	// FromPeers attributes peer-delivered bytes to serving GUIDs.
 	FromPeers []PeerContribution
+	// Stream is the playback sub-record of a deadline-driven streaming
+	// download (startup delay, rebuffers, deadline misses, edge rescues);
+	// nil for bulk transfers.
+	Stream *StreamStats
+}
+
+// StreamStats is the streaming outcome attached to a DownloadRecord. All
+// fields are plain sums/tallies so fleet aggregates merge exactly.
+type StreamStats struct {
+	BitrateBps      int64
+	StartupDelayMs  int64
+	RebufferCount   int64
+	RebufferMs      int64
+	DeadlineMisses  int64
+	PiecesPlayed    int64
+	PiecesTotal     int64
+	EdgeRescueBytes int64
 }
 
 // PeerContribution is one serving peer's share of a download.

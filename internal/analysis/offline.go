@@ -36,6 +36,22 @@ type OfflineDownload struct {
 	Outcome    string                `json:"outcome"`
 	Peers      int                   `json:"peersReturned"`
 	FromPeers  []OfflineContribution `json:"fromPeers,omitempty"`
+	Stream     *OfflineStream        `json:"stream,omitempty"`
+}
+
+// OfflineStream is the streaming sub-record of a deadline-driven download:
+// identical fields whether the record came from a live peer's report or
+// the simulator, so streamed and simulated logs are indistinguishable to
+// every analysis below.
+type OfflineStream struct {
+	BitrateBps      int64 `json:"bitrateBps"`
+	StartupDelayMs  int64 `json:"startupDelayMs"`
+	RebufferCount   int64 `json:"rebufferCount"`
+	RebufferMs      int64 `json:"rebufferMs"`
+	DeadlineMisses  int64 `json:"deadlineMisses"`
+	PiecesPlayed    int64 `json:"piecesPlayed"`
+	PiecesTotal     int64 `json:"piecesTotal"`
+	EdgeRescueBytes int64 `json:"edgeRescueBytes"`
 }
 
 // OfflineContribution attributes bytes to one serving peer.
@@ -87,6 +103,18 @@ func OfflineFromRecord(d *accounting.DownloadRecord, lookup GeoLookup) OfflineDo
 			GUID: pc.GUID.String(), Country: pt.Country, ASN: pt.ASN,
 			Region: pt.Region, Bytes: pc.Bytes,
 		})
+	}
+	if d.Stream != nil {
+		out.Stream = &OfflineStream{
+			BitrateBps:      d.Stream.BitrateBps,
+			StartupDelayMs:  d.Stream.StartupDelayMs,
+			RebufferCount:   d.Stream.RebufferCount,
+			RebufferMs:      d.Stream.RebufferMs,
+			DeadlineMisses:  d.Stream.DeadlineMisses,
+			PiecesPlayed:    d.Stream.PiecesPlayed,
+			PiecesTotal:     d.Stream.PiecesTotal,
+			EdgeRescueBytes: d.Stream.EdgeRescueBytes,
+		}
 	}
 	return out
 }
@@ -151,6 +179,15 @@ type OfflineSummary struct {
 	HeavySharePct  float64
 	TopObjectCount int
 	ZipfExponent   float64
+
+	// Streaming-delivery aggregates over records carrying a stream
+	// sub-record; all zero when the log has no streams.
+	StreamingDownloads    int
+	StreamStartupMeanMs   float64
+	StreamRebufferEvents  int64
+	StreamRebufferMs      int64
+	StreamDeadlineMissPct float64 // misses per played piece
+	StreamEdgeRescueBytes int64
 }
 
 // OfflineAccumulator computes an OfflineSummary one record at a time, so the
@@ -177,6 +214,16 @@ type OfflineAccumulator struct {
 	intra, totalP2P                                  int64
 	perASUp                                          map[uint32]int64
 	perURL                                           map[string]int
+
+	// Streaming tallies: plain integer sums, so the streaming summarizer
+	// reproduces them exactly (the PR-6 equivalence contract).
+	streams           int
+	streamStartupSum  int64
+	streamRebufCnt    int64
+	streamRebufMs     int64
+	streamMisses      int64
+	streamPlayed      int64
+	streamRescueBytes int64
 }
 
 // NewOfflineAccumulator creates an empty accumulator.
@@ -243,6 +290,15 @@ func (a *OfflineAccumulator) Add(d *OfflineDownload) {
 			a.perASUp[pc.ASN] += pc.Bytes
 		}
 	}
+	if st := d.Stream; st != nil {
+		a.streams++
+		a.streamStartupSum += st.StartupDelayMs
+		a.streamRebufCnt += st.RebufferCount
+		a.streamRebufMs += st.RebufferMs
+		a.streamMisses += st.DeadlineMisses
+		a.streamPlayed += st.PiecesPlayed
+		a.streamRescueBytes += st.EdgeRescueBytes
+	}
 }
 
 // Records returns how many downloads have been added.
@@ -291,6 +347,13 @@ func (a *OfflineAccumulator) Merge(o *OfflineAccumulator) {
 	for u, c := range o.perURL {
 		a.perURL[u] += c
 	}
+	a.streams += o.streams
+	a.streamStartupSum += o.streamStartupSum
+	a.streamRebufCnt += o.streamRebufCnt
+	a.streamRebufMs += o.streamRebufMs
+	a.streamMisses += o.streamMisses
+	a.streamPlayed += o.streamPlayed
+	a.streamRescueBytes += o.streamRescueBytes
 }
 
 // Summary derives the summary from the accumulated state. It may be called
@@ -337,6 +400,16 @@ func (a *OfflineAccumulator) Summary() OfflineSummary {
 		s.TopObjectCount = counts[0]
 	}
 	s.ZipfExponent = Figure3b{Counts: counts}.PowerLawSlope()
+	s.StreamingDownloads = a.streams
+	if a.streams > 0 {
+		s.StreamStartupMeanMs = float64(a.streamStartupSum) / float64(a.streams)
+	}
+	s.StreamRebufferEvents = a.streamRebufCnt
+	s.StreamRebufferMs = a.streamRebufMs
+	if a.streamPlayed > 0 {
+		s.StreamDeadlineMissPct = 100 * float64(a.streamMisses) / float64(a.streamPlayed)
+	}
+	s.StreamEdgeRescueBytes = a.streamRescueBytes
 	return s
 }
 
@@ -400,5 +473,11 @@ func (s OfflineSummary) Render() string {
 		s.IntraASPct, s.HeavyASes, s.HeavySharePct)
 	w("popularity: top object %d downloads, fitted Zipf exponent %.2f",
 		s.TopObjectCount, s.ZipfExponent)
+	if s.StreamingDownloads > 0 {
+		w("streaming: %d sessions, mean startup %.0fms, %d rebuffers (%dms paused), "+
+			"deadline misses %.2f%% of played pieces, edge rescued %d urgent bytes",
+			s.StreamingDownloads, s.StreamStartupMeanMs, s.StreamRebufferEvents,
+			s.StreamRebufferMs, s.StreamDeadlineMissPct, s.StreamEdgeRescueBytes)
+	}
 	return b.String()
 }

@@ -192,6 +192,18 @@ func Report(in *Input, traceDays int) string {
 	}
 	w("")
 
+	if sf := ComputeStreamingFigure(in); sf.Sessions > 0 {
+		w("## Streaming delivery — startup, rebuffers, deadlines")
+		w("sessions: %d", sf.Sessions)
+		w("startup delay: mean %.0fms, p50 %dms, p95 %dms",
+			sf.StartupMeanMs, sf.StartupP50Ms, sf.StartupP95Ms)
+		w("rebuffers: %.1f%% of sessions stalled; %d events, %d ms paused",
+			sf.PctWithRebuffer, sf.RebufferEvents, sf.RebufferMs)
+		w("deadline misses: %.2f%% of played pieces; %d urgent bytes edge-rescued",
+			sf.DeadlineMissPct, sf.EdgeRescueBytes)
+		w("")
+	}
+
 	h := ComputeHeadlines(in, traceDays)
 	w("## Headlines")
 	w("p2p-enabled files: %.1f%% of catalog carrying %.1f%% of bytes (paper: 1.7%% / 57.4%%)",

@@ -1,0 +1,59 @@
+package analysis
+
+import "sort"
+
+// StreamingFigure summarizes the deadline-driven delivery metrics across a
+// log set — the streaming analog of the paper's quality-of-service figures
+// (startup delay in place of first-byte latency, rebuffers in place of
+// pauses).
+type StreamingFigure struct {
+	Sessions int
+	// Startup-delay distribution, milliseconds.
+	StartupMeanMs float64
+	StartupP50Ms  int64
+	StartupP95Ms  int64
+	// Rebuffering.
+	PctWithRebuffer float64 // sessions with at least one stall
+	RebufferEvents  int64
+	RebufferMs      int64
+	// Deadlines.
+	DeadlineMissPct float64 // of all played pieces
+	EdgeRescueBytes int64
+}
+
+// ComputeStreamingFigure folds every streaming download in the log. Sessions
+// is zero when the scenario had no streams; callers gate rendering on that.
+func ComputeStreamingFigure(in *Input) StreamingFigure {
+	var f StreamingFigure
+	var startups []int64
+	var startupSum, misses, played int64
+	for i := range in.Log.Downloads {
+		st := in.Log.Downloads[i].Stream
+		if st == nil {
+			continue
+		}
+		f.Sessions++
+		startups = append(startups, st.StartupDelayMs)
+		startupSum += st.StartupDelayMs
+		if st.RebufferCount > 0 {
+			f.PctWithRebuffer++
+		}
+		f.RebufferEvents += st.RebufferCount
+		f.RebufferMs += st.RebufferMs
+		misses += st.DeadlineMisses
+		played += st.PiecesPlayed
+		f.EdgeRescueBytes += st.EdgeRescueBytes
+	}
+	if f.Sessions == 0 {
+		return f
+	}
+	sort.Slice(startups, func(i, j int) bool { return startups[i] < startups[j] })
+	f.StartupMeanMs = float64(startupSum) / float64(f.Sessions)
+	f.StartupP50Ms = startups[len(startups)/2]
+	f.StartupP95Ms = startups[len(startups)*95/100]
+	f.PctWithRebuffer = 100 * f.PctWithRebuffer / float64(f.Sessions)
+	if played > 0 {
+		f.DeadlineMissPct = 100 * float64(misses) / float64(played)
+	}
+	return f
+}

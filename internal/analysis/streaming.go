@@ -41,13 +41,22 @@ type streamAgg struct {
 	effSum                                           float64
 	effN                                             int64
 	intraAS, interAS                                 int64
-	perASUp                                          map[uint32]int64
-	countries                                        map[string]struct{}
-	ases                                             map[uint32]struct{}
-	regions                                          map[string]*regionAgg
-	matrix                                           map[string]map[string]int64
-	guids                                            *HLL
-	urls                                             *HLL
+	// Streaming-delivery tallies: integer sums mirroring the offline
+	// accumulator exactly, per the equivalence contract.
+	streams           int64
+	streamStartupSum  int64
+	streamRebufCnt    int64
+	streamRebufMs     int64
+	streamMisses      int64
+	streamPlayed      int64
+	streamRescueBytes int64
+	perASUp           map[uint32]int64
+	countries         map[string]struct{}
+	ases              map[uint32]struct{}
+	regions           map[string]*regionAgg
+	matrix            map[string]map[string]int64
+	guids             *HLL
+	urls              *HLL
 }
 
 type regionAgg struct {
@@ -145,6 +154,16 @@ func (a *streamAgg) observe(d *OfflineDownload) {
 		}
 	}
 
+	if st := d.Stream; st != nil {
+		a.streams++
+		a.streamStartupSum += st.StartupDelayMs
+		a.streamRebufCnt += st.RebufferCount
+		a.streamRebufMs += st.RebufferMs
+		a.streamMisses += st.DeadlineMisses
+		a.streamPlayed += st.PiecesPlayed
+		a.streamRescueBytes += st.EdgeRescueBytes
+	}
+
 	reg := a.regionOf(d.Region)
 	reg.downloads++
 	reg.bytesInfra += d.BytesInfra
@@ -210,6 +229,15 @@ type StreamingSummary struct {
 	InterASBytes   int64            `json:"interASBytes"`
 	InterASUploads map[uint32]int64 `json:"interASUploads,omitempty"`
 
+	// Streaming-delivery raw tallies (mergeable integer sums).
+	StreamDownloads       int64 `json:"streamDownloads"`
+	StreamStartupSumMs    int64 `json:"streamStartupSumMs"`
+	StreamRebufferEvents  int64 `json:"streamRebufferEvents"`
+	StreamRebufferMs      int64 `json:"streamRebufferMs"`
+	StreamDeadlineMisses  int64 `json:"streamDeadlineMisses"`
+	StreamPiecesPlayed    int64 `json:"streamPiecesPlayed"`
+	StreamEdgeRescueBytes int64 `json:"streamEdgeRescueBytes"`
+
 	CountrySet []string `json:"countrySet,omitempty"`
 	ASSet      []uint32 `json:"asSet,omitempty"`
 
@@ -235,6 +263,8 @@ type StreamingSummary struct {
 	IntraASPct                 float64 `json:"intraASPct"`
 	HeavyASes                  int     `json:"heavyASes"`
 	HeavySharePct              float64 `json:"heavySharePct"`
+	StreamStartupMeanMs        float64 `json:"streamStartupMeanMs"`
+	StreamDeadlineMissPct      float64 `json:"streamDeadlineMissPct"`
 }
 
 // Snapshot merges every shard and returns the finalized summary. It may be
@@ -278,6 +308,13 @@ func (a *streamAgg) merge(o *streamAgg) {
 	a.effN += o.effN
 	a.intraAS += o.intraAS
 	a.interAS += o.interAS
+	a.streams += o.streams
+	a.streamStartupSum += o.streamStartupSum
+	a.streamRebufCnt += o.streamRebufCnt
+	a.streamRebufMs += o.streamRebufMs
+	a.streamMisses += o.streamMisses
+	a.streamPlayed += o.streamPlayed
+	a.streamRescueBytes += o.streamRescueBytes
 	for asn, b := range o.perASUp {
 		a.perASUp[asn] += b
 	}
@@ -318,7 +355,14 @@ func (a *streamAgg) summary() StreamingSummary {
 		BytesP2PFiles: a.bytesP2PFiles, BytesPeersP2P: a.bytesPeersP2P,
 		EffSum: a.effSum, EffN: a.effN,
 		IntraASBytes: a.intraAS, InterASBytes: a.interAS,
-		GUIDSketch: a.guids.Bytes(), URLSketch: a.urls.Bytes(),
+		StreamDownloads:       a.streams,
+		StreamStartupSumMs:    a.streamStartupSum,
+		StreamRebufferEvents:  a.streamRebufCnt,
+		StreamRebufferMs:      a.streamRebufMs,
+		StreamDeadlineMisses:  a.streamMisses,
+		StreamPiecesPlayed:    a.streamPlayed,
+		StreamEdgeRescueBytes: a.streamRescueBytes,
+		GUIDSketch:            a.guids.Bytes(), URLSketch: a.urls.Bytes(),
 	}
 	if len(a.perASUp) > 0 {
 		s.InterASUploads = make(map[uint32]int64, len(a.perASUp))
@@ -397,6 +441,11 @@ func (s *StreamingSummary) Finalize() {
 	s.AbortP2PPct = pct(s.AbortP2P, s.NP2P)
 	s.IntraASPct = pct(s.IntraASBytes, s.IntraASBytes+s.InterASBytes)
 	s.HeavyASes, s.HeavySharePct = heavyUploaders(s.InterASUploads)
+	s.StreamStartupMeanMs = 0
+	if s.StreamDownloads > 0 {
+		s.StreamStartupMeanMs = float64(s.StreamStartupSumMs) / float64(s.StreamDownloads)
+	}
+	s.StreamDeadlineMissPct = pct(s.StreamDeadlineMisses, s.StreamPiecesPlayed)
 }
 
 // Merge folds another summary into this one — the monitor's fleet view over
@@ -420,6 +469,13 @@ func (s *StreamingSummary) Merge(o *StreamingSummary) error {
 	s.EffN += o.EffN
 	s.IntraASBytes += o.IntraASBytes
 	s.InterASBytes += o.InterASBytes
+	s.StreamDownloads += o.StreamDownloads
+	s.StreamStartupSumMs += o.StreamStartupSumMs
+	s.StreamRebufferEvents += o.StreamRebufferEvents
+	s.StreamRebufferMs += o.StreamRebufferMs
+	s.StreamDeadlineMisses += o.StreamDeadlineMisses
+	s.StreamPiecesPlayed += o.StreamPiecesPlayed
+	s.StreamEdgeRescueBytes += o.StreamEdgeRescueBytes
 	if len(o.InterASUploads) > 0 && s.InterASUploads == nil {
 		s.InterASUploads = map[uint32]int64{}
 	}
@@ -560,6 +616,11 @@ func (s StreamingSummary) Render() string {
 	w("AS locality: intra-AS %s (%.1f%%), inter-AS %s; %d heavy ASes carry %.0f%% of inter-AS bytes",
 		humanBytes(s.IntraASBytes), s.IntraASPct, humanBytes(s.InterASBytes),
 		s.HeavyASes, s.HeavySharePct)
+	if s.StreamDownloads > 0 {
+		w("streaming: %d sessions, mean startup %.0fms, %d rebuffers (%dms paused), deadline misses %.2f%%, edge rescued %s",
+			s.StreamDownloads, s.StreamStartupMeanMs, s.StreamRebufferEvents,
+			s.StreamRebufferMs, s.StreamDeadlineMissPct, humanBytes(s.StreamEdgeRescueBytes))
+	}
 	if len(s.Regions) > 0 {
 		w("")
 		w("%-10s %10s %12s %12s %12s %9s", "region", "downloads", "infra-bytes", "peer-bytes", "uploaded", "offload")

@@ -30,6 +30,14 @@ type cpAnalytics struct {
 	interAS     *telemetry.Counter
 	activeGUIDs *telemetry.Gauge
 	observed    atomic.Int64
+
+	// Streaming-delivery counters (§3.4), eager like the rest: deadline-driven
+	// sessions booked, their rebuffer events, missed piece deadlines, and
+	// urgent-window bytes the edge rescued.
+	streamSessions    *telemetry.Counter
+	streamRebuffers   *telemetry.Counter
+	streamMisses      *telemetry.Counter
+	streamRescueBytes *telemetry.Counter
 }
 
 // analyticsShards balances CN session-loop concurrency against snapshot
@@ -53,6 +61,14 @@ func newCPAnalytics(reg *telemetry.Registry) *cpAnalytics {
 			"peer-uploaded bytes that crossed an AS boundary", nil),
 		activeGUIDs: reg.Gauge("cp_active_guids_estimate",
 			"estimated distinct GUIDs seen in download reports (HyperLogLog)", nil),
+		streamSessions: reg.Counter("cp_stream_sessions_total",
+			"deadline-driven streaming downloads reported", nil),
+		streamRebuffers: reg.Counter("cp_stream_rebuffer_events_total",
+			"playback rebuffer events across reported streams", nil),
+		streamMisses: reg.Counter("cp_stream_deadline_misses_total",
+			"pieces reported unavailable at their playback deadline", nil),
+		streamRescueBytes: reg.Counter("cp_stream_edge_rescue_bytes_total",
+			"urgent-window bytes reported rescued from the edge", nil),
 	}
 	for r := 0; r < geo.NumRegions; r++ {
 		name := geo.NetworkRegion(r).String()
@@ -89,6 +105,18 @@ func (a *cpAnalytics) observe(d *analysis.OfflineDownload) {
 	}
 	if inter > 0 {
 		a.interAS.Add(inter)
+	}
+	if st := d.Stream; st != nil {
+		a.streamSessions.Inc()
+		if st.RebufferCount > 0 {
+			a.streamRebuffers.Add(st.RebufferCount)
+		}
+		if st.DeadlineMisses > 0 {
+			a.streamMisses.Add(st.DeadlineMisses)
+		}
+		if st.EdgeRescueBytes > 0 {
+			a.streamRescueBytes.Add(st.EdgeRescueBytes)
+		}
 	}
 	if a.observed.Add(1)%guidEstimateEvery == 0 {
 		a.activeGUIDs.Set(a.summarizer.ActiveGUIDs())

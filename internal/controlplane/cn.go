@@ -317,6 +317,18 @@ func (cn *CN) handleStats(s *session, m *protocol.StatsReport) {
 		}
 		rec.FromPeers = append(rec.FromPeers, pc)
 	}
+	if st := m.Stream; st != nil {
+		rec.Stream = &accounting.StreamStats{
+			BitrateBps:      int64(st.BitrateBps),
+			StartupDelayMs:  int64(st.StartupDelayMs),
+			RebufferCount:   int64(st.RebufferCount),
+			RebufferMs:      int64(st.RebufferMs),
+			DeadlineMisses:  int64(st.DeadlineMisses),
+			PiecesPlayed:    int64(st.PiecesPlayed),
+			PiecesTotal:     int64(st.PiecesTotal),
+			EdgeRescueBytes: int64(st.EdgeRescueBytes),
+		}
+	}
 	// Attribute p2p enablement from the token when possible.
 	if claims, err := cn.cp.cfg.Minter.Verify(m.Token, 0); err == nil && claims.Object == m.Object {
 		rec.P2PEnabled = claims.P2P

@@ -87,7 +87,7 @@ func equalSummaries(t *testing.T, got, want analysis.OfflineSummary) {
 	for i := 0; i < gv.NumField(); i++ {
 		name := gv.Type().Field(i).Name
 		switch gv.Field(i).Kind() {
-		case reflect.Int:
+		case reflect.Int, reflect.Int64:
 			if gv.Field(i).Int() != wv.Field(i).Int() {
 				t.Errorf("%s: got %d, want %d", name, gv.Field(i).Int(), wv.Field(i).Int())
 			}

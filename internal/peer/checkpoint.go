@@ -10,6 +10,7 @@ import (
 	"netsession/internal/content"
 	"netsession/internal/fsutil"
 	"netsession/internal/retry"
+	"netsession/internal/streaming"
 )
 
 // downloadCheckpoint is the persisted progress of one Download-Manager
@@ -30,8 +31,15 @@ type downloadCheckpoint struct {
 	// P2POff records a degradation to edge-only; a resumed download must
 	// not re-enter a swarm the degradation ladder already condemned.
 	P2POff bool `json:"p2pOff"`
-	// Sequential preserves the streaming-delivery mode across the restart.
+	// Sequential preserves the in-order delivery mode across the restart.
 	Sequential bool `json:"sequential"`
+	// Streaming preserves the deadline-driven playback context: a resumed
+	// stream restarts its playback clock with the same bitrate and window
+	// so it keeps reporting startup/rebuffer metrics — even when the
+	// checkpoint also records a degradation to edge-only.
+	StreamBitrateBps    int64 `json:"streamBitrateBps,omitempty"`
+	StreamStartupPieces int   `json:"streamStartupPieces,omitempty"`
+	StreamWindowPieces  int   `json:"streamWindowPieces,omitempty"`
 	// UpdatedMs is when the checkpoint was last written.
 	UpdatedMs int64 `json:"updatedMs"`
 }
@@ -57,6 +65,11 @@ func (c *Client) saveCheckpoint(d *Download) {
 		P2POff:     d.p2pOff,
 		Sequential: d.opts.Sequential,
 		UpdatedMs:  time.Now().UnixMilli(),
+	}
+	if sc := d.opts.Streaming; sc != nil {
+		ck.StreamBitrateBps = sc.BitrateBps
+		ck.StreamStartupPieces = sc.StartupPieces
+		ck.StreamWindowPieces = sc.WindowPieces
 	}
 	d.mu.Unlock()
 	raw, err := json.MarshalIndent(ck, "", "  ")
@@ -166,10 +179,18 @@ func (c *Client) resumeOne(ck downloadCheckpoint) error {
 	if bf := c.store.Have(oid); bf != nil {
 		recovered = bf.Count()
 	}
-	_, err := c.DownloadWith(oid, DownloadOpts{
+	opts := DownloadOpts{
 		Sequential:   ck.Sequential,
 		resumeP2POff: ck.P2POff,
-	})
+	}
+	if ck.StreamBitrateBps > 0 {
+		opts.Streaming = &streaming.Config{
+			BitrateBps:    ck.StreamBitrateBps,
+			StartupPieces: ck.StreamStartupPieces,
+			WindowPieces:  ck.StreamWindowPieces,
+		}
+	}
+	_, err := c.DownloadWith(oid, opts)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"netsession/internal/logpipe"
 	"netsession/internal/protocol"
 	"netsession/internal/retry"
+	"netsession/internal/streaming"
 	"netsession/internal/telemetry"
 )
 
@@ -34,6 +35,9 @@ type Result struct {
 	FromPeers     map[id.GUID]int64
 	PeersReturned int
 	Duration      time.Duration
+	// Stream holds the playback outcome for deadline-driven downloads,
+	// nil for bulk transfers.
+	Stream *streaming.Metrics
 }
 
 // PeerEfficiency returns the fraction of bytes that came from peers.
@@ -47,11 +51,20 @@ func (r *Result) PeerEfficiency() float64 {
 
 // DownloadOpts tunes one transfer.
 type DownloadOpts struct {
-	// Sequential requests pieces in order — the streaming-delivery mode
-	// (NetSession "also supports video streaming", §3.4). The default
-	// randomizes piece selection across the swarm, which diversifies which
-	// pieces each peer holds.
+	// Sequential requests pieces in order. The default randomizes piece
+	// selection across the swarm, which diversifies which pieces each
+	// peer holds.
 	Sequential bool
+	// Streaming enables deadline-driven delivery (NetSession "also
+	// supports video streaming", §3.4): a playback clock derives
+	// per-piece deadlines from the bitrate, the playback-window
+	// scheduler requests urgent pieces first, and startup delay,
+	// rebuffers, deadline misses and edge rescues become first-class
+	// metrics on the result and the usage report. Nil means bulk.
+	Streaming *streaming.Config
+	// Scheduler overrides the piece-request policy; nil derives it from
+	// Streaming/Sequential (window, sequential or random).
+	Scheduler PieceScheduler
 	// resumeP2POff restarts a checkpointed download already degraded to
 	// edge-only: the ladder's verdict on the swarm survives the crash.
 	resumeP2POff bool
@@ -71,6 +84,12 @@ type Download struct {
 	start    time.Time
 	rng      *rand.Rand // guarded by mu
 	trace    *telemetry.Trace
+	sched    PieceScheduler
+	// play is the playback session for streaming downloads, nil for bulk.
+	// It is deliberately independent of swarm state: degradation to
+	// edge-only must not stop the playback clock, so rebuffers under
+	// degraded delivery are still observed and reported.
+	play *streaming.Session
 
 	mu            sync.Mutex
 	have          *content.Bitfield
@@ -86,9 +105,15 @@ type Download struct {
 	peersReturned int
 	queried       bool
 	corrupt       int
-	state         downloadState
-	outcome       protocol.Outcome
-	pauseCh       chan struct{} // closed while running; replaced when paused
+	// avail counts how many connected uploaders hold each piece, feeding
+	// the window scheduler's rarest-first tail.
+	avail []int
+	// edgeUrgent marks pieces the edge fetched while they sat in the
+	// urgent playback window: edge-rescue bytes in the stream metrics.
+	edgeUrgent map[int]bool
+	state      downloadState
+	outcome    protocol.Outcome
+	pauseCh    chan struct{} // closed while running; replaced when paused
 	// p2pOff is set when the download degrades to edge-only: the stall
 	// watchdog declared the swarm dead, or corruption crossed the limit.
 	p2pOff bool
@@ -139,6 +164,7 @@ func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Downloa
 		start:      time.Now(),
 		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 		trace:      trace,
+		sched:      schedulerFor(opts),
 		inflight:   make(map[int]int),
 		pendingReq: make(map[*swarmConn]int),
 		pendingAt:  make(map[*swarmConn]time.Time),
@@ -157,6 +183,25 @@ func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Downloa
 	if opts.resumeP2POff {
 		d.p2pOff = true
 	}
+	d.avail = make([]int, d.have.Len())
+	if opts.Streaming != nil && opts.Streaming.BitrateBps > 0 {
+		obj := m.Object
+		sess, err := streaming.NewSession(*opts.Streaming, obj.NumPieces(),
+			obj.PieceSize, obj.Size, d.start.UnixMilli())
+		if err != nil {
+			return nil, fmt.Errorf("peer: streaming: %w", err)
+		}
+		d.play = sess
+		d.edgeUrgent = make(map[int]bool)
+		// Pieces already on disk (resume) count for the playback clock.
+		n := d.have.Len()
+		for i := 0; i < n; i++ {
+			if d.have.Has(i) {
+				sess.OnPiece(i, d.start.UnixMilli())
+			}
+		}
+		c.metrics.streamSessions.Inc()
+	}
 
 	c.mu.Lock()
 	if existing := c.downloads[oid]; existing != nil {
@@ -172,6 +217,9 @@ func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Downloa
 	} else {
 		c.saveCheckpoint(d)
 		go d.edgeLoop()
+		if d.play != nil {
+			go d.playbackLoop()
+		}
 		if d.p2p && !d.p2pOff {
 			d.lastPeerPiece = time.Now()
 			go d.peerLoop()
@@ -181,6 +229,33 @@ func (c *Client) DownloadWith(oid content.ObjectID, opts DownloadOpts) (*Downloa
 		}
 	}
 	return d, nil
+}
+
+// playbackLoop ticks the playback clock so stalls are observed as they
+// happen, not only when the next piece arrives. It runs for the life of
+// the download regardless of swarm health — a degraded, edge-only
+// transfer still has a viewer watching it.
+func (d *Download) playbackLoop() {
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.doneCh:
+			return
+		case now := <-t.C:
+			d.play.Advance(now.UnixMilli())
+		}
+	}
+}
+
+// StreamMetrics snapshots the playback outcome of a streaming download;
+// nil for bulk transfers.
+func (d *Download) StreamMetrics() *streaming.Metrics {
+	if d.play == nil {
+		return nil
+	}
+	m := d.play.Metrics(time.Now().UnixMilli())
+	return &m
 }
 
 func closedChan() chan struct{} {
@@ -214,7 +289,7 @@ func (d *Download) result() *Result {
 	for g, b := range d.fromPeers {
 		fp[g] = b
 	}
-	return &Result{
+	r := &Result{
 		Object:        d.oid,
 		Outcome:       d.outcome,
 		BytesInfra:    d.bytesInfra,
@@ -223,6 +298,11 @@ func (d *Download) result() *Result {
 		PeersReturned: d.peersReturned,
 		Duration:      time.Since(d.start),
 	}
+	if d.play != nil {
+		m := d.play.Metrics(time.Now().UnixMilli())
+		r.Stream = &m
+	}
+	return r
 }
 
 // Pause suspends the download; in-flight pieces complete, then activity
@@ -297,25 +377,43 @@ func (d *Download) running() bool {
 // and picks peers that are slow or unreliable, the infrastructure can cover
 // the difference", §3.3).
 func (d *Download) takeEdgePiece(allowDup bool) int {
+	// For streaming downloads the edge serves the urgent playback window
+	// first: it is the rescue path for pieces no peer can deliver by
+	// their deadline. Window bounds are read before taking d.mu (session
+	// has its own lock).
+	winLo, winHi := -1, -1
+	if d.play != nil {
+		winLo, winHi = d.play.Window()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := d.have.Len()
+	take := func(i int) int {
+		d.inflight[i]++
+		if d.play != nil && i >= winLo && i < winHi {
+			d.edgeUrgent[i] = true
+		}
+		return i
+	}
+	for i := winLo; i >= 0 && i < winHi; i++ {
+		if !d.have.Has(i) && d.inflight[i] == 0 {
+			return take(i)
+		}
+	}
 	fallback := -1
 	for i := 0; i < n; i++ {
 		if d.have.Has(i) {
 			continue
 		}
 		if d.inflight[i] == 0 {
-			d.inflight[i]++
-			return i
+			return take(i)
 		}
 		if fallback < 0 {
 			fallback = i
 		}
 	}
 	if allowDup && fallback >= 0 {
-		d.inflight[fallback]++
-		return fallback
+		return take(fallback)
 	}
 	return -1
 }
@@ -491,6 +589,7 @@ func (d *Download) attachConn(sc *swarmConn) bool {
 }
 
 func (d *Download) removeConn(sc *swarmConn) {
+	bf := sc.remoteBitfield()
 	d.mu.Lock()
 	if idx, ok := d.pendingReq[sc]; ok && idx >= 0 {
 		if d.inflight[idx] > 1 {
@@ -499,10 +598,49 @@ func (d *Download) removeConn(sc *swarmConn) {
 			delete(d.inflight, idx)
 		}
 	}
+	if d.conns[sc] && bf != nil {
+		n := len(d.avail)
+		for i := 0; i < n; i++ {
+			if bf.Has(i) && d.avail[i] > 0 {
+				d.avail[i]--
+			}
+		}
+	}
 	delete(d.pendingReq, sc)
 	delete(d.pendingAt, sc)
 	delete(d.conns, sc)
 	d.mu.Unlock()
+}
+
+// noteRemoteBitfield and noteRemoteHave maintain per-piece availability
+// counts over currently-attached uploaders — the signal behind the window
+// scheduler's rarest-first tail. The counts are a best-effort heuristic
+// (a racing disconnect can skew one by a unit, hence the clamps), which
+// is all rarest-first needs.
+func (d *Download) noteRemoteBitfield(sc *swarmConn, old, bf *content.Bitfield) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.conns[sc] {
+		return
+	}
+	n := len(d.avail)
+	for i := 0; i < n; i++ {
+		if old != nil && old.Has(i) && d.avail[i] > 0 {
+			d.avail[i]--
+		}
+		if bf.Has(i) {
+			d.avail[i]++
+		}
+	}
+}
+
+func (d *Download) noteRemoteHave(sc *swarmConn, idx int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.conns[sc] || idx < 0 || idx >= len(d.avail) {
+		return
+	}
+	d.avail[idx]++
 }
 
 // kickScheduler issues the next piece request on a connection that has no
@@ -525,28 +663,16 @@ func (d *Download) kickScheduler(sc *swarmConn) {
 		d.mu.Unlock()
 		return // request already outstanding
 	}
-	pick := -1
-	n := d.have.Len()
-	if d.opts.Sequential {
-		for i := 0; i < n; i++ {
-			if !d.have.Has(i) && remote.Has(i) && d.inflight[i] == 0 {
-				pick = i
-				break
-			}
-		}
-	} else {
-		// Randomize among the first eligible pieces so concurrent peers
-		// fetch disjoint pieces and can trade them.
-		var cands []int
-		for i := 0; i < n && len(cands) < 32; i++ {
-			if !d.have.Has(i) && remote.Has(i) && d.inflight[i] == 0 {
-				cands = append(cands, i)
-			}
-		}
-		if len(cands) > 0 {
-			pick = cands[d.rng.Intn(len(cands))]
-		}
-	}
+	// The scheduler sees a point-in-time view; the closures read maps
+	// guarded by d.mu, which is held for the whole decision.
+	pick := d.sched.NextPiece(&streaming.PieceView{
+		Have:     d.have,
+		Remote:   remote,
+		InFlight: func(i int) bool { return d.inflight[i] > 0 },
+		Avail:    func(i int) int { return d.avail[i] },
+		Rand:     d.rng,
+		Session:  d.play,
+	})
 	if pick < 0 {
 		// End-game: few pieces left, all in flight; duplicate one that the
 		// remote has so a slow source cannot stall completion.
@@ -720,8 +846,13 @@ func (d *Download) storeVerified(idx int, data []byte, from id.GUID, infra bool)
 		return
 	}
 	d.have.Set(idx)
+	rescue := false
 	if infra {
 		d.bytesInfra += int64(len(data))
+		if d.edgeUrgent[idx] {
+			delete(d.edgeUrgent, idx)
+			rescue = true
+		}
 	} else {
 		d.bytesPeers += int64(len(data))
 		d.fromPeers[from] += int64(len(data))
@@ -741,6 +872,13 @@ func (d *Download) storeVerified(idx int, data []byte, from id.GUID, infra bool)
 	} else {
 		d.c.metrics.piecesPeers.Inc()
 		d.c.metrics.bytesDownPeers.Add(int64(len(data)))
+	}
+	if d.play != nil {
+		d.play.OnPiece(idx, time.Now().UnixMilli())
+		if rescue {
+			d.play.AddEdgeRescue(int64(len(data)))
+			d.c.metrics.streamEdgeRescueBytes.Add(int64(len(data)))
+		}
 	}
 	// The piece is durable; make the progress record durable too, so a crash
 	// from here on costs at most the pieces still in flight.
@@ -802,6 +940,13 @@ func (d *Download) finish(outcome protocol.Outcome) {
 	d.c.mu.Unlock()
 
 	d.c.metrics.downloadOutcome(outcome.String()).Inc()
+	if d.play != nil {
+		m := d.play.Metrics(time.Now().UnixMilli())
+		d.c.metrics.streamStartupMs.Observe(float64(m.StartupDelayMs))
+		d.c.metrics.streamRebuffers.Add(m.RebufferCount)
+		d.c.metrics.streamRebufferMs.Add(m.RebufferMs)
+		d.c.metrics.streamDeadlineMisses.Add(m.DeadlineMisses)
+	}
 	d.trace.Event("outcome", outcome.String())
 	d.trace.End()
 	d.c.traces.Add(d.trace)
@@ -884,6 +1029,19 @@ func (d *Download) report() {
 	for g, b := range d.fromPeers {
 		rep.FromPeers = append(rep.FromPeers, protocol.PeerBytes{GUID: g, Bytes: uint64(b)})
 	}
+	if d.play != nil {
+		m := d.play.Metrics(time.Now().UnixMilli())
+		rep.Stream = &protocol.StreamStats{
+			BitrateBps:      uint64(m.BitrateBps),
+			StartupDelayMs:  uint64(m.StartupDelayMs),
+			RebufferCount:   uint32(m.RebufferCount),
+			RebufferMs:      uint64(m.RebufferMs),
+			DeadlineMisses:  uint32(m.DeadlineMisses),
+			PiecesPlayed:    uint32(m.PiecesPlayed),
+			PiecesTotal:     uint32(m.PiecesTotal),
+			EdgeRescueBytes: uint64(m.EdgeRescueBytes),
+		}
+	}
 	d.mu.Unlock()
 	// With the log pipeline on, the record goes to the durable spool and the
 	// uploader ships it in a batch; otherwise it rides the control connection
@@ -920,6 +1078,18 @@ func entryFromStats(c *Client, rep *protocol.StatsReport) *logpipe.Entry {
 		e.FromPeers = append(e.FromPeers, logpipe.EntryContribution{
 			GUID: pb.GUID.String(), Bytes: int64(pb.Bytes),
 		})
+	}
+	if rep.Stream != nil {
+		e.Stream = &logpipe.EntryStream{
+			BitrateBps:      int64(rep.Stream.BitrateBps),
+			StartupDelayMs:  int64(rep.Stream.StartupDelayMs),
+			RebufferCount:   int64(rep.Stream.RebufferCount),
+			RebufferMs:      int64(rep.Stream.RebufferMs),
+			DeadlineMisses:  int64(rep.Stream.DeadlineMisses),
+			PiecesPlayed:    int64(rep.Stream.PiecesPlayed),
+			PiecesTotal:     int64(rep.Stream.PiecesTotal),
+			EdgeRescueBytes: int64(rep.Stream.EdgeRescueBytes),
+		}
 	}
 	return e
 }

@@ -214,18 +214,24 @@ func (sc *swarmConn) loop() {
 				return // malformed bitfield: drop the peer
 			}
 			sc.mu.Lock()
+			old := sc.remoteHave
 			sc.remoteHave = bf
 			sc.mu.Unlock()
 			if sc.download != nil {
+				sc.download.noteRemoteBitfield(sc, old, bf)
 				sc.download.kickScheduler(sc)
 			}
 		case *protocol.Have:
 			sc.mu.Lock()
+			fresh := sc.remoteHave != nil && !sc.remoteHave.Has(int(m.Index))
 			if sc.remoteHave != nil {
 				sc.remoteHave.Set(int(m.Index))
 			}
 			sc.mu.Unlock()
 			if sc.download != nil {
+				if fresh {
+					sc.download.noteRemoteHave(sc, int(m.Index))
+				}
 				sc.download.kickScheduler(sc)
 			}
 		case *protocol.Request:

@@ -55,6 +55,18 @@ type clientMetrics struct {
 	resumeTotal     *telemetry.Counter
 	piecesRecovered *telemetry.Counter
 
+	// Streaming-delivery series (§3.4), eager so dashboards can graph a
+	// zero before the first stream: playback sessions, rebuffer events
+	// and paused milliseconds, pieces that missed their play deadline,
+	// urgent-window bytes rescued from the edge, and the startup-delay
+	// distribution.
+	streamSessions        *telemetry.Counter
+	streamRebuffers       *telemetry.Counter
+	streamRebufferMs      *telemetry.Counter
+	streamDeadlineMisses  *telemetry.Counter
+	streamEdgeRescueBytes *telemetry.Counter
+	streamStartupMs       *telemetry.Histogram
+
 	downloadsByOutcome map[string]*telemetry.Counter
 	stunOK             *telemetry.Counter
 	stunFail           *telemetry.Counter
@@ -114,6 +126,19 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 			"downloads resumed from a persisted checkpoint after a restart", nil),
 		piecesRecovered: reg.Counter("peer_pieces_recovered_total",
 			"verified pieces recovered from the durable store on resume instead of refetched", nil),
+		streamSessions: reg.Counter("peer_stream_sessions_total",
+			"deadline-driven streaming downloads started", nil),
+		streamRebuffers: reg.Counter("peer_stream_rebuffer_events_total",
+			"playback stalls after startup across streaming downloads", nil),
+		streamRebufferMs: reg.Counter("peer_stream_rebuffer_ms_total",
+			"total milliseconds playback spent paused in rebuffers", nil),
+		streamDeadlineMisses: reg.Counter("peer_stream_deadline_misses_total",
+			"pieces unavailable at their playback deadline", nil),
+		streamEdgeRescueBytes: reg.Counter("peer_stream_edge_rescue_bytes_total",
+			"urgent-window bytes fetched from the edge because no peer could meet the deadline", nil),
+		streamStartupMs: reg.Histogram("peer_stream_startup_ms",
+			"playback startup delay in milliseconds",
+			telemetry.DurationBucketsMs, nil),
 		downloadsByOutcome: make(map[string]*telemetry.Counter),
 		stunOK: reg.Counter("peer_stun_discoveries_total",
 			"STUN reflexive-address discoveries, by outcome", telemetry.Labels{"outcome": "ok"}),

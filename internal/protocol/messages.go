@@ -358,6 +358,23 @@ type StatsReport struct {
 	// plane uses edge data "to prevent accounting attacks, where
 	// compromised or faulty peers incorrectly report downloads" (§3.5).
 	Token []byte
+	// Stream carries the playback outcome for deadline-driven streaming
+	// downloads ("NetSession also supports video streaming", §3.4); nil
+	// for bulk transfers. On the wire it is an optional trailing block
+	// gated by a presence flag, so bulk reports cost one extra byte.
+	Stream *StreamStats
+}
+
+// StreamStats is the streaming sub-record of a StatsReport.
+type StreamStats struct {
+	BitrateBps      uint64
+	StartupDelayMs  uint64
+	RebufferCount   uint32
+	RebufferMs      uint64
+	DeadlineMisses  uint32
+	PiecesPlayed    uint32
+	PiecesTotal     uint32
+	EdgeRescueBytes uint64
 }
 
 func (*StatsReport) Type() MsgType { return TStatsReport }
@@ -379,6 +396,19 @@ func (m *StatsReport) encodeTo(e *encoder) {
 		e.u64(pb.Bytes)
 	}
 	e.bytes(m.Token)
+	if m.Stream == nil {
+		e.u8(0)
+	} else {
+		e.u8(1)
+		e.u64(m.Stream.BitrateBps)
+		e.u64(m.Stream.StartupDelayMs)
+		e.u32(m.Stream.RebufferCount)
+		e.u64(m.Stream.RebufferMs)
+		e.u32(m.Stream.DeadlineMisses)
+		e.u32(m.Stream.PiecesPlayed)
+		e.u32(m.Stream.PiecesTotal)
+		e.u64(m.Stream.EdgeRescueBytes)
+	}
 }
 
 func (m *StatsReport) decodeFrom(d *decoder) {
@@ -400,6 +430,20 @@ func (m *StatsReport) decodeFrom(d *decoder) {
 		m.FromPeers = append(m.FromPeers, pb)
 	}
 	m.Token = d.bytes()
+	if d.u8() == 1 {
+		s := &StreamStats{}
+		s.BitrateBps = d.u64()
+		s.StartupDelayMs = d.u64()
+		s.RebufferCount = d.u32()
+		s.RebufferMs = d.u64()
+		s.DeadlineMisses = d.u32()
+		s.PiecesPlayed = d.u32()
+		s.PiecesTotal = d.u32()
+		s.EdgeRescueBytes = d.u64()
+		if d.err == nil {
+			m.Stream = s
+		}
+	}
 }
 
 // ConfigUpdate pushes globally configurable client policy to peers over the

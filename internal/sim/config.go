@@ -77,6 +77,19 @@ type ScenarioConfig struct {
 	// contribution-sweep ablation. Negative keeps the calibrated defaults.
 	UploadEnabledOverride float64
 
+	// Streaming delivery (§3.4). When StreamBitrateBps and StreamFraction
+	// are both positive, that fraction of workload requests is consumed as
+	// a deadline-driven stream: playback starts once StreamStartupBytes
+	// have arrived and then drains at the bitrate, and the flow's record
+	// carries a StreamStats sub-record (startup delay, rebuffers, deadline
+	// misses) exactly like a live streaming client's log entry. Draws come
+	// from a dedicated per-shard RNG stream, so the zero value (disabled)
+	// leaves base scenarios byte-identical.
+	StreamFraction     float64
+	StreamBitrateBps   int64
+	StreamStartupBytes int64 // zero: two pieces
+	StreamPieceBytes   int64 // zero: the catalog piece size
+
 	// Outcome model (§5.2): a small immediate-abort probability plus an
 	// abandonment clock make long downloads terminate more often
 	// (Figure 7); failures are rare and mostly user-side.
@@ -155,6 +168,22 @@ func DefaultScenario() ScenarioConfig {
 		FailSystemInfra:    0.001,
 		FailSystemP2P:      0.002,
 	}
+}
+
+// StreamingScenario is the deadline-driven delivery family: a hotter Zipf
+// catalog (popular episodes dominate), shorter sessions so serving peers
+// churn mid-stream, and most requests consumed as 3 Mbps streams against
+// the heterogeneous access-link population.
+func StreamingScenario() ScenarioConfig {
+	cfg := DefaultScenario()
+	cfg.Catalog.ZipfAlpha = 1.1
+	cfg.SessionOnHours = 4
+	cfg.SessionOffHours = 6
+	cfg.StreamFraction = 0.8
+	cfg.StreamBitrateBps = 3_000_000
+	cfg.StreamStartupBytes = 2 * int64(cfg.Catalog.PieceSize)
+	cfg.StreamPieceBytes = int64(cfg.Catalog.PieceSize)
+	return cfg
 }
 
 // SmallScenario is a fast scale for unit tests and benches.

@@ -30,6 +30,10 @@ type dl struct {
 	peersReturned int
 	p2p           bool
 
+	// stream, when non-nil, is the fluid playback model of a deadline-driven
+	// streaming request; advanced alongside every byte accrual.
+	stream *streamState
+
 	// Outcome pre-draws.
 	abortAtMs  int64 // -1: never
 	failOther  bool
@@ -115,21 +119,28 @@ func (sh *shard) accrue(d *dl) {
 		per[i] *= dt // scratch slice: rescale in place to byte deltas
 		sum += per[i]
 	}
-	if sum <= 0 {
-		return
-	}
-	// Clamp overshoot proportionally (completion events fire exactly on
-	// time; only floating-point error and late events land here).
-	if remaining := d.total - d.done(); sum > remaining {
-		f := remaining / sum
-		dEdge *= f
-		for i := range per {
-			per[i] *= f
+	if sum > 0 {
+		// Clamp overshoot proportionally (completion events fire exactly on
+		// time; only floating-point error and late events land here).
+		if remaining := d.total - d.done(); sum > remaining {
+			f := remaining / sum
+			dEdge *= f
+			for i := range per {
+				per[i] *= f
+			}
+			sum = remaining
 		}
+		d.bytesInfra += dEdge
+		for i := range per {
+			d.servers[i].bytes += per[i]
+		}
+	} else {
+		sum, dEdge = 0, 0
 	}
-	d.bytesInfra += dEdge
-	for i := range per {
-		d.servers[i].bytes += per[i]
+	// The playback clock keeps running even over zero-rate segments — a
+	// sourceless stream rebuffers, it does not pause time.
+	if d.stream != nil {
+		d.stream.advance(dt, sum, dEdge, d.total)
 	}
 }
 
@@ -281,6 +292,12 @@ func (sh *shard) startDownload(req trace.Request) {
 		sysProb = sh.cfg.FailSystemP2P
 	}
 	d.failSystem = sh.rng.Float64() < sysProb
+	// Streaming draw, from its own RNG stream so base scenarios are
+	// untouched.
+	if sh.cfg.StreamBitrateBps > 0 && sh.cfg.StreamFraction > 0 &&
+		sh.streamRng.Float64() < sh.cfg.StreamFraction {
+		d.stream = newStreamState(sh.cfg)
+	}
 
 	p.downloading = append(p.downloading, d)
 	sh.metrics.started.Inc()
@@ -487,6 +504,9 @@ func (sh *shard) finishDownload(d *dl, outcome protocol.Outcome) {
 		BytesPeers:    int64(d.bytesPeers()),
 		Outcome:       outcome,
 		PeersReturned: d.peersReturned,
+	}
+	if d.stream != nil {
+		rec.Stream = d.stream.finalize(sh.cfg, d.startMs, endMs, d.total)
 	}
 	// Attributions go into the shard's arena; the record holds the range.
 	off := uint32(len(sh.log.contribs))

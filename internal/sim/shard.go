@@ -24,9 +24,13 @@ type shard struct {
 	eng      Engine
 	rng      *rand.Rand
 	faultRng *rand.Rand
-	dir      *selection.Directory
-	metrics  *simMetrics
-	logf     func(format string, args ...any)
+	// streamRng decides which requests are deadline-driven streams; like
+	// faultRng it is its own stream so enabling streaming never perturbs a
+	// base scenario's draws.
+	streamRng *rand.Rand
+	dir       *selection.Directory
+	metrics   *simMetrics
+	logf      func(format string, args ...any)
 
 	peers  []*simPeer
 	guidIx map[id.GUID]*simPeer
@@ -133,14 +137,15 @@ func newShard(cfg *ScenarioConfig, region geo.NetworkRegion, m *simMetrics, logf
 		faultSeed = 1
 	}
 	sh := &shard{
-		cfg:      cfg,
-		region:   region,
-		rng:      rand.New(rand.NewSource(shardStream(cfg.Seed, int(region), 0x5eed))),
-		faultRng: rand.New(rand.NewSource(shardStream(faultSeed, int(region), 0xfa17))),
-		dir:      selection.NewDirectory(region),
-		metrics:  m,
-		logf:     logf,
-		guidIx:   make(map[id.GUID]*simPeer),
+		cfg:       cfg,
+		region:    region,
+		rng:       rand.New(rand.NewSource(shardStream(cfg.Seed, int(region), 0x5eed))),
+		faultRng:  rand.New(rand.NewSource(shardStream(faultSeed, int(region), 0xfa17))),
+		streamRng: rand.New(rand.NewSource(shardStream(cfg.Seed, int(region), 0x57e4))),
+		dir:       selection.NewDirectory(region),
+		metrics:   m,
+		logf:      logf,
+		guidIx:    make(map[id.GUID]*simPeer),
 	}
 	sh.onChurn = sh.handleChurn
 	sh.onRefresh = sh.handleRefresh

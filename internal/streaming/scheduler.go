@@ -1,0 +1,100 @@
+package streaming
+
+import (
+	"math/rand"
+
+	"netsession/internal/content"
+)
+
+// PieceView is everything a piece scheduler may consult when picking the
+// next piece to request from one remote. It is built fresh per decision by
+// the download engine; schedulers must not retain it.
+type PieceView struct {
+	// Have is the local verified bitfield, Remote the uploader's.
+	Have   *content.Bitfield
+	Remote *content.Bitfield
+	// InFlight reports whether piece i is already requested from some
+	// connection.
+	InFlight func(i int) bool
+	// Avail returns how many currently-connected uploaders hold piece i
+	// (for rarest-first). Nil when the engine does not track
+	// availability.
+	Avail func(i int) int
+	// Rand is the download's seeded RNG; schedulers draw all randomness
+	// from it so request orders are reproducible.
+	Rand *rand.Rand
+	// Session is the playback session, nil for bulk downloads.
+	Session *Session
+}
+
+// eligible reports whether piece i is wanted, offered and not in flight.
+func (v *PieceView) eligible(i int) bool {
+	return !v.Have.Has(i) && v.Remote.Has(i) && !v.InFlight(i)
+}
+
+// randomScanLimit bounds the candidate scan when picking at random,
+// matching the historical download scheduler ("randomize among the first
+// eligible pieces so concurrent peers fetch disjoint pieces").
+const randomScanLimit = 32
+
+// rarestScanLimit bounds the candidate scan for rarest-first beyond the
+// playback window.
+const rarestScanLimit = 64
+
+// WindowScheduler is the deadline-driven policy: pieces inside the urgent
+// playback window are requested earliest-deadline-first (deadlines are
+// monotone in piece index, so EDF inside the window is lowest-index
+// first); beyond the window it falls back to rarest-first so the swarm
+// still diversifies the pieces it can trade.
+type WindowScheduler struct{}
+
+// NextPiece implements the scheduler contract: -1 means nothing eligible.
+func (WindowScheduler) NextPiece(v *PieceView) int {
+	n := v.Have.Len()
+	lo, hi := 0, n
+	if v.Session != nil {
+		lo, hi = v.Session.Window()
+	}
+	// Urgent window: EDF == in order.
+	for i := lo; i < hi && i < n; i++ {
+		if v.eligible(i) {
+			return i
+		}
+	}
+	// Earlier-than-window pieces already played past are never needed
+	// again for playback but may still be wanted for completeness; treat
+	// them as ordinary (non-urgent) candidates together with the
+	// beyond-window tail.
+	var cands []int
+	for i := hi; i < n && len(cands) < rarestScanLimit; i++ {
+		if v.eligible(i) {
+			cands = append(cands, i)
+		}
+	}
+	for i := 0; i < lo && len(cands) < rarestScanLimit; i++ {
+		if v.eligible(i) {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	if v.Avail == nil {
+		return cands[v.Rand.Intn(len(cands))]
+	}
+	// Rarest-first: fewest connected holders wins; break ties at random
+	// so concurrent downloaders don't pile onto the same piece.
+	var best []int
+	bestAvail := int(^uint(0) >> 1)
+	for _, i := range cands {
+		a := v.Avail(i)
+		switch {
+		case a < bestAvail:
+			bestAvail = a
+			best = append(best[:0], i)
+		case a == bestAvail:
+			best = append(best, i)
+		}
+	}
+	return best[v.Rand.Intn(len(best))]
+}

@@ -664,6 +664,22 @@ func requireStreamingParity(t *testing.T, name, dir string, off analysis.Offline
 		t.Errorf("%s: geo dims streaming (%d, %d) != offline (%d, %d)",
 			name, st.Countries, st.ASes, off.Countries, off.ASes)
 	}
+	// Streaming-delivery tallies are integer sums in both pipelines, so they
+	// must agree exactly — this is the sim/live indistinguishability half of
+	// the streaming parity contract.
+	for _, m := range []struct {
+		label    string
+		off, str int64
+	}{
+		{"StreamDownloads", int64(off.StreamingDownloads), st.StreamDownloads},
+		{"StreamRebufferEvents", off.StreamRebufferEvents, st.StreamRebufferEvents},
+		{"StreamRebufferMs", off.StreamRebufferMs, st.StreamRebufferMs},
+		{"StreamEdgeRescueBytes", off.StreamEdgeRescueBytes, st.StreamEdgeRescueBytes},
+	} {
+		if m.off != m.str {
+			t.Errorf("%s: %s streaming %d != offline %d", name, m.label, m.str, m.off)
+		}
+	}
 	for _, m := range []struct {
 		label    string
 		off, str float64
@@ -672,6 +688,8 @@ func requireStreamingParity(t *testing.T, name, dir string, off analysis.Offline
 		{"AggregatePeerEfficiencyPct", off.AggregatePeerEfficiencyPct, st.AggregatePeerEfficiencyPct},
 		{"IntraASPct", off.IntraASPct, st.IntraASPct},
 		{"CompletionP2PPct", off.CompletionP2PPct, st.CompletionP2PPct},
+		{"StreamStartupMeanMs", off.StreamStartupMeanMs, st.StreamStartupMeanMs},
+		{"StreamDeadlineMissPct", off.StreamDeadlineMissPct, st.StreamDeadlineMissPct},
 	} {
 		if diff := math.Abs(m.off - m.str); diff > 1e-9*math.Max(1, math.Abs(m.off)) {
 			t.Errorf("%s: %s streaming %v != offline %v", name, m.label, m.str, m.off)

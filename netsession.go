@@ -104,6 +104,11 @@ func XLScenario() Scenario { return sim.XLScenario() }
 // MScenario returns the quarter-million-peer month.
 func MScenario() Scenario { return sim.MScenario() }
 
+// StreamingScenario returns the deadline-driven delivery scenario: Zipf-hot
+// episodic demand, shorter serving sessions, and most requests consumed as
+// fixed-bitrate streams reporting startup/rebuffer/deadline metrics.
+func StreamingScenario() Scenario { return sim.StreamingScenario() }
+
 // XXLScenario returns the million-peer month, the memory-lean engine's
 // paper-scale target.
 func XXLScenario() Scenario { return sim.XXLScenario() }
